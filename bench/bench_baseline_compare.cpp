@@ -1,0 +1,56 @@
+// E10 (Section 1 context): CreateExpander vs the supernode-merging family
+// vs pointer jumping.
+//
+// Shapes to verify:
+//  * CreateExpander rounds/log2(n) flat (Theorem 1.1);
+//  * supernode merging rounds/log2(n) *grows* (the Θ(log² n) family);
+//  * pointer jumping uses few rounds but Θ(n)+ messages per node per round
+//    (the blowup that motivates capacity-bounded models).
+#include <cstdio>
+
+#include "baselines/pointer_jumping.hpp"
+#include "baselines/supernode_merge.hpp"
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "overlay/construct.hpp"
+
+using namespace overlay;
+
+int main() {
+  bench::Banner(
+      "E10: CreateExpander vs supernode merging vs pointer jumping (line)",
+      "claim: this paper O(log n) rounds/O(log n) msgs-per-round; supernode "
+      "family O(log^2 n) rounds; pointer jumping O(log n) rounds but Θ(n) "
+      "msgs — check the two ratio columns diverge");
+
+  bench::Table t({"n", "expander_rounds", "exp/log2", "supernode_rounds",
+                  "super/log2"});
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    const Graph g = gen::Line(n);
+    const auto ours = ConstructWellFormedTree(g, 3);
+    const auto super = RunSupernodeMerge(g, 3);
+    const double log_n = LogUpperBound(n);
+    t.Row(n, ours.report.TotalRounds(),
+          static_cast<double>(ours.report.TotalRounds()) / log_n,
+          super.rounds, static_cast<double>(super.rounds) / log_n);
+  }
+  t.Print();
+
+  std::printf("\npointer jumping (unbounded bandwidth — simulating it is "
+              "Θ(n²·deg) work, so the sweep stops at 1024):\n");
+  bench::Table t2({"n", "ptrjump_rounds", "ptrjump_peak_msgs",
+                   "peak_msgs/n"});
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const auto jump = RunPointerJumping(gen::Line(n), 24);
+    t2.Row(n, jump.rounds, jump.max_node_messages_per_round,
+           static_cast<double>(jump.max_node_messages_per_round) /
+               static_cast<double>(n));
+  }
+  t2.Print();
+  std::printf(
+      "\nnote: pointer jumping reaches a clique in ~log2(n) rounds but its "
+      "peak per-node message column grows ~n², which no NCC0 node may "
+      "send.\n");
+  return 0;
+}

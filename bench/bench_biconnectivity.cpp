@@ -1,0 +1,71 @@
+// E8 (Theorem 1.4 + Figure 1): biconnected components via Tarjan–Vishkin.
+//
+// Shapes to verify: the distributed result matches sequential
+// Hopcroft–Tarjan exactly (components / cut vertices / bridges) on every
+// family; rounds/log2(n) flat. Also reproduces Figure 1's three-rule
+// example topology and prints the resulting helper-graph structure.
+#include <cstdio>
+
+#include "baselines/seq_biconnectivity.hpp"
+#include "baselines/seq_checks.hpp"
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "hybrid/biconnectivity.hpp"
+
+using namespace overlay;
+
+int main() {
+  bench::Banner("E8 / Theorem 1.4 + Figure 1: biconnected components",
+                "claim: O(log n) rounds, exact biconnectivity; check "
+                "match=yes everywhere, rounds/log2(n) flat");
+
+  // Figure 1 reproduction: the rule-1/2/3 example (tree edges directed,
+  // non-tree edge {v,w}; see tests/biconnectivity_test.cpp for the same
+  // topology checked assertion-style).
+  {
+    std::printf("Figure 1 example (u-v, x-w tree edges, non-tree v-w):\n");
+    GraphBuilder b(5);
+    b.AddEdge(0, 1);  // r-u
+    b.AddEdge(1, 2);  // u-v
+    b.AddEdge(0, 3);  // r-x
+    b.AddEdge(3, 4);  // x-w
+    b.AddEdge(2, 4);  // non-tree v-w
+    const Graph g = std::move(b).Build();
+    BiconnectivityOptions opts;
+    const auto r = ComputeBiconnectedComponents(g, opts);
+    const auto want = HopcroftTarjanBcc(g);
+    std::printf("  components=%zu (oracle %zu), match=%s — the non-tree edge "
+                "v-w glues both branches into one block\n\n",
+                r.num_components, want.num_components,
+                SameEdgePartition(r.edge_component, want.edge_component)
+                    ? "yes"
+                    : "NO");
+  }
+
+  bench::Table t({"family", "n", "components", "cuts", "bridges",
+                  "match_oracle", "rounds", "rounds/log2(n)"});
+  const auto run = [&t](const char* name, const Graph& g, std::uint64_t seed) {
+    BiconnectivityOptions opts;
+    opts.overlay.seed = seed;
+    const auto got = ComputeBiconnectedComponents(g, opts);
+    const auto want = HopcroftTarjanBcc(g);
+    const bool match =
+        SameEdgePartition(got.edge_component, want.edge_component) &&
+        got.cut_vertices == want.cut_vertices &&
+        got.bridge_edges == want.bridge_edges;
+    t.Row(name, g.num_nodes(), got.num_components, got.cut_vertices.size(),
+          got.bridge_edges.size(), match, got.cost.rounds,
+          static_cast<double>(got.cost.rounds) / LogUpperBound(g.num_nodes()));
+  };
+
+  run("barbell(32,8)", gen::Barbell(32, 8), 1);
+  run("random_tree", gen::RandomTree(512, 2), 2);
+  run("sparse_gnp", gen::ConnectedGnp(512, 1.2 / 512.0, 3), 3);
+  run("denser_gnp", gen::ConnectedGnp(512, 8.0 / 512.0, 4), 4);
+  run("cycle", gen::Cycle(1024), 5);
+  run("sparse_gnp_2k", gen::ConnectedGnp(2048, 1.2 / 2048.0, 6), 6);
+  run("denser_gnp_2k", gen::ConnectedGnp(2048, 6.0 / 2048.0, 7), 7);
+  t.Print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E1 (Theorem 1.1): well-formed tree in O(log n) rounds.
+//
+// Shape to verify: total rounds divided by log2(n) stays flat as n grows;
+// the output tree is always valid with depth <= ceil(log2 n) + 1; the
+// intermediate expander has O(log n) diameter.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/construct.hpp"
+
+using namespace overlay;
+
+int main() {
+  bench::Banner("E1 / Theorem 1.1: rounds vs n",
+                "claim: O(log n) rounds; check rounds/log2(n) flat, tree "
+                "valid, expander diameter O(log n)");
+
+  for (const char* family : {"line", "knowledge(d=3)"}) {
+    std::printf("input family: %s\n", family);
+    bench::Table t({"n", "log2(n)", "rounds", "rounds/log2(n)", "expander_diam",
+                    "tree_depth", "tree_valid"});
+    for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+      const std::uint64_t seed = 7;
+      ConstructionResult r =
+          std::string(family) == "line"
+              ? ConstructWellFormedTree(gen::Line(n), seed)
+              : ConstructWellFormedTree(gen::RandomKnowledgeGraph(n, 3, seed),
+                                        seed);
+      const auto log_n = LogUpperBound(n);
+      t.Row(n, log_n, r.report.TotalRounds(),
+            static_cast<double>(r.report.TotalRounds()) / log_n,
+            ApproxDiameter(r.expander), r.tree.Depth(),
+            ValidateWellFormedTree(r.tree, CeilLog2(n) + 1));
+    }
+    t.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

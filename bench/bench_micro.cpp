@@ -1,0 +1,69 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitives the
+// simulation spends its time in. Not an experiment reproduction — these
+// exist to catch performance regressions in the substrate.
+#include <benchmark/benchmark.h>
+
+#include "graph/conductance.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/benign.hpp"
+#include "overlay/evolution.hpp"
+#include "sim/token_engine.hpp"
+
+namespace overlay {
+namespace {
+
+Multigraph BenignLine(std::size_t n) {
+  const Graph g = gen::Line(n);
+  return MakeBenign(g, ExpanderParams::ForSize(n, g.MaxDegree(), 1));
+}
+
+void BM_TokenWalks(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Multigraph m = BenignLine(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto r = RunTokenWalks(m, {.tokens_per_node = 8, .walk_length = 16}, rng);
+    benchmark::DoNotOptimize(r.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8 * 16);
+}
+BENCHMARK(BM_TokenWalks)->Arg(1024)->Arg(8192);
+
+void BM_Evolution(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gen::Line(n);
+  const auto params = ExpanderParams::ForSize(n, g.MaxDegree(), 1);
+  const Multigraph m = MakeBenign(g, params);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto r = RunEvolution(m, params, rng);
+    benchmark::DoNotOptimize(r.telemetry.edges_created);
+  }
+}
+BENCHMARK(BM_Evolution)->Arg(1024)->Arg(8192);
+
+void BM_SpectralGap(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto params = ExpanderParams::ForSize(n, 2, 1);
+  const Multigraph m = BenignLine(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LazySpectralGap(m, params.delta, 100));
+  }
+}
+BENCHMARK(BM_SpectralGap)->Arg(1024)->Arg(4096);
+
+void BM_BfsDiameter(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Graph g = gen::ConnectedGnp(n, 8.0 / static_cast<double>(n), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxDiameter(g));
+  }
+}
+BENCHMARK(BM_BfsDiameter)->Arg(4096)->Arg(16384);
+
+}  // namespace
+}  // namespace overlay
+
+BENCHMARK_MAIN();

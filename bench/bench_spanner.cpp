@@ -1,0 +1,50 @@
+// E11 (Section 4.2 substrate): Elkin–Neiman spanner quality.
+//
+// Shapes to verify: per-component connectivity always preserved; maximum
+// out-degree / log2(n) flat as n grows; dense inputs are sparsified.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "hybrid/degree_reduction.hpp"
+#include "hybrid/spanner.hpp"
+
+using namespace overlay;
+
+int main() {
+  bench::Banner("E11 / Section 4.2: spanner + degree reduction quality",
+                "claims: spanner connected per component, out-degree "
+                "O(log n), H degree O(log n); check ratio columns flat");
+
+  bench::Table t({"n", "input_edges", "spanner_arcs", "max_outdeg",
+                  "outdeg/log2(n)", "H_maxdeg", "Hdeg/log2(n)", "connected"});
+  for (std::size_t n : {512u, 2048u, 8192u}) {
+    const Graph g = gen::ConnectedGnp(n, 16.0 / static_cast<double>(n), 7);
+    const auto s = BuildSpanner(g, {.seed = 7});
+    std::size_t max_out = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      max_out = std::max(max_out, s.spanner.OutDegree(v));
+    }
+    const auto red = ReduceDegree(s.spanner);
+    const double log_n = LogUpperBound(n);
+    t.Row(n, g.num_edges(), s.spanner.num_arcs(), max_out,
+          static_cast<double>(max_out) / log_n, red.h.MaxDegree(),
+          static_cast<double>(red.h.MaxDegree()) / log_n,
+          IsConnected(s.spanner.Undirected()));
+  }
+  t.Print();
+
+  std::printf("\nstress: star (one node of degree n-1):\n");
+  bench::Table t2({"n", "spanner_arcs", "H_maxdeg", "connected"});
+  for (std::size_t n : {1024u, 8192u}) {
+    const Graph g = gen::Star(n);
+    const auto s = BuildSpanner(g, {.seed = 9});
+    const auto red = ReduceDegree(s.spanner);
+    t2.Row(n, s.spanner.num_arcs(), red.h.MaxDegree(),
+           IsConnected(red.h));
+  }
+  t2.Print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared table-printing helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one experiment from DESIGN.md §2 and prints
+// a markdown table; EXPERIMENTS.md records the expected shapes. Keeping the
+// formatting in one place makes the bench output diffable across runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace overlay::bench {
+
+/// Markdown-ish fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void Row(Cells... cells) {
+    std::vector<std::string> row;
+    (row.push_back(ToCell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string sep = "|";
+    for (const std::size_t w : width) {
+      sep += std::string(w + 2, '-') + "|";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, width);
+  }
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(bool b) { return b ? "yes" : "NO"; }
+  template <typename T>
+  static std::string ToCell(T value) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(value));
+      return buf;
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& width) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(width[c] - cell.size() + 1, ' ') + "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace overlay::bench

@@ -1,0 +1,69 @@
+#include "baselines/pointer_jumping.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+
+namespace overlay {
+
+PointerJumpingResult RunPointerJumping(const Graph& g,
+                                       std::size_t max_rounds) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "need at least two nodes");
+  OVERLAY_CHECK(IsConnected(g), "pointer jumping requires connectivity");
+
+  // Adjacency as sorted vectors (graph squaring in place).
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.Neighbors(v);
+    adj[v].assign(nb.begin(), nb.end());
+  }
+
+  PointerJumpingResult result;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // Clique test: every node adjacent to all others.
+    bool clique = true;
+    for (NodeId v = 0; v < n && clique; ++v) {
+      clique = adj[v].size() == n - 1;
+    }
+    if (clique) break;
+
+    // Every node sends its full neighbor list to every neighbor ("each node
+    // introduces all of its neighbors to one other").
+    std::vector<std::vector<NodeId>> next(n);
+    std::uint64_t round_peak = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t sent =
+          static_cast<std::uint64_t>(adj[v].size()) * adj[v].size();
+      result.messages += sent;
+      round_peak = std::max(round_peak, sent);
+    }
+    result.max_node_messages_per_round =
+        std::max(result.max_node_messages_per_round, round_peak);
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = adj[v];
+      for (NodeId w : adj[v]) {
+        next[v].insert(next[v].end(), adj[w].begin(), adj[w].end());
+      }
+      std::sort(next[v].begin(), next[v].end());
+      next[v].erase(std::unique(next[v].begin(), next[v].end()), next[v].end());
+      next[v].erase(std::remove(next[v].begin(), next[v].end(), v),
+                    next[v].end());
+    }
+    adj = std::move(next);
+    ++result.rounds;
+  }
+
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : adj[v]) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  result.final_diameter = ApproxDiameter(std::move(builder).Build());
+  return result;
+}
+
+}  // namespace overlay

@@ -1,0 +1,29 @@
+// Pointer-jumping comparator (Section 1.3): with *unbounded* communication,
+// the diameter can be squared down to 1 in O(log n) rounds — but a node may
+// have to communicate Θ(n) messages in a round. This baseline quantifies
+// that blowup so the benchmarks can contrast it with the paper's O(log n)
+// messages per node per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+struct PointerJumpingResult {
+  std::uint64_t rounds = 0;
+  /// Total identifier transmissions.
+  std::uint64_t messages = 0;
+  /// Peak identifiers any single node sent in one round — Θ(n) on lines.
+  std::uint64_t max_node_messages_per_round = 0;
+  std::uint32_t final_diameter = 0;
+};
+
+/// Repeats "introduce all my neighbors to each other" (squaring the graph)
+/// until the graph is a clique or `max_rounds` elapses.
+PointerJumpingResult RunPointerJumping(const Graph& g,
+                                       std::size_t max_rounds = 64);
+
+}  // namespace overlay

@@ -1,0 +1,105 @@
+#include "baselines/seq_biconnectivity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+
+namespace overlay {
+
+SeqBiconnectivityResult HopcroftTarjanBcc(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "need at least two nodes");
+  OVERLAY_CHECK(IsConnected(g), "oracle requires a connected graph");
+
+  // Edge index lookup.
+  const auto edges = g.EdgeList();
+  std::map<std::pair<NodeId, NodeId>, std::size_t> edge_index;
+  for (std::size_t i = 0; i < edges.size(); ++i) edge_index[edges[i]] = i;
+  const auto index_of = [&edge_index](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return edge_index.at({a, b});
+  };
+
+  SeqBiconnectivityResult result;
+  result.edge_component.assign(edges.size(), 0);
+
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<std::size_t> edge_stack;  // edge indices
+  std::uint32_t timer = 1;
+  std::uint32_t next_component = 0;
+  std::set<NodeId> cuts;
+
+  // Iterative DFS frame: node + neighbor cursor.
+  struct Frame {
+    NodeId v;
+    std::size_t cursor;
+    std::size_t root_children;  // used at the root frame only
+  };
+  std::vector<Frame> stack;
+  disc[0] = low[0] = timer++;
+  stack.push_back({0, 0, 0});
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const NodeId v = f.v;
+    const auto nbrs = g.Neighbors(v);
+    if (f.cursor < nbrs.size()) {
+      const NodeId w = nbrs[f.cursor++];
+      if (disc[w] == 0) {
+        // Tree edge.
+        edge_stack.push_back(index_of(v, w));
+        parent[w] = v;
+        disc[w] = low[w] = timer++;
+        if (v == 0) ++stack.front().root_children;
+        stack.push_back({w, 0, 0});
+      } else if (w != parent[v] && disc[w] < disc[v]) {
+        // Back edge to an ancestor.
+        edge_stack.push_back(index_of(v, w));
+        low[v] = std::min(low[v], disc[w]);
+      }
+    } else {
+      stack.pop_back();
+      if (stack.empty()) break;
+      const NodeId u = stack.back().v;  // parent of v
+      low[u] = std::min(low[u], low[v]);
+      if (low[v] >= disc[u]) {
+        // u closes a biconnected component; pop edges up to (u, v).
+        const std::size_t closing = index_of(u, v);
+        const std::uint32_t comp = next_component++;
+        for (;;) {
+          OVERLAY_CHECK(!edge_stack.empty(), "edge stack underflow");
+          const std::size_t e = edge_stack.back();
+          edge_stack.pop_back();
+          result.edge_component[e] = comp;
+          if (e == closing) break;
+        }
+        if (u != 0) cuts.insert(u);
+      }
+    }
+  }
+  // Root is a cut vertex iff it has >= 2 DFS children.
+  // (Recompute children count from parents for robustness.)
+  std::size_t root_children = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (parent[v] == 0) ++root_children;
+  }
+  if (root_children >= 2) cuts.insert(0);
+
+  result.num_components = next_component;
+  result.cut_vertices.assign(cuts.begin(), cuts.end());
+
+  std::vector<std::size_t> component_sizes(next_component, 0);
+  for (const std::uint32_t c : result.edge_component) ++component_sizes[c];
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (component_sizes[result.edge_component[i]] == 1) {
+      result.bridge_edges.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace overlay

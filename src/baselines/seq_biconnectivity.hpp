@@ -1,0 +1,24 @@
+// Sequential Hopcroft–Tarjan biconnectivity — the test oracle for
+// Theorem 1.4's distributed Tarjan–Vishkin implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+struct SeqBiconnectivityResult {
+  /// Component id per edge, indexed in g.EdgeList() order.
+  std::vector<std::uint32_t> edge_component;
+  std::size_t num_components = 0;
+  std::vector<NodeId> cut_vertices;             ///< sorted
+  std::vector<std::size_t> bridge_edges;        ///< EdgeList indices, sorted
+};
+
+/// Classic DFS + edge-stack biconnected components (iterative; handles large
+/// depth). Requires a connected graph with >= 1 edge.
+SeqBiconnectivityResult HopcroftTarjanBcc(const Graph& g);
+
+}  // namespace overlay

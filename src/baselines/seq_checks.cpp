@@ -1,0 +1,83 @@
+#include "baselines/seq_checks.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace overlay {
+
+std::vector<char> GreedyMis(const Graph& g) {
+  std::vector<char> in_mis(g.num_nodes(), 0);
+  std::vector<char> blocked(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (blocked[v]) continue;
+    in_mis[v] = 1;
+    for (NodeId w : g.Neighbors(v)) blocked[w] = 1;
+  }
+  return in_mis;
+}
+
+LubyResult LubyMis(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  Rng rng(seed);
+  LubyResult result;
+  result.in_mis.assign(n, 0);
+  std::vector<char> decided(n, 0);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    ++result.rounds;
+    std::vector<std::uint64_t> rank(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!decided[v]) rank[v] = rng.Next();
+    }
+    std::vector<char> joins(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v]) continue;
+      bool is_min = true;
+      for (NodeId w : g.Neighbors(v)) {
+        if (!decided[w] &&
+            (rank[w] < rank[v] || (rank[w] == rank[v] && w < v))) {
+          is_min = false;
+          break;
+        }
+      }
+      joins[v] = is_min;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (joins[v]) {
+        result.in_mis[v] = 1;
+        decided[v] = 1;
+        --remaining;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v]) continue;
+      for (NodeId w : g.Neighbors(v)) {
+        if (result.in_mis[w]) {
+          decided[v] = 1;
+          --remaining;
+          break;
+        }
+      }
+    }
+    OVERLAY_CHECK(result.rounds < 10000, "Luby failed to terminate");
+  }
+  return result;
+}
+
+bool SameEdgePartition(const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<std::uint32_t, std::uint32_t> a_to_b, b_to_a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto [ita, inserted_a] = a_to_b.emplace(a[i], b[i]);
+    if (!inserted_a && ita->second != b[i]) return false;
+    const auto [itb, inserted_b] = b_to_a.emplace(b[i], a[i]);
+    if (!inserted_b && itb->second != a[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace overlay

@@ -1,0 +1,27 @@
+// Centralized reference algorithms used as test oracles and comparators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+/// Deterministic greedy MIS (ascending id order) — a valid MIS oracle.
+std::vector<char> GreedyMis(const Graph& g);
+
+/// Luby's randomized MIS as a CONGEST reference; returns the set and the
+/// number of rounds taken.
+struct LubyResult {
+  std::vector<char> in_mis;
+  std::size_t rounds = 0;
+};
+LubyResult LubyMis(const Graph& g, std::uint64_t seed);
+
+/// Partition refinement check: do two edge-component labelings describe the
+/// same partition of edge indices (up to renaming)?
+bool SameEdgePartition(const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b);
+
+}  // namespace overlay

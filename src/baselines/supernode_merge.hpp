@@ -1,0 +1,40 @@
+// Supernode-merging baseline (the approach of Angluin et al. [2] that all
+// prior overlay-construction algorithms [4, 27, 28] build on).
+//
+// Nodes are grouped into supernodes that repeatedly merge with neighboring
+// supernodes until one remains. Each phase must consolidate the merged
+// supernodes (leader election + internal broadcast along the supernode's
+// spanning structure) before the next phase can start, which costs rounds
+// proportional to the supernode structure's depth — the source of the
+// Θ(log² n) total round bill the paper's algorithm eliminates.
+//
+// This implementation is Borůvka-flavoured: every supernode selects the edge
+// to its minimum-id neighboring supernode; selection digraphs are pseudo-
+// forests whose trees merge into one supernode each; consolidation is
+// charged as pointer-jumping over the selection structure plus an internal
+// broadcast at the new depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+struct SupernodeMergeResult {
+  std::size_t phases = 0;
+  /// Total rounds: Σ per phase (selection + pointer-jump consolidation +
+  /// internal broadcast at current supernode depth).
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  /// Per-phase supernode counts (diagnostics; halves each phase).
+  std::vector<std::size_t> supernode_counts;
+  /// Final spanning structure: parent of each node in its supernode tree.
+  std::vector<NodeId> parent;
+};
+
+/// Runs the baseline to completion on connected graph `g`.
+SupernodeMergeResult RunSupernodeMerge(const Graph& g, std::uint64_t seed = 1);
+
+}  // namespace overlay

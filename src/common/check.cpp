@@ -1,0 +1,17 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace overlay {
+
+void RaiseContractViolation(const char* expr, const char* file, int line,
+                            const std::string& detail) {
+  std::ostringstream oss;
+  oss << "contract violation: (" << expr << ") at " << file << ":" << line;
+  if (!detail.empty()) {
+    oss << " — " << detail;
+  }
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace overlay

@@ -1,0 +1,29 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style, testable).
+//
+// OVERLAY_CHECK fires in all build types and throws ContractViolation so tests
+// can assert on misuse instead of hitting UB. Use for preconditions on public
+// APIs and for simulator-model invariants (e.g. message caps).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace overlay {
+
+/// Thrown when a precondition or invariant documented on a public API fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void RaiseContractViolation(const char* expr, const char* file, int line,
+                                         const std::string& detail);
+
+}  // namespace overlay
+
+#define OVERLAY_CHECK(expr, detail)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::overlay::RaiseContractViolation(#expr, __FILE__, __LINE__, (detail)); \
+    }                                                                        \
+  } while (false)

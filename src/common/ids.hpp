@@ -1,0 +1,30 @@
+// Node identifier types shared by every layer of the library.
+//
+// The paper assumes each node has a unique O(log n)-bit identifier; edges in the
+// knowledge graph G = (V, E) exist exactly when one node stores another's id.
+// We model identifiers as dense 32-bit indices (the simulator owns the id space)
+// plus an `kInvalidNode` sentinel for "no node".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace overlay {
+
+/// Dense node identifier. Simulated networks index nodes 0..n-1; algorithms must
+/// only rely on *comparability* and *equality* of ids (as the paper does), never
+/// on density — tests cover id-permutation invariance.
+using NodeId = std::uint32_t;
+
+/// Sentinel meaning "no node" (e.g. parent of a root).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Edge endpoint pair in a directed knowledge graph: `from` stores `to`'s id.
+struct Arc {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+}  // namespace overlay

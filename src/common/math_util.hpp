@@ -1,0 +1,41 @@
+// Small integer-math helpers used throughout (log2, powers, divisions).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+/// floor(log2(x)) for x >= 1.
+inline std::uint32_t FloorLog2(std::uint64_t x) {
+  OVERLAY_CHECK(x >= 1, "FloorLog2 requires x >= 1");
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+inline std::uint32_t CeilLog2(std::uint64_t x) {
+  OVERLAY_CHECK(x >= 1, "CeilLog2 requires x >= 1");
+  return (x == 1) ? 0u : FloorLog2(x - 1) + 1u;
+}
+
+/// The paper's L >= log n upper bound: ceil(log2(n)), at least 1.
+inline std::uint32_t LogUpperBound(std::uint64_t n) {
+  const std::uint32_t l = CeilLog2(n < 2 ? 2 : n);
+  return l == 0 ? 1u : l;
+}
+
+/// ceil(a / b) for b > 0.
+inline std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  OVERLAY_CHECK(b > 0, "CeilDiv requires b > 0");
+  return (a + b - 1) / b;
+}
+
+/// Rounds x up to the next even value.
+inline std::uint64_t RoundUpEven(std::uint64_t x) { return x + (x & 1); }
+
+/// True iff x is a power of two (x >= 1).
+inline bool IsPowerOfTwo(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace overlay

@@ -1,0 +1,58 @@
+// Deterministic, splittable random number generation.
+//
+// All randomized algorithms in the library draw from `Rng`, a xoshiro256**
+// engine seeded via SplitMix64. Unlike std::mt19937 + std::distributions, the
+// streams here are bit-reproducible across standard libraries, which keeps
+// tests and benchmarks deterministic for a fixed seed. `Split()` derives an
+// independent per-node stream, mirroring the paper's assumption that nodes
+// randomize independently.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+/// SplitMix64 step; used for seeding and stream splitting.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** engine with helpers for the distributions the algorithms need.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t Next();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p) draw; p clamped to [0,1].
+  bool NextBool(double p);
+
+  /// Exponential(beta) draw (rate parameter beta > 0), as used by the
+  /// Elkin–Neiman spanner construction (Section 4.2, beta = 1/2).
+  double NextExponential(double beta);
+
+  /// Derives an independent stream (for per-node randomness).
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace overlay

@@ -1,0 +1,104 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const { return count_ ? min_ : 0.0; }
+double RunningStats::max() const { return count_ ? max_ : 0.0; }
+double RunningStats::mean() const { return count_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), buckets_(bucket_count, 0) {
+  OVERLAY_CHECK(bucket_width > 0, "histogram bucket width must be positive");
+  OVERLAY_CHECK(bucket_count > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::Add(std::uint64_t value) {
+  const std::size_t idx = static_cast<std::size_t>(value / width_);
+  if (idx < buckets_.size()) {
+    ++buckets_[idx];
+  } else {
+    ++overflow_;
+  }
+  ++total_;
+}
+
+std::uint64_t Histogram::BucketCount(std::size_t i) const {
+  OVERLAY_CHECK(i < buckets_.size(), "histogram bucket index out of range");
+  return buckets_[i];
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return (static_cast<std::uint64_t>(i) + 1) * width_ - 1;
+    }
+  }
+  return buckets_.size() * width_;  // in overflow region
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    oss << "[" << i * width_ << "," << (i + 1) * width_ << "): " << buckets_[i]
+        << "\n";
+  }
+  if (overflow_ > 0) {
+    oss << "[overflow]: " << overflow_ << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace overlay

@@ -1,0 +1,64 @@
+// Running statistics and histograms for simulator telemetry.
+//
+// The benchmark harness reports per-round message loads, token loads, degree
+// distributions, etc.; `RunningStats` accumulates min/max/mean/variance in one
+// pass, `Histogram` buckets counts for load distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace overlay {
+
+/// One-pass min/max/mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width integer histogram with overflow bucket.
+class Histogram {
+ public:
+  /// Buckets [0,width), [width,2*width), ...; values >= buckets*width overflow.
+  Histogram(std::uint64_t bucket_width, std::size_t bucket_count);
+
+  void Add(std::uint64_t value);
+  std::uint64_t BucketCount(std::size_t i) const;
+  std::uint64_t OverflowCount() const { return overflow_; }
+  std::uint64_t Total() const { return total_; }
+
+  /// Smallest v such that at least `q` fraction of samples are <= v
+  /// (bucket upper-bound resolution).
+  std::uint64_t Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace overlay

@@ -1,0 +1,147 @@
+#include "graph/conductance.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+namespace {
+
+/// y = P x for the lazy walk matrix of a Δ-regular multigraph.
+void WalkMatVec(const Multigraph& g, std::size_t delta,
+                const std::vector<double>& x, std::vector<double>& y) {
+  const std::size_t n = g.num_nodes();
+  const double inv_delta = 1.0 / static_cast<double>(delta);
+  for (NodeId v = 0; v < n; ++v) {
+    double acc = 0.0;
+    for (NodeId w : g.Slots(v)) {
+      acc += x[w];
+    }
+    y[v] = acc * inv_delta;
+  }
+}
+
+/// Removes the uniform component (the stationary eigenvector of a regular
+/// walk) and normalizes to unit length. Returns the norm before scaling.
+double DeflateAndNormalize(std::vector<double>& x) {
+  const double n = static_cast<double>(x.size());
+  const double mean = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  for (double& xi : x) xi -= mean;
+  double norm = std::sqrt(
+      std::inner_product(x.begin(), x.end(), x.begin(), 0.0));
+  if (norm > 0.0) {
+    for (double& xi : x) xi /= norm;
+  }
+  return norm;
+}
+
+/// Runs deflated power iteration; on return `x` approximates the second
+/// eigenvector and the returned value approximates λ₂ (Rayleigh quotient).
+double SecondEigenvalue(const Multigraph& g, std::size_t delta,
+                        std::size_t iterations, std::uint64_t seed,
+                        std::vector<double>& x) {
+  OVERLAY_CHECK(g.IsRegular(delta), "spectral gap requires a regular graph");
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "spectral gap needs at least two nodes");
+
+  Rng rng(seed);
+  x.assign(n, 0.0);
+  for (double& xi : x) xi = rng.NextDouble() - 0.5;
+  DeflateAndNormalize(x);
+
+  std::vector<double> y(n, 0.0);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    WalkMatVec(g, delta, x, y);
+    // Rayleigh quotient before renormalization: x is unit length.
+    lambda = std::inner_product(x.begin(), x.end(), y.begin(), 0.0);
+    x.swap(y);
+    const double norm = DeflateAndNormalize(x);
+    if (norm == 0.0) {
+      // x landed exactly in the stationary direction: spectrum below is 0.
+      return 0.0;
+    }
+  }
+  // Laziness ensures the spectrum is non-negative, but the Rayleigh quotient
+  // can round slightly below zero on near-bipartite remainders.
+  return std::clamp(lambda, 0.0, 1.0);
+}
+
+}  // namespace
+
+double ExactConductance(const Multigraph& g, std::size_t delta) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2 && n <= 22, "exact conductance is limited to n <= 22");
+  OVERLAY_CHECK(g.IsRegular(delta), "Definition 1.7 requires regularity");
+  double best = 1.0;
+  std::vector<char> in_set(n, 0);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 1; mask < limit - 1; ++mask) {
+    const auto size = static_cast<std::size_t>(std::popcount(mask));
+    if (size * 2 > n) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      in_set[v] = (mask >> v) & 1u;
+    }
+    best = std::min(best, g.ConductanceOf(in_set, delta));
+  }
+  return best;
+}
+
+double LazySpectralGap(const Multigraph& g, std::size_t delta,
+                       std::size_t iterations, std::uint64_t seed) {
+  std::vector<double> x;
+  const double lambda = SecondEigenvalue(g, delta, iterations, seed, x);
+  return 1.0 - lambda;
+}
+
+ConductanceBounds SpectralConductanceBounds(const Multigraph& g,
+                                            std::size_t delta,
+                                            std::size_t iterations,
+                                            std::uint64_t seed) {
+  const double gap = LazySpectralGap(g, delta, iterations, seed);
+  return {gap / 2.0, std::sqrt(2.0 * gap)};
+}
+
+double SweepCutConductance(const Multigraph& g, std::size_t delta,
+                           std::size_t iterations, std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "sweep cut needs at least two nodes");
+  std::vector<double> fiedler;
+  SecondEigenvalue(g, delta, iterations, seed, fiedler);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&fiedler](NodeId a, NodeId b) { return fiedler[a] < fiedler[b]; });
+
+  // Sweep: maintain crossing-edge count incrementally as nodes move into S.
+  std::vector<char> in_set(n, 0);
+  std::uint64_t crossing = 0;
+  double best = 1.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const NodeId v = order[i];
+    // Adding v: edges to S become internal, edges to outside become crossing.
+    for (NodeId w : g.Slots(v)) {
+      if (w == v) continue;
+      if (in_set[w]) {
+        --crossing;
+      } else {
+        ++crossing;
+      }
+    }
+    in_set[v] = 1;
+    const std::size_t size = i + 1;
+    if (size * 2 > n) break;
+    const double phi = static_cast<double>(crossing) /
+                       (static_cast<double>(delta) * static_cast<double>(size));
+    best = std::min(best, phi);
+  }
+  return best;
+}
+
+}  // namespace overlay

@@ -1,0 +1,53 @@
+// Conductance estimation (Definition 1.7) for benign multigraphs.
+//
+// Exact conductance is NP-hard, so the library offers three instruments:
+//  * ExactConductance    — subset enumeration, n <= 22 (test oracle);
+//  * LazySpectralGap     — 1 - λ₂ of the lazy walk matrix by deflated power
+//                          iteration; Cheeger brackets Φ within
+//                          [gap/2, sqrt(2·gap)];
+//  * SweepCutConductance — Fiedler-vector sweep, a genuine *upper bound*
+//                          witness (an actual cut achieving that value).
+// The benchmark for Lemma 3.3 tracks the spectral gap across evolutions: the
+// lemma's Φ(G_{i+1}) >= c·sqrt(ℓ)·Φ(G_i) shape is visible as monotone
+// geometric gap growth until the constant-conductance plateau.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/multigraph.hpp"
+
+namespace overlay {
+
+/// Cheeger-style bracket on conductance derived from a spectral gap.
+struct ConductanceBounds {
+  double lower = 0.0;  ///< gap / 2 <= Φ
+  double upper = 0.0;  ///< Φ <= sqrt(2 * gap)
+};
+
+/// Exact Definition-1.7 conductance of a regular multigraph by enumerating
+/// every subset with 1 <= |S| <= n/2. Requires n <= 22 and Δ-regularity.
+double ExactConductance(const Multigraph& g, std::size_t delta);
+
+/// Spectral gap 1 - λ₂ of the lazy random-walk matrix P (P[v][w] =
+/// multiplicity(v,w) / Δ). Requires Δ-regularity (uniform stationary
+/// distribution); laziness guarantees λ₂ >= 0 so the power iteration on the
+/// deflated space converges to λ₂ from any generic start.
+/// `iterations` bounds the work; values ~300 give 2-3 digits on the graphs
+/// used here.
+double LazySpectralGap(const Multigraph& g, std::size_t delta,
+                       std::size_t iterations = 300, std::uint64_t seed = 1);
+
+/// Cheeger bracket from LazySpectralGap.
+ConductanceBounds SpectralConductanceBounds(const Multigraph& g,
+                                            std::size_t delta,
+                                            std::size_t iterations = 300,
+                                            std::uint64_t seed = 1);
+
+/// Upper-bound witness: approximates the second eigenvector, sorts nodes by
+/// entry, and returns the best prefix-cut conductance (Definition 1.7 value
+/// of an actual cut — always >= the true Φ).
+double SweepCutConductance(const Multigraph& g, std::size_t delta,
+                           std::size_t iterations = 300,
+                           std::uint64_t seed = 1);
+
+}  // namespace overlay

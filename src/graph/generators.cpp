@@ -1,0 +1,319 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+
+namespace overlay {
+namespace gen {
+
+Graph Line(std::size_t n) {
+  OVERLAY_CHECK(n >= 1, "line needs at least one node");
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    b.AddEdge(v, v + 1);
+  }
+  return std::move(b).Build();
+}
+
+Graph Cycle(std::size_t n) {
+  OVERLAY_CHECK(n >= 3, "cycle needs at least three nodes");
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return std::move(b).Build();
+}
+
+Graph Star(std::size_t n) {
+  OVERLAY_CHECK(n >= 2, "star needs at least two nodes");
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.AddEdge(0, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph Complete(std::size_t n) {
+  OVERLAY_CHECK(n >= 2, "complete graph needs at least two nodes");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      b.AddEdge(u, v);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph BinaryTree(std::size_t n) {
+  OVERLAY_CHECK(n >= 1, "tree needs at least one node");
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.AddEdge(v, (v - 1) / 2);
+  }
+  return std::move(b).Build();
+}
+
+Graph RandomTree(std::size_t n, std::uint64_t seed) {
+  OVERLAY_CHECK(n >= 1, "tree needs at least one node");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.AddEdge(v, static_cast<NodeId>(rng.NextBelow(v)));
+  }
+  return std::move(b).Build();
+}
+
+Graph Grid(std::size_t rows, std::size_t cols) {
+  OVERLAY_CHECK(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.AddEdge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) b.AddEdge(at(r, c), at(r + 1, c));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph Torus(std::size_t rows, std::size_t cols) {
+  OVERLAY_CHECK(rows >= 3 && cols >= 3, "torus needs dimensions >= 3");
+  GraphBuilder b(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.AddEdge(at(r, c), at(r, (c + 1) % cols));
+      b.AddEdge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph Hypercube(std::uint32_t dim) {
+  OVERLAY_CHECK(dim >= 1 && dim <= 24, "hypercube dimension out of range");
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dim; ++bit) {
+      const NodeId w = v ^ (NodeId{1} << bit);
+      if (v < w) b.AddEdge(v, w);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph RandomRegular(std::size_t n, std::size_t d, std::uint64_t seed) {
+  OVERLAY_CHECK(n >= 2 && d >= 1 && d < n, "invalid regular graph parameters");
+  OVERLAY_CHECK((n * d) % 2 == 0, "n*d must be even");
+  Rng rng(seed);
+  // Steger–Wormald pairing: repeatedly match two random remaining stubs,
+  // rejecting loops and parallel edges locally; restart only when the
+  // remaining stubs admit no valid pair. Far higher success rate than the
+  // restart-on-first-collision configuration model for d >= 4.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(n * d);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    std::set<std::pair<NodeId, NodeId>> seen;
+    bool stuck = false;
+    while (!stubs.empty() && !stuck) {
+      bool paired = false;
+      for (int tries = 0; tries < 200; ++tries) {
+        const std::size_t i = rng.NextBelow(stubs.size());
+        std::size_t j = rng.NextBelow(stubs.size() - 1);
+        if (j >= i) ++j;
+        NodeId u = stubs[i], v = stubs[j];
+        if (u == v) continue;
+        if (u > v) std::swap(u, v);
+        if (seen.count({u, v})) continue;
+        seen.emplace(u, v);
+        // Remove both stubs (higher index first).
+        const std::size_t hi = std::max(i, j), lo = std::min(i, j);
+        stubs[hi] = stubs.back();
+        stubs.pop_back();
+        stubs[lo] = stubs.back();
+        stubs.pop_back();
+        paired = true;
+        break;
+      }
+      stuck = !paired;
+    }
+    if (stuck) continue;
+    GraphBuilder b(n);
+    for (const auto& [u, v] : seen) b.AddEdge(u, v);
+    return std::move(b).Build();
+  }
+  OVERLAY_CHECK(false, "configuration model failed; d too large for n");
+  return Graph{};  // unreachable
+}
+
+Graph ConnectedRandomRegular(std::size_t n, std::size_t d, std::uint64_t seed) {
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    Graph g = RandomRegular(n, d, seed + attempt * 0x9e37ULL);
+    if (IsConnected(g)) return g;
+  }
+  OVERLAY_CHECK(false, "could not generate a connected random regular graph");
+  return Graph{};  // unreachable
+}
+
+Graph Gnp(std::size_t n, double p, std::uint64_t seed) {
+  OVERLAY_CHECK(n >= 1, "gnp needs at least one node");
+  OVERLAY_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) b.AddEdge(u, v);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph ConnectedGnp(std::size_t n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Random attachment tree guarantees connectivity without reshaping G(n,p)
+  // much for p above the connectivity threshold.
+  for (NodeId v = 1; v < n; ++v) {
+    b.AddEdge(v, static_cast<NodeId>(rng.NextBelow(v)));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) b.AddEdge(u, v);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph Barbell(std::size_t k, std::size_t path_len) {
+  OVERLAY_CHECK(k >= 2, "barbell cliques need k >= 2");
+  const std::size_t n = 2 * k + path_len;
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) b.AddEdge(u, v);
+  }
+  const NodeId right = static_cast<NodeId>(k + path_len);
+  for (std::size_t u = 0; u < k; ++u) {
+    for (std::size_t v = u + 1; v < k; ++v) {
+      b.AddEdge(static_cast<NodeId>(right + u), static_cast<NodeId>(right + v));
+    }
+  }
+  // Path bridging clique exits; with path_len == 0 the cliques touch directly.
+  NodeId prev = k - 1;
+  for (std::size_t i = 0; i < path_len; ++i) {
+    const NodeId mid = static_cast<NodeId>(k + i);
+    b.AddEdge(prev, mid);
+    prev = mid;
+  }
+  b.AddEdge(prev, right);
+  return std::move(b).Build();
+}
+
+Graph Lollipop(std::size_t k, std::size_t tail) {
+  OVERLAY_CHECK(k >= 2, "lollipop clique needs k >= 2");
+  GraphBuilder b(k + tail);
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) b.AddEdge(u, v);
+  }
+  NodeId prev = k - 1;
+  for (std::size_t i = 0; i < tail; ++i) {
+    const NodeId next = static_cast<NodeId>(k + i);
+    b.AddEdge(prev, next);
+    prev = next;
+  }
+  return std::move(b).Build();
+}
+
+Graph Caterpillar(std::size_t spine, std::size_t legs) {
+  OVERLAY_CHECK(spine >= 1, "caterpillar needs a spine");
+  GraphBuilder b(spine * (1 + legs));
+  for (NodeId s = 0; s + 1 < spine; ++s) b.AddEdge(s, s + 1);
+  NodeId next = static_cast<NodeId>(spine);
+  for (NodeId s = 0; s < spine; ++s) {
+    for (std::size_t l = 0; l < legs; ++l) b.AddEdge(s, next++);
+  }
+  return std::move(b).Build();
+}
+
+Graph WattsStrogatz(std::size_t n, std::size_t k, double beta,
+                    std::uint64_t seed) {
+  OVERLAY_CHECK(k >= 2 && k % 2 == 0 && k < n, "k must be even and < n");
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  const auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      edges.insert(norm(v, static_cast<NodeId>((v + j) % n)));
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> list(edges.begin(), edges.end());
+  for (auto& [u, v] : list) {
+    if (!rng.NextBool(beta)) continue;
+    // Rewire v-end to a uniform non-neighbor.
+    for (int tries = 0; tries < 32; ++tries) {
+      const NodeId w = static_cast<NodeId>(rng.NextBelow(n));
+      if (w == u || w == v) continue;
+      const auto cand = norm(u, w);
+      if (edges.count(cand)) continue;
+      edges.erase(norm(u, v));
+      edges.insert(cand);
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return std::move(b).Build();
+}
+
+Graph DisjointUnion(const std::vector<Graph>& parts) {
+  std::size_t total = 0;
+  for (const Graph& g : parts) total += g.num_nodes();
+  GraphBuilder b(total);
+  NodeId offset = 0;
+  for (const Graph& g : parts) {
+    for (const auto& [u, v] : g.EdgeList()) {
+      b.AddEdge(offset + u, offset + v);
+    }
+    offset += static_cast<NodeId>(g.num_nodes());
+  }
+  return std::move(b).Build();
+}
+
+Digraph RandomKnowledgeGraph(std::size_t n, std::size_t out_deg,
+                             std::uint64_t seed) {
+  OVERLAY_CHECK(n >= 1 && out_deg >= 1, "invalid knowledge graph parameters");
+  Rng rng(seed);
+  DigraphBuilder b(n);
+  // Every joiner v >= 1 knows one earlier node: weak connectivity.
+  for (NodeId v = 1; v < n; ++v) {
+    b.AddArc(v, static_cast<NodeId>(rng.NextBelow(v)));
+    for (std::size_t j = 1; j < out_deg; ++j) {
+      const NodeId w = static_cast<NodeId>(rng.NextBelow(n));
+      if (w != v) b.AddArc(v, w);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Digraph DirectedLine(std::size_t n) {
+  OVERLAY_CHECK(n >= 1, "line needs at least one node");
+  DigraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddArc(v, v + 1);
+  return std::move(b).Build();
+}
+
+}  // namespace gen
+}  // namespace overlay

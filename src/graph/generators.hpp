@@ -1,0 +1,87 @@
+// Workload generators: the input topologies the paper's setting motivates.
+//
+// The adversarially bad inputs for overlay construction are long, thin graphs
+// (lines, cycles, caterpillars, lollipops — conductance Θ(1/n)); realistic
+// P2P-join inputs are ragged low-degree digraphs; the hybrid-model benchmarks
+// additionally need high-degree graphs (stars, cliques, G(n,p)). Every
+// generator is deterministic in its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+namespace gen {
+
+/// Path 0-1-2-…-(n-1). The paper's canonical worst case (Ω(log n) lower bound).
+Graph Line(std::size_t n);
+
+/// Cycle on n >= 3 nodes.
+Graph Cycle(std::size_t n);
+
+/// Star: node 0 adjacent to all others (max degree n-1).
+Graph Star(std::size_t n);
+
+/// Complete graph K_n.
+Graph Complete(std::size_t n);
+
+/// Complete binary tree on n nodes (heap indexing).
+Graph BinaryTree(std::size_t n);
+
+/// Uniform random labelled tree (random parent attachment).
+Graph RandomTree(std::size_t n, std::uint64_t seed);
+
+/// rows x cols grid; Torus wraps both dimensions.
+Graph Grid(std::size_t rows, std::size_t cols);
+Graph Torus(std::size_t rows, std::size_t cols);
+
+/// Hypercube on 2^dim nodes.
+Graph Hypercube(std::uint32_t dim);
+
+/// Random d-regular simple graph via configuration model with retries.
+/// Requires n*d even, d < n. The generated graph may be disconnected for
+/// tiny d; callers needing connectivity should use ConnectedRandomRegular.
+Graph RandomRegular(std::size_t n, std::size_t d, std::uint64_t seed);
+
+/// RandomRegular retried until connected (d >= 3 makes this near-certain).
+Graph ConnectedRandomRegular(std::size_t n, std::size_t d, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p).
+Graph Gnp(std::size_t n, double p, std::uint64_t seed);
+
+/// G(n, p) unioned with a random spanning tree (guaranteed connected).
+Graph ConnectedGnp(std::size_t n, double p, std::uint64_t seed);
+
+/// Two K_k cliques joined by a path of `path_len` extra nodes. Conductance
+/// Θ(1/k²) — a classic slow-mixing topology.
+Graph Barbell(std::size_t k, std::size_t path_len);
+
+/// K_k clique with a tail path of `tail` nodes.
+Graph Lollipop(std::size_t k, std::size_t tail);
+
+/// Spine path of `spine` nodes, each with `legs` pendant nodes.
+Graph Caterpillar(std::size_t spine, std::size_t legs);
+
+/// Watts–Strogatz small world: ring of n nodes, each tied to k nearest
+/// (k even), each edge rewired with probability beta.
+Graph WattsStrogatz(std::size_t n, std::size_t k, double beta,
+                    std::uint64_t seed);
+
+/// Disjoint union; node ids of graph i are offset by the sizes of 0..i-1.
+Graph DisjointUnion(const std::vector<Graph>& parts);
+
+/// Weakly connected random digraph with out-degree <= out_deg: a random
+/// attachment tree (guaranteeing weak connectivity) plus random extra arcs.
+/// Models a ragged P2P join graph where each joiner knows a few prior nodes.
+Digraph RandomKnowledgeGraph(std::size_t n, std::size_t out_deg,
+                             std::uint64_t seed);
+
+/// Directed line 0 -> 1 -> … -> n-1 (out-degree 1, the Aspnes–Wu setting).
+Digraph DirectedLine(std::size_t n);
+
+}  // namespace gen
+}  // namespace overlay

@@ -1,0 +1,111 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+std::vector<std::uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  OVERLAY_CHECK(source < g.num_nodes(), "source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : g.Neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Eccentricity(const Graph& g, NodeId source) {
+  const auto dist = BfsDistances(g, source);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t ExactDiameter(const Graph& g) {
+  if (g.num_nodes() <= 1) return 0;
+  OVERLAY_CHECK(IsConnected(g), "exact diameter requires a connected graph");
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, Eccentricity(g, v));
+  }
+  return best;
+}
+
+std::uint32_t ApproxDiameter(const Graph& g, std::uint32_t sweeps) {
+  if (g.num_nodes() <= 1) return 0;
+  NodeId probe = 0;
+  std::uint32_t best = 0;
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    const auto dist = BfsDistances(g, probe);
+    NodeId farthest = probe;
+    std::uint32_t ecc = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] >= ecc) {
+        ecc = dist[v];
+        farthest = v;
+      }
+    }
+    best = std::max(best, ecc);
+    probe = farthest;
+  }
+  return best;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = BfsDistances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+bool IsWeaklyConnected(const Digraph& g) { return IsConnected(g.Undirected()); }
+
+std::vector<std::uint32_t> ConnectedComponentLabels(const Graph& g) {
+  std::vector<std::uint32_t> label(g.num_nodes(), kUnreachable);
+  std::uint32_t next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (label[start] != kUnreachable) continue;
+    label[start] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.Neighbors(v)) {
+        if (label[w] == kUnreachable) {
+          label[w] = next;
+          frontier.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::vector<std::size_t> ComponentSizes(
+    const std::vector<std::uint32_t>& labels) {
+  std::size_t count = 0;
+  for (const std::uint32_t l : labels) {
+    count = std::max<std::size_t>(count, l + 1);
+  }
+  std::vector<std::size_t> sizes(count, 0);
+  for (const std::uint32_t l : labels) ++sizes[l];
+  return sizes;
+}
+
+}  // namespace overlay

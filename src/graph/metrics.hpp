@@ -1,0 +1,43 @@
+// Graph measurements: distances, diameter, connectivity, components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+/// Marks unreachable nodes in distance vectors.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// BFS hop distances from `source` (kUnreachable where disconnected).
+std::vector<std::uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Max finite distance from `source` (the node's eccentricity).
+std::uint32_t Eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via all-sources BFS. O(n·m): use for n <= a few thousand.
+/// Returns 0 for empty/singleton graphs; requires a connected graph otherwise.
+std::uint32_t ExactDiameter(const Graph& g);
+
+/// Diameter lower bound by `sweeps` rounds of double-sweep BFS (each sweep:
+/// BFS from the farthest node found so far). Cheap and usually tight on the
+/// graph families used here.
+std::uint32_t ApproxDiameter(const Graph& g, std::uint32_t sweeps = 4);
+
+/// True iff g is connected (n <= 1 counts as connected).
+bool IsConnected(const Graph& g);
+
+/// True iff the *undirected version* of g is connected — the paper's weak
+/// connectivity.
+bool IsWeaklyConnected(const Digraph& g);
+
+/// Component label per node (labels are 0..k-1 in first-seen order).
+std::vector<std::uint32_t> ConnectedComponentLabels(const Graph& g);
+
+/// Sizes indexed by component label.
+std::vector<std::size_t> ComponentSizes(const std::vector<std::uint32_t>& labels);
+
+}  // namespace overlay

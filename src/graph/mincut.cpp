@@ -1,0 +1,124 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/metrics.hpp"
+#include "graph/union_find.hpp"
+
+namespace overlay {
+
+namespace {
+
+/// Stoer–Wagner on a dense weight matrix (destroyed in place).
+std::uint64_t StoerWagnerDense(std::vector<std::vector<std::uint64_t>> w) {
+  const std::size_t n = w.size();
+  OVERLAY_CHECK(n >= 2, "min cut needs at least two nodes");
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  while (active.size() > 1) {
+    // Maximum adjacency (minimum cut phase) order.
+    std::vector<std::uint64_t> conn(active.size(), 0);
+    std::vector<char> added(active.size(), 0);
+    std::size_t prev = 0, last = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      std::size_t pick = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i] && (pick == active.size() || conn[i] > conn[pick])) {
+          pick = i;
+        }
+      }
+      added[pick] = 1;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i]) conn[i] += w[active[pick]][active[i]];
+      }
+    }
+    best = std::min(best, conn[last]);
+    // Merge `last` into `prev`.
+    const std::size_t a = active[prev], b = active[last];
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t c = active[i];
+      if (c == a || c == b) continue;
+      w[a][c] += w[b][c];
+      w[c][a] = w[a][c];
+    }
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint64_t StoerWagnerMinCut(const Multigraph& g) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "min cut needs at least two nodes");
+  OVERLAY_CHECK(IsConnected(g.ToSimpleGraph()),
+                "min cut defined for connected graphs");
+  std::vector<std::vector<std::uint64_t>> w(n,
+                                            std::vector<std::uint64_t>(n, 0));
+  for (const auto& [edge, mult] : g.WeightedEdges()) {
+    w[edge.first][edge.second] += mult;
+    w[edge.second][edge.first] += mult;
+  }
+  return StoerWagnerDense(std::move(w));
+}
+
+std::uint64_t StoerWagnerMinCut(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "min cut needs at least two nodes");
+  OVERLAY_CHECK(IsConnected(g), "min cut defined for connected graphs");
+  std::vector<std::vector<std::uint64_t>> w(n,
+                                            std::vector<std::uint64_t>(n, 0));
+  for (const auto& [u, v] : g.EdgeList()) {
+    w[u][v] = 1;
+    w[v][u] = 1;
+  }
+  return StoerWagnerDense(std::move(w));
+}
+
+std::uint64_t KargerMinCutSample(const Multigraph& g, std::size_t trials,
+                                 std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "min cut needs at least two nodes");
+  OVERLAY_CHECK(trials >= 1, "need at least one trial");
+
+  // Flatten the multigraph into a multiplicity-respecting edge list once.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.Slots(v)) {
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  OVERLAY_CHECK(!edges.empty(), "graph has no non-loop edges");
+
+  Rng rng(seed);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t t = 0; t < trials; ++t) {
+    UnionFind uf(n);
+    std::vector<std::size_t> order(edges.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (const std::size_t idx : order) {
+      if (uf.ComponentCount() == 2) break;
+      uf.Union(edges[idx].first, edges[idx].second);
+    }
+    if (uf.ComponentCount() != 2) continue;  // disconnected sample; skip
+    std::uint64_t crossing = 0;
+    for (const auto& [u, v] : edges) {
+      if (uf.Find(u) != uf.Find(v)) ++crossing;
+    }
+    best = std::min(best, crossing);
+  }
+  OVERLAY_CHECK(best != std::numeric_limits<std::uint64_t>::max(),
+                "no contraction trial produced a two-sided cut");
+  return best;
+}
+
+}  // namespace overlay

@@ -1,0 +1,30 @@
+// Global minimum cut: exact Stoer–Wagner plus a Karger contraction sampler.
+//
+// Definition 2.1's third property demands every cut of a benign graph carry at
+// least Λ edges (counting multiplicity). Tests verify it exactly with
+// Stoer–Wagner on small instances; benchmarks sample random contractions on
+// larger ones (each sample is an upper-bound witness; agreement with Λ over
+// many samples is strong evidence the invariant held).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/multigraph.hpp"
+
+namespace overlay {
+
+/// Exact global min cut weight (Stoer–Wagner, O(n³)). Counts edge
+/// multiplicities; self-loops never cross a cut. Requires a connected graph
+/// with n >= 2. Practical up to n ≈ 400.
+std::uint64_t StoerWagnerMinCut(const Multigraph& g);
+
+/// Unit-weight overload for simple graphs.
+std::uint64_t StoerWagnerMinCut(const Graph& g);
+
+/// Best (smallest) cut weight found over `trials` random contraction runs —
+/// an upper bound on the min cut that matches it w.h.p. for enough trials.
+std::uint64_t KargerMinCutSample(const Multigraph& g, std::size_t trials,
+                                 std::uint64_t seed);
+
+}  // namespace overlay

@@ -1,0 +1,110 @@
+#include "graph/multigraph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+std::size_t Multigraph::Degree(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  return slots_[v].size();
+}
+
+std::span<const NodeId> Multigraph::Slots(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  return slots_[v];
+}
+
+std::size_t Multigraph::SelfLoopCount(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  return static_cast<std::size_t>(
+      std::count(slots_[v].begin(), slots_[v].end(), v));
+}
+
+void Multigraph::AddEdge(NodeId u, NodeId v) {
+  OVERLAY_CHECK(u < num_nodes() && v < num_nodes(), "edge endpoint out of range");
+  OVERLAY_CHECK(u != v, "use AddSelfLoop for self-loops");
+  slots_[u].push_back(v);
+  slots_[v].push_back(u);
+}
+
+void Multigraph::AddSelfLoop(NodeId v) {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  slots_[v].push_back(v);
+}
+
+NodeId Multigraph::RandomNeighbor(NodeId v, Rng& rng) const {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  OVERLAY_CHECK(!slots_[v].empty(), "random step from isolated node");
+  return slots_[v][rng.NextBelow(slots_[v].size())];
+}
+
+bool Multigraph::IsRegular(std::size_t delta) const {
+  return std::all_of(slots_.begin(), slots_.end(),
+                     [delta](const auto& s) { return s.size() == delta; });
+}
+
+bool Multigraph::IsLazy(std::size_t min_loops) const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (SelfLoopCount(v) < min_loops) return false;
+  }
+  return true;
+}
+
+std::size_t Multigraph::CutWeight(const std::vector<char>& in_set) const {
+  OVERLAY_CHECK(in_set.size() == num_nodes(), "cut indicator size mismatch");
+  std::size_t crossing = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (!in_set[v]) continue;
+    for (NodeId w : slots_[v]) {
+      if (w != v && !in_set[w]) ++crossing;
+    }
+  }
+  return crossing;
+}
+
+double Multigraph::ConductanceOf(const std::vector<char>& in_set,
+                                 std::size_t delta) const {
+  const auto size =
+      static_cast<std::size_t>(std::count(in_set.begin(), in_set.end(), 1));
+  OVERLAY_CHECK(size > 0 && size * 2 <= num_nodes(),
+                "conductance requires 0 < |S| <= n/2");
+  OVERLAY_CHECK(delta > 0, "delta must be positive");
+  return static_cast<double>(CutWeight(in_set)) /
+         (static_cast<double>(delta) * static_cast<double>(size));
+}
+
+Graph Multigraph::ToSimpleGraph() const {
+  GraphBuilder builder(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId w : slots_[v]) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::map<std::pair<NodeId, NodeId>, std::uint64_t> Multigraph::WeightedEdges()
+    const {
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> weights;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId w : slots_[v]) {
+      if (v < w) ++weights[{v, w}];
+    }
+  }
+  return weights;
+}
+
+std::uint64_t Multigraph::TotalEdgeMultiplicity() const {
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId w : slots_[v]) {
+      if (w != v) ++total;
+    }
+  }
+  return total / 2;
+}
+
+}  // namespace overlay

@@ -1,0 +1,52 @@
+// Disjoint-set forest with union by size and path halving.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+/// Classic union-find; used by connectivity checks, spanning-tree validators,
+/// and component bookkeeping in the benchmark harness.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t Find(std::size_t x) {
+    OVERLAY_CHECK(x < parent_.size(), "union-find index out of range");
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the union merged two distinct sets.
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool Connected(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+  std::size_t ComponentCount() const { return components_; }
+  std::size_t ComponentSize(std::size_t x) { return size_[Find(x)]; }
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace overlay

@@ -1,0 +1,51 @@
+// Theorem 1.4: biconnected components via Tarjan–Vishkin [53] in the hybrid
+// model.
+//
+// Five steps (Section 4.4):
+//  1. rooted spanning tree T (Theorem 1.3) + preorder labels l(v);
+//  2. subtree aggregates nd(v), low(v), high(v) (Lemma 4.12 segment
+//     aggregation on the overlay — O(log n) rounds);
+//  3. helper graph G'' on T's edges (edge (v,parent v) represented by v)
+//     with Tarjan–Vishkin rules 1 and 2;
+//  4. connected components of G'' (Theorem 1.2 machinery — G''-adjacent
+//     nodes are G-adjacent, so local edges carry the simulation);
+//  5. rule 3 attaches every non-tree edge to its component.
+// Two G-edges end in the same component of G'' iff they lie on a common
+// simple cycle, so components of G'' are the biconnected components of G.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hybrid/components.hpp"
+#include "hybrid/hybrid_model.hpp"
+#include "hybrid/spanning_tree.hpp"
+
+namespace overlay {
+
+struct BiconnectivityResult {
+  /// Biconnected-component id per edge of g, indexed in g.EdgeList() order.
+  std::vector<std::uint32_t> edge_component;
+  std::size_t num_components = 0;
+  /// Cut vertices: nodes whose incident edges span >= 2 components.
+  std::vector<NodeId> cut_vertices;
+  /// Bridge edges (their component contains exactly one edge), as indices
+  /// into g.EdgeList().
+  std::vector<std::size_t> bridge_edges;
+  bool graph_biconnected = false;  ///< single component and n >= 3
+  HybridCost cost;
+};
+
+struct BiconnectivityOptions {
+  HybridOverlayOptions overlay;
+  /// Run the Theorem 1.2 overlay machinery on G'' (measured rounds; slower)
+  /// instead of charging its cost analytically over a union-find shortcut.
+  bool run_overlay_on_helper = false;
+};
+
+/// Computes biconnected components of connected graph `g`.
+BiconnectivityResult ComputeBiconnectedComponents(
+    const Graph& g, const BiconnectivityOptions& opts);
+
+}  // namespace overlay

@@ -1,0 +1,110 @@
+#include "hybrid/components.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/bfs_tree.hpp"
+
+namespace overlay {
+
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  OVERLAY_CHECK(std::is_sorted(nodes.begin(), nodes.end()),
+                "node list must be sorted");
+  GraphBuilder builder(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId w : g.Neighbors(nodes[i])) {
+      const auto it = std::lower_bound(nodes.begin(), nodes.end(), w);
+      if (it != nodes.end() && *it == w) {
+        const auto j = static_cast<std::size_t>(it - nodes.begin());
+        if (i < j) {
+          builder.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        }
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+ComponentsResult BuildComponentOverlays(const Graph& g,
+                                        const HybridOverlayOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 1, "empty graph");
+
+  ComponentsResult result;
+
+  // Phase 1+2 run on the whole graph at once.
+  SpannerOptions sopts = opts.spanner;
+  sopts.seed = opts.seed ^ 0x5105ULL;
+  const SpannerResult spanner = BuildSpanner(g, sopts);
+  result.total_cost += spanner.cost;
+
+  result.reduction = ReduceDegree(spanner.spanner);
+  result.total_cost += result.reduction.cost;
+  const Graph& h = result.reduction.h;
+
+  // H preserves G's components (Lemma 4.3) — checked here because the whole
+  // pipeline silently breaks if it does not hold.
+  result.component_of = ConnectedComponentLabels(g);
+  {
+    const auto h_labels = ConnectedComponentLabels(h);
+    for (const auto& [u, v] : h.EdgeList()) {
+      OVERLAY_CHECK(result.component_of[u] == result.component_of[v],
+                    "degree reduction merged distinct components");
+    }
+    (void)h_labels;
+  }
+
+  const auto sizes = ComponentSizes(result.component_of);
+  std::vector<std::vector<NodeId>> members(sizes.size());
+  for (std::size_t c = 0; c < sizes.size(); ++c) members[c].reserve(sizes[c]);
+  for (NodeId v = 0; v < n; ++v) {
+    members[result.component_of[v]].push_back(v);
+  }
+
+  // Per-component expander + tree. Components execute in parallel in the
+  // model: total cost charges the maximum component cost.
+  HybridCost worst{};
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    ComponentOverlay overlay;
+    overlay.nodes = std::move(members[c]);
+    const std::size_t m = overlay.nodes.size();
+    if (m == 1) {
+      overlay.tree.root = 0;
+      overlay.tree.parent.assign(1, kInvalidNode);
+      overlay.tree.left_child.assign(1, kInvalidNode);
+      overlay.tree.right_child.assign(1, kInvalidNode);
+      result.components.push_back(std::move(overlay));
+      continue;
+    }
+    const Graph local_h = InducedSubgraph(h, overlay.nodes);
+
+    HybridExpanderOptions eopts = opts.expander;
+    eopts.seed = opts.seed ^ (0x9e3779b9ULL * (c + 1));
+    const HybridExpanderRun run = RunHybridExpander(local_h, eopts);
+    overlay.cost += run.cost;
+    overlay.expander = run.final_graph.ToSimpleGraph();
+    OVERLAY_CHECK(IsConnected(overlay.expander),
+                  "hybrid expander disconnected a component");
+
+    const BfsTreeResult bfs =
+        BuildBfsTree(overlay.expander, 0, opts.seed ^ (0xabcULL + c));
+    overlay.cost.rounds += bfs.stats.rounds;
+    overlay.cost.global_messages += bfs.stats.messages_sent;
+
+    overlay.tree = ContractToWellFormedTree(bfs);
+    overlay.cost.rounds += overlay.tree.rounds_charged;
+
+    if (overlay.cost.rounds > worst.rounds) worst.rounds = overlay.cost.rounds;
+    worst.global_messages += overlay.cost.global_messages;
+    worst.local_messages += overlay.cost.local_messages;
+    worst.peak_global_per_node = std::max(worst.peak_global_per_node,
+                                          overlay.cost.peak_global_per_node);
+    result.components.push_back(std::move(overlay));
+  }
+  result.total_cost += worst;
+  return result;
+}
+
+}  // namespace overlay

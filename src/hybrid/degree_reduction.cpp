@@ -1,0 +1,51 @@
+#include "hybrid/degree_reduction.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+DegreeReductionResult ReduceDegree(const Digraph& spanner) {
+  const std::size_t n = spanner.num_nodes();
+  DegreeReductionResult result;
+
+  // Round 1: every node with an outgoing spanner edge (v, w) introduces
+  // itself to w, so nodes learn their incoming neighbor lists.
+  std::vector<std::vector<NodeId>> incoming(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : spanner.OutNeighbors(v)) {
+      incoming[w].push_back(v);
+      ++result.cost.local_messages;
+    }
+  }
+  ++result.cost.rounds;
+
+  // Round 2: delegation. Incoming neighbors sorted by increasing id; the
+  // first keeps its edge to v, the rest chain as siblings (Equation 38).
+  GraphBuilder builder(n);
+  const auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    auto& inc = incoming[v];
+    std::sort(inc.begin(), inc.end());
+    inc.erase(std::unique(inc.begin(), inc.end()), inc.end());
+    // Self never appears: builders reject self-arcs.
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      if (i == 0) {
+        builder.AddEdge(v, inc[0]);
+      } else {
+        builder.AddEdge(inc[i], inc[i - 1]);
+        result.hubs.emplace(norm(inc[i], inc[i - 1]), v);
+        result.cost.local_messages += 2;  // v tells wᵢ about wᵢ₋₁ and back
+      }
+    }
+  }
+  ++result.cost.rounds;
+
+  result.h = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace overlay

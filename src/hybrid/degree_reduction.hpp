@@ -1,0 +1,36 @@
+// Degree reduction (Section 4.2, Step 2): spanner -> bounded-degree graph H.
+//
+// Although the spanner has O(log n) *out*-degree per node, in-degrees can be
+// huge (a star's center keeps every edge). Every node therefore delegates
+// its incoming spanner edges away: for incoming neighbors w₁ < w₂ < … < w_k
+// (sorted by id), v keeps only the bidirected edge {v, w₁} and creates sibling
+// edges {wᵢ, wᵢ₋₁} for i > 1. The resulting graph H has degree O(log n),
+// preserves the component structure of G (Lemma 4.3), and the `hubs` map
+// remembers which node delegated each sibling edge so Theorem 1.3 can later
+// replace an H-edge {wᵢ₋₁, wᵢ} ∉ G by the G-path wᵢ₋₁ – v – wᵢ.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "hybrid/hybrid_model.hpp"
+
+namespace overlay {
+
+struct DegreeReductionResult {
+  Graph h;  ///< bounded-degree undirected graph on the same node set
+  /// For each sibling H-edge {a, b} (a < b) not necessarily present in G:
+  /// the hub node v such that {a, v} and {b, v} are G edges.
+  std::map<std::pair<NodeId, NodeId>, NodeId> hubs;
+  HybridCost cost;  ///< 2 rounds: learn incoming edges, delegate
+};
+
+/// Applies the delegation to directed `spanner` (arcs (v -> w) mean v keeps
+/// spanner edge to w, i.e. w gains an incoming edge from v).
+DegreeReductionResult ReduceDegree(const Digraph& spanner);
+
+}  // namespace overlay

@@ -1,0 +1,36 @@
+// Hybrid network model bookkeeping (Section 1.1, "Hybrid model" variant).
+//
+// Local edges are the initial graph's edges under CONGEST (one O(log n)-bit
+// message per edge per direction per round); global edges are established
+// during execution and carry a per-node *total* budget of polylog messages
+// per round. The applications in src/hybrid are built from phases; each
+// phase contributes a `HybridCost`, and drivers sum them. `global_capacity`
+// records the peak per-node global message load a phase needed, so
+// benchmarks can confirm the paper's O(log³ n) / O(log⁵ n) budgets.
+#pragma once
+
+#include <cstdint>
+
+namespace overlay {
+
+/// Cost of one algorithm phase in the hybrid model.
+struct HybridCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t local_messages = 0;   ///< CONGEST messages over initial edges
+  std::uint64_t global_messages = 0;  ///< messages over overlay edges
+  /// Peak per-node global messages in any single round (the γ the phase used).
+  std::uint64_t peak_global_per_node = 0;
+
+  HybridCost& operator+=(const HybridCost& other) {
+    rounds += other.rounds;
+    local_messages += other.local_messages;
+    global_messages += other.global_messages;
+    peak_global_per_node =
+        peak_global_per_node > other.peak_global_per_node
+            ? peak_global_per_node
+            : other.peak_global_per_node;
+    return *this;
+  }
+};
+
+}  // namespace overlay

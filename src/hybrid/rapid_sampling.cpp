@@ -1,0 +1,117 @@
+#include "hybrid/rapid_sampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace overlay {
+
+namespace {
+
+/// Internal token during stitching. Paths are stored origin-first.
+struct Token {
+  NodeId origin;
+  NodeId at;
+  std::vector<NodeId> path;
+};
+
+}  // namespace
+
+std::size_t TokensNeededFor(std::size_t survivors, std::size_t walk_length) {
+  OVERLAY_CHECK(IsPowerOfTwo(walk_length) && walk_length >= 4,
+                "walk length must be a power of two >= 4");
+  // Survivors = k / 2^(log2(ℓ)-1) = 2k/ℓ, so k = survivors·ℓ/2.
+  return survivors * walk_length / 2;
+}
+
+RapidSamplingResult RunRapidSampling(const Multigraph& g,
+                                     const RapidSamplingOptions& opts,
+                                     Rng& rng) {
+  OVERLAY_CHECK(IsPowerOfTwo(opts.walk_length) && opts.walk_length >= 4,
+                "walk length must be a power of two >= 4");
+  OVERLAY_CHECK(opts.tokens_per_node >= 1, "need at least one token per node");
+  const std::size_t n = g.num_nodes();
+
+  std::vector<Token> tokens;
+  tokens.reserve(n * opts.tokens_per_node);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < opts.tokens_per_node; ++i) {
+      Token t{v, v, {}};
+      if (opts.record_paths) t.path.push_back(v);
+      tokens.push_back(std::move(t));
+    }
+  }
+
+  RapidSamplingResult result;
+  std::vector<std::uint32_t> load(n, 0);
+  const auto track_load = [&] {
+    std::fill(load.begin(), load.end(), 0u);
+    for (const Token& t : tokens) ++load[t.at];
+    const auto m = *std::max_element(load.begin(), load.end());
+    result.max_load = std::max<std::uint64_t>(result.max_load, m);
+  };
+
+  // Phase A: two plain walk rounds (length 2 walks).
+  for (int step = 0; step < 2; ++step) {
+    for (Token& t : tokens) {
+      t.at = g.RandomNeighbor(t.at, rng);
+      if (opts.record_paths) t.path.push_back(t.at);
+      ++result.cost.global_messages;
+    }
+    ++result.cost.rounds;
+    track_load();
+  }
+
+  // Phase B: log₂(ℓ) - 1 stitch rounds, each doubling walk length.
+  const std::size_t stitch_rounds = FloorLog2(opts.walk_length) - 1;
+  std::vector<std::vector<std::size_t>> at_node(n);
+  for (std::size_t s = 0; s < stitch_rounds; ++s) {
+    for (auto& bucket : at_node) bucket.clear();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      at_node[tokens[i].at].push_back(i);
+    }
+    std::vector<Token> next;
+    next.reserve(tokens.size() / 2);
+    for (NodeId v = 0; v < n; ++v) {
+      auto& here = at_node[v];
+      if (here.size() < 2) continue;  // odd singleton is dropped
+      // Random red/blue split: shuffle, pair consecutive (red, blue).
+      std::shuffle(here.begin(), here.end(), rng);
+      const std::size_t pairs = here.size() / 2;
+      for (std::size_t p = 0; p < pairs; ++p) {
+        Token& red = tokens[here[2 * p]];
+        Token& blue = tokens[here[2 * p + 1]];
+        // Red walk origin→v extends by the reversed blue walk v→blue.origin.
+        Token merged{red.origin, blue.origin, {}};
+        if (opts.record_paths) {
+          merged.path = std::move(red.path);
+          // Blue path is blue.origin..v; append reversed, skipping v itself.
+          for (auto it = blue.path.rbegin() + 1; it != blue.path.rend(); ++it) {
+            merged.path.push_back(*it);
+          }
+        }
+        next.push_back(std::move(merged));
+        // The red token is sent to the blue origin: one global message.
+        ++result.cost.global_messages;
+      }
+    }
+    tokens = std::move(next);
+    ++result.cost.rounds;
+    track_load();
+  }
+
+  result.cost.peak_global_per_node = result.max_load;
+  result.tokens.reserve(tokens.size());
+  for (Token& t : tokens) {
+    StitchedToken st;
+    st.origin = t.origin;
+    st.endpoint = t.at;
+    st.path = std::move(t.path);
+    result.tokens.push_back(std::move(st));
+  }
+  return result;
+}
+
+}  // namespace overlay

@@ -1,0 +1,46 @@
+// Elkin–Neiman spanner, adapted as in Section 4.2 (Step 1).
+//
+// Each node draws rᵥ ~ Exp(1/2), discarding values > 2·log m (m = component
+// size bound). Values are broadcast for 2·log m + 1 CONGEST rounds; node v
+// tracks m_u(v) = r_u − d(u,v) and the predecessor p_u(v) it first heard u
+// from. The spanner keeps the edge (v, p_u(v)) for every u with
+// m_u(v) >= m(v) − 1, and every node of degree < c·log n additionally keeps
+// *all* incident edges (this compensates for truncating the broadcast at
+// radius 2·log m, which the original algorithm does not do).
+//
+// Output degree: out-degree O(log n) w.h.p. (Lemma 4.9/4.10); connectivity of
+// every component is preserved (Lemma 4.8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "hybrid/hybrid_model.hpp"
+
+namespace overlay {
+
+struct SpannerOptions {
+  /// Bound m on component sizes (the broadcast runs 2·log₂(m)+1 rounds).
+  /// 0 means "use n".
+  std::size_t component_size_bound = 0;
+  /// Degree threshold c·log₂ n below which nodes keep all incident edges;
+  /// this is the constant c (paper: c > 16e; in practice 4 suffices and keeps
+  /// spanners sparse — the tests sweep both).
+  double low_degree_constant = 4.0;
+  std::uint64_t seed = 1;
+};
+
+struct SpannerResult {
+  /// Directed spanner edges: arcs (v -> chosen neighbor). The undirected
+  /// version is the spanner S(G).
+  Digraph spanner;
+  HybridCost cost;
+  std::size_t active_nodes = 0;  ///< nodes with m(v) >= 0
+};
+
+/// Builds the spanner on (possibly disconnected) graph `g`.
+SpannerResult BuildSpanner(const Graph& g, const SpannerOptions& opts);
+
+}  // namespace overlay

@@ -1,0 +1,170 @@
+#include "hybrid/spanning_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "graph/metrics.hpp"
+#include "graph/union_find.hpp"
+#include "hybrid/degree_reduction.hpp"
+#include "hybrid/hybrid_expander.hpp"
+#include "hybrid/spanner.hpp"
+#include "overlay/bfs_tree.hpp"
+
+namespace overlay {
+
+namespace {
+
+using EdgeKey = std::pair<NodeId, NodeId>;
+
+EdgeKey Norm(NodeId a, NodeId b) {
+  return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+}
+
+}  // namespace
+
+SpanningTreeResult BuildSpanningTree(const Graph& g,
+                                     const HybridOverlayOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 1, "empty graph");
+  OVERLAY_CHECK(IsConnected(g), "spanning tree requires a connected graph");
+
+  SpanningTreeResult result;
+  if (n == 1) {
+    result.parent.assign(1, kInvalidNode);
+    return result;
+  }
+
+  // Phase 1-2: spanner + degree reduction (as in Theorem 1.2).
+  SpannerOptions sopts = opts.spanner;
+  sopts.seed = opts.seed ^ 0x517aULL;
+  const SpannerResult spanner = BuildSpanner(g, sopts);
+  result.cost += spanner.cost;
+  DegreeReductionResult reduction = ReduceDegree(spanner.spanner);
+  result.cost += reduction.cost;
+  const Graph& h = reduction.h;
+
+  // Phase 3: hybrid expander with provenance recording. Annotating each
+  // token with its traversed edges is what raises the global capacity to
+  // O(log⁵ n) in the paper (each message carries O(log² n) submessages).
+  HybridExpanderOptions eopts = opts.expander;
+  eopts.record_paths = true;
+  eopts.seed = opts.seed ^ 0xe0e1ULL;
+  const HybridExpanderRun run = RunHybridExpander(h, eopts);
+  result.cost += run.cost;
+  const Graph expander = run.final_graph.ToSimpleGraph();
+  OVERLAY_CHECK(IsConnected(expander), "expander phase disconnected");
+
+  // Phase 4: BFS tree S_L' on the final expander.
+  const BfsTreeResult bfs = BuildBfsTree(expander, 0, opts.seed ^ 0xbf5ULL);
+  result.cost.rounds += bfs.stats.rounds;
+  result.cost.global_messages += bfs.stats.messages_sent;
+
+  // Phase 5: unwind. Level-L' edge set = BFS tree edges; replace every edge
+  // by its creating walk path, one provenance level at a time, dedup'ing.
+  std::set<EdgeKey> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (bfs.parent[v] != kInvalidNode) {
+      frontier.insert(Norm(v, bfs.parent[v]));
+    }
+  }
+  result.level_edge_counts.push_back(frontier.size());
+
+  for (auto level = run.provenance_stack.rbegin();
+       level != run.provenance_stack.rend(); ++level) {
+    // Index this level's provenance by normalized edge (first entry wins —
+    // parallel edges share endpoints; any creating path works).
+    std::map<EdgeKey, const EdgeProvenance*> by_edge;
+    for (const EdgeProvenance& p : *level) {
+      by_edge.emplace(Norm(p.origin, p.endpoint), &p);
+    }
+    std::set<EdgeKey> next;
+    for (const EdgeKey& e : frontier) {
+      const auto it = by_edge.find(e);
+      OVERLAY_CHECK(it != by_edge.end(),
+                    "overlay edge missing provenance — record_paths off?");
+      const auto& path = it->second->path;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (path[i] != path[i + 1]) {  // skip lazy self-loop steps
+          next.insert(Norm(path[i], path[i + 1]));
+        }
+      }
+    }
+    frontier = std::move(next);
+    result.level_edge_counts.push_back(frontier.size());
+    // One round per level: edge endpoints inform the walk's edge endpoints.
+    result.cost.rounds += 1;
+    result.cost.global_messages += frontier.size();
+  }
+
+  // Phase 6: frontier edges are H edges; map them into G, repairing
+  // delegated sibling edges through their hubs.
+  std::vector<std::pair<NodeId, NodeId>> g_edges;
+  for (const EdgeKey& e : frontier) {
+    if (g.HasEdge(e.first, e.second)) {
+      g_edges.push_back(e);
+    } else {
+      const auto hub_it = reduction.hubs.find(e);
+      OVERLAY_CHECK(hub_it != reduction.hubs.end(),
+                    "H edge neither in G nor delegated");
+      const NodeId hub = hub_it->second;
+      g_edges.emplace_back(Norm(e.first, hub));
+      g_edges.emplace_back(Norm(e.second, hub));
+      result.cost.global_messages += 2;
+    }
+  }
+  result.cost.rounds += 1;  // repair round
+  std::sort(g_edges.begin(), g_edges.end());
+  g_edges.erase(std::unique(g_edges.begin(), g_edges.end()), g_edges.end());
+  result.unwound_subgraph_edges = g_edges.size();
+
+  // Phase 7: extract the tree from the unwound subgraph. The paper erases
+  // loops from P₀ with the prefix-sum/pointer-jumping machinery of [19] in
+  // O(log n) rounds; we extract by BFS over the subgraph and charge those
+  // rounds (see header note).
+  GraphBuilder sb(n);
+  for (const auto& [u, v] : g_edges) sb.AddEdge(u, v);
+  const Graph s = std::move(sb).Build();
+  OVERLAY_CHECK(IsConnected(s), "unwound subgraph is disconnected");
+
+  result.parent.assign(n, kInvalidNode);
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId w : s.Neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        result.parent[w] = v;
+        result.edges.push_back(Norm(v, w));
+        q.push(w);
+      }
+    }
+  }
+  result.cost.rounds += 2ull * LogUpperBound(n) + 2;
+
+  OVERLAY_CHECK(result.edges.size() == n - 1, "extraction failed to span");
+  return result;
+}
+
+bool ValidateSpanningTree(const Graph& g, const SpanningTreeResult& r) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return false;
+  if (n == 1) return r.edges.empty();
+  if (r.edges.size() != n - 1) return false;
+  UnionFind uf(n);
+  for (const auto& [u, v] : r.edges) {
+    if (!g.HasEdge(u, v)) return false;
+    if (!uf.Union(u, v)) return false;  // cycle
+  }
+  return uf.ComponentCount() == 1;
+}
+
+}  // namespace overlay

@@ -1,0 +1,49 @@
+// Theorem 1.3: spanning tree of G by unwinding the random walks.
+//
+// The overlay edges of evolution i+1 were established along walk paths in
+// graph i (EdgeProvenance). Starting from the final well-formed tree's edge
+// set, we iteratively replace every edge by the walk path that created it,
+// descending the provenance stack until only G₀ = prepared-H edges remain;
+// delegated H-edges not present in G are then replaced by their two-edge hub
+// detour (Section 4.2 repair step). The union of all expanded paths is a
+// connected subgraph of G covering every node, from which the spanning tree
+// is extracted.
+//
+// Substitution note (DESIGN.md §4): the paper materializes the whole Euler
+// path P₀ and loop-erases it with prefix sums [19]; materializing P₀ is
+// super-linear, so this implementation expands *edge sets* level by level
+// with deduplication (each level is bounded by |E(G_i)| <= nΔ/2) and
+// extracts the tree from the expanded subgraph, charging the O(log n)
+// pointer-jumping rounds of [19] for the extraction. The output is a valid
+// spanning tree of G either way; rounds and capacity match the theorem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hybrid/components.hpp"
+#include "hybrid/hybrid_model.hpp"
+
+namespace overlay {
+
+struct SpanningTreeResult {
+  /// Edges of the spanning tree (u < v), |V|-1 of them.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  /// Parent array of the tree rooted at node 0 (kInvalidNode at the root).
+  std::vector<NodeId> parent;
+  HybridCost cost;
+  /// Diagnostics: per-level expanded edge-set sizes, final subgraph size.
+  std::vector<std::size_t> level_edge_counts;
+  std::size_t unwound_subgraph_edges = 0;
+};
+
+/// Computes a spanning tree of connected graph `g` in the hybrid model.
+SpanningTreeResult BuildSpanningTree(const Graph& g,
+                                     const HybridOverlayOptions& opts);
+
+/// True iff `r.edges` is a spanning tree of `g`: n-1 edges, all present in
+/// g, connecting all nodes.
+bool ValidateSpanningTree(const Graph& g, const SpanningTreeResult& r);
+
+}  // namespace overlay

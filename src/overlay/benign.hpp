@@ -1,0 +1,43 @@
+// MakeBenign (Section 2.1) and the Definition 2.1 invariant checker.
+//
+// Preparation step: given an input graph of max degree d with 2·d·Λ <= Δ,
+// copy every undirected edge Λ times (creating the Λ-sized minimum cut) and
+// pad each node with self-loops up to degree Δ. The result is Δ-regular, lazy
+// (each node keeps >= Δ/2 loops since non-loop slots number <= d·Λ <= Δ/2),
+// and has a Λ-sized minimum cut whenever the input is connected.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/multigraph.hpp"
+#include "overlay/params.hpp"
+
+namespace overlay {
+
+/// Builds the benign graph G₀ from a connected input of max degree d.
+/// Precondition (checked): 2·d·Λ <= Δ.
+Multigraph MakeBenign(const Graph& input, const ExpanderParams& params);
+
+/// Outcome of checking Definition 2.1 on a multigraph.
+struct BenignReport {
+  bool regular = false;     ///< every node has exactly Δ slots
+  bool lazy = false;        ///< every node has >= Δ/2 self-loops
+  bool connected = false;   ///< collapsed graph is connected
+  /// Exact min cut when computed (n <= `exact_cut_limit`), else a sampled
+  /// upper-bound witness; compare against Λ.
+  std::uint64_t min_cut_estimate = 0;
+  bool min_cut_exact = false;
+
+  bool AllHold(std::size_t lambda) const {
+    return regular && lazy && connected && min_cut_estimate >= lambda;
+  }
+  std::string Describe() const;
+};
+
+/// Checks Definition 2.1. Uses exact Stoer–Wagner for n <= exact_cut_limit
+/// and Karger sampling (trials scaled with n) above it.
+BenignReport CheckBenign(const Multigraph& g, const ExpanderParams& params,
+                         std::size_t exact_cut_limit = 192);
+
+}  // namespace overlay

@@ -1,0 +1,98 @@
+#include "overlay/bfs_tree.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+
+namespace overlay {
+
+namespace {
+constexpr std::uint32_t kBfsKind = 0x1u;
+}  // namespace
+
+BfsTreeResult BuildBfsTree(const Graph& g, std::size_t capacity,
+                           std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 1, "empty graph");
+  OVERLAY_CHECK(IsConnected(g), "BFS tree requires a connected graph");
+
+  if (capacity == 0) {
+    capacity = std::max<std::size_t>(1, g.MaxDegree());
+  }
+  OVERLAY_CHECK(capacity >= g.MaxDegree(),
+                "flooding needs capacity >= max degree");
+
+  SyncNetwork net({n, capacity, seed});
+
+  // Node state: best root seen, distance to it, parent toward it.
+  std::vector<NodeId> best_root(n);
+  std::vector<std::uint32_t> dist(n, 0);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<char> changed(n, 1);
+  for (NodeId v = 0; v < n; ++v) best_root[v] = v;
+
+  bool any_activity = true;
+  while (any_activity) {
+    any_activity = false;
+    for (NodeId v = 0; v < n; ++v) {
+      // Process inbox: adopt strictly better (root, dist) pairs.
+      for (const Message& m : net.Inbox(v)) {
+        const NodeId r = static_cast<NodeId>(m.words[0]);
+        const auto d = static_cast<std::uint32_t>(m.words[1]) + 1;
+        if (r < best_root[v] || (r == best_root[v] && d < dist[v])) {
+          best_root[v] = r;
+          dist[v] = d;
+          parent[v] = m.src;
+          changed[v] = 1;
+        }
+      }
+      if (changed[v]) {
+        Message msg;
+        msg.kind = kBfsKind;
+        msg.words[0] = best_root[v];
+        msg.words[1] = dist[v];
+        for (NodeId w : g.Neighbors(v)) {
+          net.Send(v, w, msg);
+        }
+        changed[v] = 0;
+        any_activity = true;
+      }
+    }
+    net.EndRound();
+    // Keep looping while deliveries are pending (inboxes filled by EndRound).
+    for (NodeId v = 0; v < n && !any_activity; ++v) {
+      if (!net.Inbox(v).empty()) any_activity = true;
+    }
+  }
+
+  BfsTreeResult result;
+  result.root = *std::min_element(best_root.begin(), best_root.end());
+  OVERLAY_CHECK(result.root == 0 || best_root[0] == result.root,
+                "election failed to converge");
+  result.parent = std::move(parent);
+  result.depth = std::move(dist);
+  result.height = *std::max_element(result.depth.begin(), result.depth.end());
+  result.stats = net.stats();
+  return result;
+}
+
+bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r) {
+  const std::size_t n = g.num_nodes();
+  if (r.parent.size() != n || r.depth.size() != n) return false;
+  // Root must be the global minimum id — with dense 0-based ids that is 0.
+  NodeId min_id = 0;
+  if (r.root != min_id) return false;
+  if (r.parent[r.root] != kInvalidNode || r.depth[r.root] != 0) return false;
+  const auto want = BfsDistances(g, r.root);
+  for (NodeId v = 0; v < n; ++v) {
+    if (r.depth[v] != want[v]) return false;
+    if (v == r.root) continue;
+    if (r.parent[v] == kInvalidNode) return false;
+    if (!g.HasEdge(v, r.parent[v])) return false;
+    if (r.depth[v] != r.depth[r.parent[v]] + 1) return false;
+  }
+  return true;
+}
+
+}  // namespace overlay

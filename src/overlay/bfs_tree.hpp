@@ -1,0 +1,42 @@
+// Distributed BFS tree with min-identifier root election (Section 2.1).
+//
+// "Every node simultaneously floods the graph with a token message that
+// contains its identifier. Every node that receives one or more tokens only
+// forwards the token with lowest identifier." We implement the standard
+// combined form: each node maintains its best known (root, distance) pair —
+// smallest root wins, ties broken by distance — and floods improvements.
+// Stabilizes in O(diameter) rounds and yields a BFS tree rooted at the
+// minimum-id node. Runs as a real message-passing protocol on SyncNetwork,
+// so round and message costs are measured, not assumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace overlay {
+
+struct BfsTreeResult {
+  NodeId root = kInvalidNode;
+  /// parent[v]; kInvalidNode for the root.
+  std::vector<NodeId> parent;
+  /// Hop distance from the root.
+  std::vector<std::uint32_t> depth;
+  std::uint32_t height = 0;
+  NetworkStats stats;
+};
+
+/// Builds the election+BFS tree over `g` (must be connected). `capacity` is
+/// the per-round message cap; it must be >= max degree of `g` for flooding to
+/// be legal (checked). The default picks exactly that.
+BfsTreeResult BuildBfsTree(const Graph& g, std::size_t capacity = 0,
+                           std::uint64_t seed = 1);
+
+/// Validates that `r` is a BFS tree of `g` rooted at the minimum id:
+/// parent edges exist in g, depths are shortest-path distances, root is min.
+bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r);
+
+}  // namespace overlay

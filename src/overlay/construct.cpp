@@ -1,0 +1,84 @@
+#include "overlay/construct.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/benign.hpp"
+#include "overlay/bfs_tree.hpp"
+
+namespace overlay {
+
+namespace {
+
+ConstructionResult Construct(const Graph& g, const ExpanderParams& params,
+                             std::uint64_t symmetrize_rounds) {
+  OVERLAY_CHECK(IsConnected(g), "Theorem 1.1 requires a connected input");
+
+  ConstructionResult result;
+  result.report.symmetrize_rounds = symmetrize_rounds;
+
+  // Preparation (local knowledge duplication; no communication rounds).
+  const Multigraph g0 = MakeBenign(g, params);
+
+  // L evolutions.
+  result.expander_run = CreateExpander(g0, params);
+  result.report.expander_rounds = result.expander_run.total_rounds;
+  result.expander = result.expander_run.final_graph.ToSimpleGraph();
+  OVERLAY_CHECK(IsConnected(result.expander),
+                "expander construction disconnected the graph — parameters "
+                "too aggressive for this input");
+
+  // Election + BFS on the expander (measured protocol).
+  const BfsTreeResult bfs = BuildBfsTree(
+      result.expander, /*capacity=*/0, /*seed=*/params.seed ^ 0xb5f5ULL);
+  result.report.bfs_rounds = bfs.stats.rounds;
+  result.report.max_node_messages_bfs = bfs.stats.max_send_load * bfs.stats.rounds;
+
+  // Contraction to the well-formed tree.
+  result.tree = ContractToWellFormedTree(bfs);
+  result.report.contraction_rounds = result.tree.rounds_charged;
+
+  // Message accounting. Expander phase per-node: per evolution each node
+  // forwards at most max_token_load tokens per round for ℓ rounds and sends
+  // <= Δ/2 id replies.
+  std::uint64_t expander_per_node = 0;
+  std::uint64_t expander_total = 0;
+  for (const EvolutionTrace& t : result.expander_run.trace) {
+    expander_per_node +=
+        t.telemetry.max_token_load * params.walk_length + params.delta / 2;
+    expander_total += t.telemetry.token_steps + t.telemetry.reply_messages;
+  }
+  result.report.total_messages = expander_total + bfs.stats.messages_sent;
+  result.report.max_node_messages_total =
+      expander_per_node + result.report.max_node_messages_bfs;
+  return result;
+}
+
+}  // namespace
+
+ConstructionResult ConstructWellFormedTree(const Graph& g,
+                                           const ExpanderParams& params) {
+  return Construct(g, params, /*symmetrize_rounds=*/0);
+}
+
+ConstructionResult ConstructWellFormedTree(const Graph& g,
+                                           std::uint64_t seed) {
+  const auto params =
+      ExpanderParams::ForSize(g.num_nodes(), std::max<std::size_t>(
+                                                 1, g.MaxDegree()), seed);
+  return Construct(g, params, /*symmetrize_rounds=*/0);
+}
+
+ConstructionResult ConstructWellFormedTree(const Digraph& g,
+                                           std::uint64_t seed) {
+  OVERLAY_CHECK(IsWeaklyConnected(g), "input must be weakly connected");
+  const Graph undirected = g.Undirected();
+  const auto params = ExpanderParams::ForSize(
+      undirected.num_nodes(),
+      std::max<std::size_t>(1, undirected.MaxDegree()), seed);
+  // One round: every node introduces itself to its out-neighbors.
+  return Construct(undirected, params, /*symmetrize_rounds=*/1);
+}
+
+}  // namespace overlay

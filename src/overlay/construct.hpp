@@ -1,0 +1,63 @@
+// Theorem 1.1 public entry point: arbitrary weakly connected constant-degree
+// graph -> well-formed tree in O(log n) rounds, w.h.p.
+//
+// Pipeline: symmetrize (one introduction round) -> MakeBenign -> L evolutions
+// of CreateExpander (ℓ+1 rounds each) -> min-id election + BFS on the final
+// expander (measured message-passing) -> Euler-tour contraction to a binary
+// tree (pointer-doubling rounds charged analytically). The returned report
+// breaks rounds and messages down by phase so the benchmarks can reproduce
+// the paper's O(log n) rounds / O(log² n) messages-per-node claims.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "overlay/create_expander.hpp"
+#include "overlay/params.hpp"
+#include "overlay/well_formed_tree.hpp"
+
+namespace overlay {
+
+/// Per-phase cost accounting of one construction.
+struct RoundReport {
+  std::uint64_t symmetrize_rounds = 0;
+  std::uint64_t expander_rounds = 0;
+  std::uint64_t bfs_rounds = 0;
+  std::uint64_t contraction_rounds = 0;
+  std::uint64_t TotalRounds() const {
+    return symmetrize_rounds + expander_rounds + bfs_rounds +
+           contraction_rounds;
+  }
+
+  std::uint64_t total_messages = 0;
+  /// Max messages any single node sent during BFS/election (measured) — the
+  /// expander phase's per-node cost is Δ/8·ℓ + replies per evolution.
+  std::uint64_t max_node_messages_bfs = 0;
+  /// Upper bound on per-node message total across the whole construction
+  /// (Theorem 1.1 claims O(log² n)).
+  std::uint64_t max_node_messages_total = 0;
+};
+
+struct ConstructionResult {
+  WellFormedTree tree;
+  /// The expander the tree was carved out of (degree O(log n), diameter
+  /// O(log n)); kept because applications (sorted ring, butterfly, routing)
+  /// reuse it.
+  Graph expander;
+  RoundReport report;
+  ExpanderRun expander_run;  ///< full evolution trace for diagnostics
+};
+
+/// Constructs a well-formed tree from a connected undirected graph of max
+/// degree d, with params defaulted via ExpanderParams::ForSize.
+ConstructionResult ConstructWellFormedTree(const Graph& g,
+                                           const ExpanderParams& params);
+ConstructionResult ConstructWellFormedTree(const Graph& g,
+                                           std::uint64_t seed = 1);
+
+/// Digraph overload: symmetrizes the knowledge graph first (each node
+/// introduces itself to its out-neighbors — one round), then proceeds.
+ConstructionResult ConstructWellFormedTree(const Digraph& g,
+                                           std::uint64_t seed = 1);
+
+}  // namespace overlay

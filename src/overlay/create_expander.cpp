@@ -1,0 +1,47 @@
+#include "overlay/create_expander.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "graph/conductance.hpp"
+
+namespace overlay {
+
+ExpanderRun CreateExpander(const Multigraph& benign_g0,
+                           const ExpanderParams& params, bool measure_gaps) {
+  OVERLAY_CHECK(benign_g0.IsRegular(params.delta),
+                "CreateExpander requires a benign (Δ-regular) input");
+  Rng rng(params.seed);
+
+  ExpanderRun run;
+  run.final_graph = benign_g0;
+  const bool want_gaps = measure_gaps || params.target_spectral_gap > 0.0;
+
+  for (std::size_t i = 0; i < params.num_evolutions; ++i) {
+    EvolutionResult evo = RunEvolution(run.final_graph, params, rng);
+    run.total_rounds += evo.telemetry.rounds;
+    run.total_messages +=
+        evo.telemetry.token_steps + evo.telemetry.reply_messages;
+
+    EvolutionTrace trace;
+    trace.telemetry = evo.telemetry;
+    if (want_gaps) {
+      trace.spectral_gap =
+          LazySpectralGap(evo.next, params.delta, /*iterations=*/300,
+                          /*seed=*/params.seed ^ (i + 1));
+    }
+    run.trace.push_back(trace);
+    if (params.record_paths) {
+      run.provenance_stack.push_back(std::move(evo.provenance));
+    }
+    run.final_graph = std::move(evo.next);
+
+    if (params.target_spectral_gap > 0.0 &&
+        trace.spectral_gap >= params.target_spectral_gap) {
+      break;  // constant conductance reached; remaining evolutions redundant
+    }
+  }
+  return run;
+}
+
+}  // namespace overlay

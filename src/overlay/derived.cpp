@@ -1,0 +1,140 @@
+#include "overlay/derived.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace overlay {
+
+namespace {
+
+/// Inverse of the rank array: who holds rank i?
+std::vector<NodeId> NodeAtRank(const std::vector<std::uint32_t>& rank) {
+  std::vector<NodeId> at(rank.size(), kInvalidNode);
+  for (NodeId v = 0; v < rank.size(); ++v) {
+    OVERLAY_CHECK(rank[v] < rank.size(), "rank out of range");
+    OVERLAY_CHECK(at[rank[v]] == kInvalidNode, "duplicate rank");
+    at[rank[v]] = v;
+  }
+  return at;
+}
+
+/// Rounds charged for ranking + resolving O(1) neighbor ranks per node:
+/// Euler-tour prefix sums (2·⌈log₂ n⌉+2) + rank->id routing (2·⌈log₂ n⌉+2).
+std::uint64_t ChargedRounds(std::size_t n) {
+  return 4ull * CeilLog2(std::max<std::size_t>(2, n)) + 4;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> InOrderRanks(const WellFormedTree& tree) {
+  const std::size_t n = tree.num_nodes();
+  OVERLAY_CHECK(n >= 1, "empty tree");
+  std::vector<std::uint32_t> rank(n, 0);
+  std::uint32_t next = 0;
+  // Iterative in-order traversal.
+  std::vector<std::pair<NodeId, bool>> stack{{tree.root, false}};
+  while (!stack.empty()) {
+    const auto [v, expanded] = stack.back();
+    stack.pop_back();
+    if (v == kInvalidNode) continue;
+    if (expanded) {
+      rank[v] = next++;
+    } else {
+      stack.push_back({tree.right_child[v], false});
+      stack.push_back({v, true});
+      stack.push_back({tree.left_child[v], false});
+    }
+  }
+  OVERLAY_CHECK(next == n, "in-order traversal missed nodes");
+  return rank;
+}
+
+DerivedOverlay BuildSortedRing(const WellFormedTree& tree) {
+  const std::size_t n = tree.num_nodes();
+  const auto rank = InOrderRanks(tree);
+  const auto at = NodeAtRank(rank);
+  GraphBuilder b(n);
+  if (n >= 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b.AddEdge(at[i], at[(i + 1) % n]);
+    }
+  }
+  return {std::move(b).Build(), ChargedRounds(n)};
+}
+
+DerivedOverlay BuildDeBruijn(const WellFormedTree& tree) {
+  const std::size_t n = tree.num_nodes();
+  const auto rank = InOrderRanks(tree);
+  const auto at = NodeAtRank(rank);
+  GraphBuilder b(n);
+  if (n >= 2) {
+    for (std::size_t x = 0; x < n; ++x) {
+      b.AddEdge(at[x], at[(2 * x) % n]);
+      b.AddEdge(at[x], at[(2 * x + 1) % n]);
+    }
+  }
+  return {std::move(b).Build(), ChargedRounds(n)};
+}
+
+DerivedOverlay BuildButterfly(const WellFormedTree& tree) {
+  const std::size_t n = tree.num_nodes();
+  const auto rank = InOrderRanks(tree);
+  const auto at = NodeAtRank(rank);
+  GraphBuilder b(n);
+  if (n >= 4) {
+    // Choose dim = largest k with k·2^k <= n; ranks < k·2^k form the
+    // butterfly (row r in [0,2^k), column c in [0,k)); the tail chains on
+    // ring edges below.
+    std::size_t dim = 1;
+    while ((dim + 1) * (std::size_t{1} << (dim + 1)) <= n) ++dim;
+    const std::size_t rows = std::size_t{1} << dim;
+    const std::size_t used = dim * rows;
+    const auto id = [&](std::size_t r, std::size_t c) {
+      return at[r * dim + c];
+    };
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        const std::size_t c2 = (c + 1) % dim;
+        // Straight edge (wrapped butterfly): (r, c) -- (r, c+1).
+        b.AddEdge(id(r, c), id(r, c2));
+        // Cross edge: flip bit c+1 of the row.
+        const std::size_t r2 = r ^ (std::size_t{1} << c2 % dim);
+        b.AddEdge(id(r, c), id(r2, c2));
+      }
+    }
+    // Tail ranks attach directly to a butterfly node (rank mod used), so
+    // they add one hop to the diameter and at most ~2 extra degree.
+    for (std::size_t x = used; x < n; ++x) {
+      b.AddEdge(at[x], at[x % used]);
+    }
+  } else if (n >= 2) {
+    for (std::size_t x = 1; x < n; ++x) b.AddEdge(at[x], at[x - 1]);
+  }
+  return {std::move(b).Build(), ChargedRounds(n)};
+}
+
+DerivedOverlay BuildHypercube(const WellFormedTree& tree) {
+  const std::size_t n = tree.num_nodes();
+  const auto rank = InOrderRanks(tree);
+  const auto at = NodeAtRank(rank);
+  GraphBuilder b(n);
+  if (n >= 2) {
+    const std::uint32_t k = FloorLog2(n);
+    const std::size_t cube = std::size_t{1} << k;
+    for (std::size_t x = 0; x < cube; ++x) {
+      for (std::uint32_t bit = 0; bit < k; ++bit) {
+        const std::size_t y = x ^ (std::size_t{1} << bit);
+        if (x < y) b.AddEdge(at[x], at[y]);
+      }
+    }
+    for (std::size_t x = cube; x < n; ++x) {
+      b.AddEdge(at[x], at[x - cube]);  // buddy attachment
+    }
+  }
+  return {std::move(b).Build(), ChargedRounds(n)};
+}
+
+}  // namespace overlay

@@ -1,0 +1,55 @@
+// Derived overlay topologies (Section 1.4).
+//
+// "An immediate corollary of our result is that any 'well-behaved' overlay
+// of logarithmic degree and diameter (e.g., butterfly networks, path graphs,
+// sorted rings, trees, regular expanders, DeBruijn graphs, etc.) can be
+// constructed in O(log n) rounds, w.h.p."
+//
+// The mechanism: the well-formed tree gives every node a rank (its position
+// in the tree's in-order traversal) in O(log n) rounds via tree prefix sums;
+// ranks + tree routing let each node learn the ids of the nodes holding any
+// O(log n) target ranks in O(log n) further rounds. Each topology below is a
+// rank-indexed graph, so "construct" = "every node computes its neighbor
+// ranks and resolves them to ids". The resolution is implemented directly
+// (the data movement is rank->id table lookups routed over the tree) and its
+// rounds are charged per the tree-routing model; see DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "overlay/well_formed_tree.hpp"
+
+namespace overlay {
+
+/// Rank of every node = its position in the tree's in-order traversal.
+/// Distributed cost: Euler tour + prefix sums, 2·⌈log₂ n⌉ + O(1) rounds.
+std::vector<std::uint32_t> InOrderRanks(const WellFormedTree& tree);
+
+/// A derived overlay: `graph` on the original node ids plus the round bill.
+struct DerivedOverlay {
+  Graph graph;
+  std::uint64_t rounds_charged = 0;
+};
+
+/// Sorted ring (+ the reverse direction): rank i links to rank i±1 mod n.
+/// The classic DHT substrate; ids around the ring are the in-order ids.
+DerivedOverlay BuildSortedRing(const WellFormedTree& tree);
+
+/// Wrapped butterfly on n nodes: ranks are (row r, column c) with
+/// r < 2^dim, dim = floor(log2(n / max(1,dim))) chosen so all n nodes are
+/// used; node (r, c) links to (r±..., c+1 mod dim) in the classic pattern.
+/// Degree <= 4, diameter O(log n). Nodes beyond the last full butterfly
+/// level chain onto the ring edges to stay connected.
+DerivedOverlay BuildButterfly(const WellFormedTree& tree);
+
+/// De Bruijn graph on ranks: rank x links to (2x) mod n and (2x+1) mod n
+/// (and the reverse arcs), degree <= 4, diameter <= log2(n).
+DerivedOverlay BuildDeBruijn(const WellFormedTree& tree);
+
+/// Rank-indexed hypercube on the largest 2^k <= n ranks; remaining ranks
+/// attach to their rank mod 2^k buddy. Degree O(log n), diameter O(log n).
+DerivedOverlay BuildHypercube(const WellFormedTree& tree);
+
+}  // namespace overlay

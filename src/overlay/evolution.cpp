@@ -1,0 +1,88 @@
+#include "overlay/evolution.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "sim/token_engine.hpp"
+
+namespace overlay {
+
+EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
+                             Rng& rng) {
+  OVERLAY_CHECK(g.IsRegular(params.delta),
+                "evolutions require a Δ-regular (benign) graph");
+  const std::size_t n = g.num_nodes();
+
+  TokenWalkOptions walk_opts;
+  walk_opts.tokens_per_node = params.TokensPerNode();
+  walk_opts.walk_length = params.walk_length;
+  walk_opts.record_paths = params.record_paths;
+  TokenWalkResult walks = RunTokenWalks(g, walk_opts, rng);
+
+  EvolutionResult result{Multigraph(n), {}, {}};
+  result.telemetry.rounds = params.walk_length + 1;  // walks + id replies
+  result.telemetry.token_steps = walks.token_steps;
+  result.telemetry.max_token_load = walks.max_load;
+
+  // Index token paths by (endpoint, origin-slot) when provenance is on:
+  // arrivals[v] lists origins in token order; rebuild the matching path list.
+  std::vector<std::vector<const std::vector<NodeId>*>> arrival_paths;
+  if (params.record_paths) {
+    arrival_paths.assign(n, {});
+    for (std::size_t i = 0; i < walks.paths.size(); ++i) {
+      arrival_paths[walks.paths[i].back()].push_back(&walks.paths[i]);
+    }
+  }
+
+  const std::size_t accept_bound = params.AcceptBound();
+  for (NodeId v = 0; v < n; ++v) {
+    auto& arrived = walks.arrivals[v];
+    // Over-subscribed endpoints keep a uniformly random subset without
+    // replacement (partial Fisher–Yates); the rest is discarded.
+    std::size_t keep = arrived.size();
+    if (keep > accept_bound) {
+      for (std::size_t i = 0; i < accept_bound; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.NextBelow(arrived.size() - i));
+        std::swap(arrived[i], arrived[j]);
+        if (params.record_paths) {
+          std::swap(arrival_paths[v][i], arrival_paths[v][j]);
+        }
+      }
+      keep = accept_bound;
+      result.telemetry.tokens_discarded += arrived.size() - accept_bound;
+    }
+    for (std::size_t i = 0; i < keep; ++i) {
+      const NodeId origin = arrived[i];
+      if (origin == v) {
+        // A token that returned home would form a loop edge; the self-loop
+        // padding below restores the degree, so nothing to record.
+        continue;
+      }
+      result.next.AddEdge(v, origin);
+      ++result.telemetry.reply_messages;
+      ++result.telemetry.edges_created;
+      if (params.record_paths) {
+        EdgeProvenance prov;
+        prov.origin = origin;
+        prov.endpoint = v;
+        prov.path = *arrival_paths[v][i];
+        result.provenance.push_back(std::move(prov));
+      }
+    }
+  }
+
+  // Self-loop padding back to Δ-regularity. Degrees never exceed Δ/2 non-loop
+  // slots (Δ/8 own tokens + 3Δ/8 accepted), so laziness holds by construction.
+  for (NodeId v = 0; v < n; ++v) {
+    OVERLAY_CHECK(result.next.Degree(v) <= params.delta,
+                  "accept bound failed to cap the degree");
+    while (result.next.Degree(v) < params.delta) {
+      result.next.AddSelfLoop(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace overlay

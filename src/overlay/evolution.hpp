@@ -1,0 +1,52 @@
+// One CreateExpander evolution (Section 2.1, loop body of the pseudocode).
+//
+// Every node launches Δ/8 identifier-carrying tokens; tokens take ℓ uniform
+// lazy-walk steps; every node accepts up to 3Δ/8 of the tokens it holds
+// (a uniformly random subset without replacement if more arrived) and
+// establishes a bidirected edge with each accepted token's origin; finally
+// every node pads itself with self-loops back to degree Δ. The next
+// communication graph contains only the new edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/multigraph.hpp"
+#include "overlay/params.hpp"
+#include "sim/network.hpp"
+
+namespace overlay {
+
+/// Provenance of one established overlay edge: the walk path its token took
+/// through the *previous* graph, origin first. Consumed by the Theorem 1.3
+/// spanning-tree unwinding.
+struct EdgeProvenance {
+  NodeId origin = kInvalidNode;    ///< node that launched the token
+  NodeId endpoint = kInvalidNode;  ///< node that accepted it
+  std::vector<NodeId> path;        ///< node sequence, path.front()==origin
+};
+
+/// Telemetry of a single evolution.
+struct EvolutionTelemetry {
+  std::uint64_t rounds = 0;          ///< ℓ walk rounds + 1 reply round
+  std::uint64_t token_steps = 0;     ///< walk messages
+  std::uint64_t reply_messages = 0;  ///< id replies that established edges
+  std::uint64_t max_token_load = 0;  ///< Lemma 3.2 observable
+  std::uint64_t tokens_discarded = 0;  ///< dropped at over-subscribed nodes
+  std::uint64_t edges_created = 0;   ///< non-loop edges in the next graph
+};
+
+struct EvolutionResult {
+  Multigraph next;
+  EvolutionTelemetry telemetry;
+  /// One entry per established non-loop edge when params.record_paths is set.
+  std::vector<EdgeProvenance> provenance;
+};
+
+/// Runs one evolution on benign graph `g`. `rng` supplies all randomness.
+EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
+                             Rng& rng);
+
+}  // namespace overlay

@@ -1,0 +1,101 @@
+#include "overlay/evolution_mp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+namespace {
+constexpr std::uint32_t kTokenMsg = 0x10u;
+constexpr std::uint32_t kReplyMsg = 0x11u;
+}  // namespace
+
+MessagePassingEvolutionResult RunEvolutionMessagePassing(
+    const Multigraph& g, const ExpanderParams& params, std::size_t capacity) {
+  OVERLAY_CHECK(g.IsRegular(params.delta),
+                "evolutions require a Δ-regular (benign) graph");
+  const std::size_t n = g.num_nodes();
+  if (capacity == 0) capacity = params.delta;
+
+  SyncNetwork net({n, capacity, params.seed ^ 0x3e57ULL});
+  Rng rng(params.seed ^ 0x70c3ULL);
+
+  MessagePassingEvolutionResult result{Multigraph(n), {}, 0, 0};
+  const std::uint64_t tokens_launched = n * params.TokensPerNode();
+
+  // Round 1: every node launches Δ/8 tokens (first walk step).
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t t = 0; t < params.TokensPerNode(); ++t) {
+      Message msg;
+      msg.kind = kTokenMsg;
+      msg.words[0] = v;  // origin travels with the token
+      net.Send(v, g.RandomNeighbor(v, rng), msg);
+    }
+  }
+  net.EndRound();
+
+  // Rounds 2..ℓ: forward every held token one more step.
+  for (std::size_t step = 1; step < params.walk_length; ++step) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Message& m : net.Inbox(v)) {
+        if (m.kind == kTokenMsg) {
+          net.Send(v, g.RandomNeighbor(v, rng), m);
+        }
+      }
+    }
+    net.EndRound();
+  }
+
+  // Round ℓ+1: accept up to 3Δ/8 tokens, reply with own id to the origins.
+  // The engine's inbox is already capacity-trimmed; the protocol trims to
+  // the acceptance bound on top (random subset — inbox order is already
+  // a random permutation of survivors, so a prefix suffices).
+  for (NodeId v = 0; v < n; ++v) {
+    const auto inbox = net.Inbox(v);
+    std::size_t taken = 0;
+    for (const Message& m : inbox) {
+      if (m.kind != kTokenMsg) continue;
+      if (taken >= params.AcceptBound()) break;
+      const NodeId origin = static_cast<NodeId>(m.words[0]);
+      if (origin == v) continue;  // token came home: a loop, padded later
+      Message reply;
+      reply.kind = kReplyMsg;
+      reply.words[0] = v;
+      net.Send(v, origin, reply);
+      ++taken;
+    }
+  }
+  net.EndRound();
+
+  // Edge establishment: endpoint side recorded above; origin side learns
+  // the endpoint from the reply. Both sides must agree for the undirected
+  // multigraph edge (replies can be dropped by the adversary too).
+  std::uint64_t replies_received = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Message& m : net.Inbox(v)) {
+      if (m.kind != kReplyMsg) continue;
+      ++replies_received;
+      const NodeId endpoint = m.src;
+      result.next.AddEdge(v, endpoint);
+      ++result.edges_created;
+    }
+  }
+  result.tokens_without_edge = tokens_launched - replies_received;
+
+  // Degree cap check + self-loop padding (as in the fast path). Note the
+  // degree bound holds for the same reason: <= Δ/8 replies + <= 3Δ/8
+  // acceptances per node.
+  for (NodeId v = 0; v < n; ++v) {
+    OVERLAY_CHECK(result.next.Degree(v) <= params.delta,
+                  "accept bound failed to cap the degree");
+    while (result.next.Degree(v) < params.delta) {
+      result.next.AddSelfLoop(v);
+    }
+  }
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace overlay

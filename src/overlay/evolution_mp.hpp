@@ -1,0 +1,43 @@
+// Message-passing reference implementation of one CreateExpander evolution.
+//
+// The production path (overlay/evolution.hpp) moves walk tokens through the
+// vectorized token engine for speed. This variant routes every token and
+// every id-reply as an actual Message through the capacity-enforced
+// SyncNetwork — send caps raise on protocol bugs, over-cap receptions are
+// dropped by the simulated adversary, rounds are counted by the engine.
+// It exists as executable evidence that the algorithm lives inside the NCC0
+// envelope: tests run both paths and compare the structural outcomes
+// (regularity, laziness, connectivity, edge statistics).
+//
+// Protocol (Section 2.1), one evolution:
+//   rounds 1..ℓ : every node forwards each token it holds along a uniformly
+//                 random incident slot (kind = kTokenMsg, word0 = origin);
+//   round ℓ+1  : every node accepts up to 3Δ/8 of the tokens it holds and
+//                 replies with its own id (kind = kReplyMsg);
+//   local      : both endpoints record the edge; self-loop padding to Δ.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/multigraph.hpp"
+#include "overlay/params.hpp"
+#include "sim/network.hpp"
+
+namespace overlay {
+
+struct MessagePassingEvolutionResult {
+  Multigraph next;
+  NetworkStats stats;  ///< engine-measured rounds/messages/drops/loads
+  std::uint64_t edges_created = 0;
+  std::uint64_t tokens_without_edge = 0;  ///< home-returns + accept-bound + capacity drops
+};
+
+/// Runs one evolution of CreateExpander entirely over SyncNetwork.
+/// `capacity` is the per-round cap; 0 = Δ (the NCC0 Θ(log n) budget at the
+/// default parameters — Lemma 3.2 keeps loads below 3Δ/8 < Δ w.h.p., so
+/// drops are rare and the output remains benign).
+MessagePassingEvolutionResult RunEvolutionMessagePassing(
+    const Multigraph& g, const ExpanderParams& params,
+    std::size_t capacity = 0);
+
+}  // namespace overlay

@@ -1,0 +1,118 @@
+#include "overlay/monitoring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+MonitorValue AggregateOverTree(
+    const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine) {
+  const std::size_t n = tree.num_nodes();
+  OVERLAY_CHECK(per_node.size() == n, "per-node input size mismatch");
+  OVERLAY_CHECK(n >= 1, "empty tree");
+
+  // Convergecast: combine children into parents in reverse-BFS order.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  order.push_back(tree.root);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId v = order[i];
+    for (const NodeId c : {tree.left_child[v], tree.right_child[v]}) {
+      if (c != kInvalidNode) order.push_back(c);
+    }
+  }
+  OVERLAY_CHECK(order.size() == n, "tree does not span all nodes");
+  std::vector<std::uint64_t> acc = per_node;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (tree.parent[v] != kInvalidNode) {
+      acc[tree.parent[v]] = combine(acc[tree.parent[v]], acc[v]);
+    }
+  }
+  MonitorValue result;
+  result.value = acc[tree.root];
+  result.rounds = 2ull * (tree.Depth() + 1);
+  return result;
+}
+
+MonitorValue MonitorNodeCount(const WellFormedTree& tree) {
+  const std::vector<std::uint64_t> ones(tree.num_nodes(), 1);
+  return AggregateOverTree(tree, ones,
+                           [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g) {
+  OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
+  std::vector<std::uint64_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.Degree(v);
+  MonitorValue r = AggregateOverTree(
+      tree, degrees, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  r.value /= 2;  // handshake
+  return r;
+}
+
+MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g) {
+  OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
+  std::vector<std::uint64_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.Degree(v);
+  return AggregateOverTree(tree, degrees, [](std::uint64_t a, std::uint64_t b) {
+    return std::max(a, b);
+  });
+}
+
+BipartitenessResult MonitorBipartiteness(
+    const WellFormedTree& tree, const Graph& g,
+    const std::vector<NodeId>& st_parent) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(st_parent.size() == n, "spanning-tree parent size mismatch");
+  OVERLAY_CHECK(tree.num_nodes() == n, "graph/tree size mismatch");
+
+  // Color = spanning-tree depth parity. Computed here by a direct pass; in
+  // the model it is an Euler-tour prefix sum over the spanning tree,
+  // 2·⌈log₂ n⌉ + O(1) rounds (charged below).
+  std::vector<std::uint8_t> color(n, 2);
+  std::vector<NodeId> roots;
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (st_parent[v] == kInvalidNode) {
+      roots.push_back(v);
+    } else {
+      OVERLAY_CHECK(g.HasEdge(v, st_parent[v]),
+                    "spanning-tree edge missing from the graph");
+      children[st_parent[v]].push_back(v);
+    }
+  }
+  OVERLAY_CHECK(roots.size() == 1, "expected exactly one spanning-tree root");
+  std::vector<NodeId> stack{roots[0]};
+  color[roots[0]] = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const NodeId c : children[v]) {
+      color[c] = color[v] ^ 1;
+      stack.push_back(c);
+    }
+  }
+
+  // One local round: every node compares colors with its G-neighbors;
+  // violations (equal colors across an edge) are counted via the overlay.
+  std::vector<std::uint64_t> violations(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.Neighbors(v)) {
+      if (v < w && color[v] == color[w]) ++violations[v];
+    }
+  }
+  const MonitorValue total = AggregateOverTree(
+      tree, violations, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+  BipartitenessResult result;
+  result.violating_edges = total.value;
+  result.bipartite = total.value == 0;
+  // Parity prefix sums (Euler tour) + one local exchange + aggregation.
+  result.rounds = 2ull * (tree.Depth() + 1) + 1 + total.rounds;
+  return result;
+}
+
+}  // namespace overlay

@@ -1,0 +1,60 @@
+// Monitoring problems of [27] on top of the well-formed tree (Section 1.4).
+//
+// "Every monitoring problem presented in [27] can be solved in time
+// O(log n), w.h.p., instead of O(log² n) deterministically. These problems
+// include monitoring the graph's node and edge count [and] its
+// bipartiteness …" Once a well-formed tree exists, each such quantity is a
+// tree aggregation: convergecast up (depth rounds), broadcast down (depth
+// rounds), O(log n) total because the tree is O(log n) deep.
+//
+// Bipartiteness additionally needs a spanning tree of the *initial* graph:
+// 2-color nodes by their spanning-tree depth parity (computed by Euler-tour
+// prefix sums in O(log n) rounds), then G is bipartite iff no non-tree edge
+// joins equal colors — a single local exchange plus one aggregation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "overlay/well_formed_tree.hpp"
+
+namespace overlay {
+
+/// Result of one tree aggregation: the value plus its round bill.
+struct MonitorValue {
+  std::uint64_t value = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Generic tree aggregation: combines per-node inputs with `combine`
+/// (associative, commutative) up the tree and reports the root value.
+/// Rounds charged: 2·(tree depth + 1) (convergecast + result broadcast).
+MonitorValue AggregateOverTree(
+    const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine);
+
+/// Number of nodes in the overlay (sum of 1 over the tree).
+MonitorValue MonitorNodeCount(const WellFormedTree& tree);
+
+/// Number of edges of the monitored graph `g` (sum of degrees / 2).
+MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g);
+
+/// Maximum degree of `g` (max-aggregation).
+MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g);
+
+struct BipartitenessResult {
+  bool bipartite = false;
+  std::uint64_t violating_edges = 0;  ///< non-tree edges joining equal colors
+  std::uint64_t rounds = 0;
+};
+
+/// Checks bipartiteness of connected `g` given a spanning tree of g as a
+/// parent array (e.g. from hybrid::BuildSpanningTree). The overlay `tree`
+/// carries the aggregation.
+BipartitenessResult MonitorBipartiteness(const WellFormedTree& tree,
+                                         const Graph& g,
+                                         const std::vector<NodeId>& st_parent);
+
+}  // namespace overlay

@@ -1,0 +1,138 @@
+#include "overlay/well_formed_tree.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace overlay {
+
+std::uint32_t WellFormedTree::Depth() const {
+  if (parent.empty()) return 0;
+  // Iterative depth computation over the explicit child pointers.
+  std::vector<std::uint32_t> depth(parent.size(), 0);
+  std::vector<NodeId> stack{root};
+  std::uint32_t best = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    best = std::max(best, depth[v]);
+    for (const NodeId c : {left_child[v], right_child[v]}) {
+      if (c != kInvalidNode) {
+        depth[c] = depth[v] + 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Builds children lists (sorted by id — the deterministic order the
+/// child-sibling transform prescribes) from the parent array.
+std::vector<std::vector<NodeId>> ChildrenLists(const BfsTreeResult& bfs) {
+  std::vector<std::vector<NodeId>> children(bfs.parent.size());
+  for (NodeId v = 0; v < bfs.parent.size(); ++v) {
+    if (bfs.parent[v] != kInvalidNode) {
+      children[bfs.parent[v]].push_back(v);
+    }
+  }
+  for (auto& c : children) std::sort(c.begin(), c.end());
+  return children;
+}
+
+/// Midpoint recursion: assembles the balanced binary tree over
+/// order[lo, hi) and returns its root. Iterative work stack to avoid
+/// recursion depth issues at large n.
+NodeId BuildBalanced(const std::vector<NodeId>& order, WellFormedTree& tree) {
+  struct Segment {
+    std::size_t lo, hi;
+    NodeId parent;
+    bool left;
+  };
+  OVERLAY_CHECK(!order.empty(), "cannot build a tree over zero nodes");
+  const std::size_t mid0 = (order.size()) / 2;
+  const NodeId root = order[mid0];
+  std::vector<Segment> work;
+  if (mid0 > 0) work.push_back({0, mid0, root, true});
+  if (mid0 + 1 < order.size()) work.push_back({mid0 + 1, order.size(), root, false});
+  while (!work.empty()) {
+    const Segment s = work.back();
+    work.pop_back();
+    const std::size_t mid = s.lo + (s.hi - s.lo) / 2;
+    const NodeId v = order[mid];
+    tree.parent[v] = s.parent;
+    if (s.left) {
+      tree.left_child[s.parent] = v;
+    } else {
+      tree.right_child[s.parent] = v;
+    }
+    if (mid > s.lo) work.push_back({s.lo, mid, v, true});
+    if (mid + 1 < s.hi) work.push_back({mid + 1, s.hi, v, false});
+  }
+  return root;
+}
+
+}  // namespace
+
+WellFormedTree ContractToWellFormedTree(const BfsTreeResult& bfs) {
+  const std::size_t n = bfs.parent.size();
+  OVERLAY_CHECK(n >= 1, "empty tree");
+
+  // Euler tour first-visit order (= preorder with children sorted by id).
+  const auto children = ChildrenLists(bfs);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> stack{bfs.root};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    // Push children in reverse so the smallest id is visited first.
+    for (auto it = children[v].rbegin(); it != children[v].rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  OVERLAY_CHECK(order.size() == n, "tree does not span all nodes");
+
+  WellFormedTree tree;
+  tree.parent.assign(n, kInvalidNode);
+  tree.left_child.assign(n, kInvalidNode);
+  tree.right_child.assign(n, kInvalidNode);
+  tree.root = BuildBalanced(order, tree);
+  // Distributed cost: Euler tour construction (constant rounds on the
+  // child-sibling tree) + list ranking by pointer doubling over the 2n-entry
+  // tour + segment-midpoint selection — 2·⌈log₂(2n)⌉ + 4 rounds.
+  tree.rounds_charged = 2ull * CeilLog2(2 * static_cast<std::uint64_t>(n)) + 4;
+  return tree;
+}
+
+bool ValidateWellFormedTree(const WellFormedTree& t, std::uint32_t max_depth) {
+  const std::size_t n = t.num_nodes();
+  if (n == 0) return false;
+  if (t.root >= n) return false;
+  if (t.parent[t.root] != kInvalidNode) return false;
+  // Child/parent consistency + each node reachable exactly once.
+  std::vector<std::uint32_t> seen(n, 0);
+  std::vector<NodeId> stack{t.root};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (v >= n || seen[v]) return false;
+    seen[v] = 1;
+    ++visited;
+    for (const NodeId c : {t.left_child[v], t.right_child[v]}) {
+      if (c == kInvalidNode) continue;
+      if (c >= n || t.parent[c] != v) return false;
+      stack.push_back(c);
+    }
+  }
+  if (visited != n) return false;
+  if (max_depth > 0 && t.Depth() > max_depth) return false;
+  return true;
+}
+
+}  // namespace overlay

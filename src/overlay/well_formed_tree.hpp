@@ -1,0 +1,46 @@
+// Well-formed trees (Section 1.2) and the tree contraction of Section 2.1.
+//
+// A well-formed tree is a rooted tree of constant degree and O(log n)
+// diameter containing all nodes. The paper obtains one from the O(log n)-
+// degree, O(log n)-depth BFS tree via the merging step of [27, Theorem 2]:
+// child-sibling transform, then Euler-tour contraction into a rooted binary
+// tree of depth O(log n) ([53]). Functionally, that pipeline outputs the
+// balanced binary tree over the Euler tour's first-visit (preorder) sequence,
+// which is what `ContractToWellFormedTree` builds; its distributed round cost
+// — Euler tour + list ranking by pointer doubling — is 2·⌈log₂(2n)⌉ + O(1)
+// rounds, which the function reports in `rounds_charged` (the data flow is
+// computed directly; the charge model is documented in DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "overlay/bfs_tree.hpp"
+
+namespace overlay {
+
+/// Rooted binary tree over all nodes: each node has <= 2 children, so total
+/// degree <= 3. Depth is <= ceil(log2(n)) + 1 by construction.
+struct WellFormedTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;       ///< kInvalidNode at the root
+  std::vector<NodeId> left_child;   ///< kInvalidNode when absent
+  std::vector<NodeId> right_child;  ///< kInvalidNode when absent
+  /// Pointer-doubling rounds charged for the distributed contraction.
+  std::uint64_t rounds_charged = 0;
+
+  std::size_t num_nodes() const { return parent.size(); }
+  std::uint32_t Depth() const;
+};
+
+/// Contracts an arbitrary-degree rooted tree (as produced by BuildBfsTree)
+/// into a well-formed binary tree over the same node set.
+WellFormedTree ContractToWellFormedTree(const BfsTreeResult& bfs);
+
+/// Checks the Section 1.2 definition: every node appears exactly once, parent
+/// and child pointers are mutually consistent, degree <= 3, and depth <=
+/// `max_depth` (pass e.g. ceil(log2 n) + 1; 0 skips the depth check).
+bool ValidateWellFormedTree(const WellFormedTree& t, std::uint32_t max_depth);
+
+}  // namespace overlay

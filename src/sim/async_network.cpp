@@ -1,0 +1,75 @@
+#include "sim/async_network.hpp"
+
+#include <algorithm>
+
+namespace overlay {
+
+AsyncNetwork::AsyncNetwork(const Config& config)
+    : capacity_(config.capacity),
+      max_delay_(config.max_delay),
+      rng_(config.seed),
+      inboxes_(config.num_nodes),
+      sent_this_round_(config.num_nodes, 0) {
+  OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
+  OVERLAY_CHECK(config.capacity >= 1, "capacity must be positive");
+  OVERLAY_CHECK(config.max_delay >= 1, "max delay must be positive");
+}
+
+void AsyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
+  OVERLAY_CHECK(from < num_nodes() && to < num_nodes(),
+                "message endpoint out of range");
+  OVERLAY_CHECK(sent_this_round_[from] < capacity_,
+                "protocol exceeded its per-round send cap");
+  ++sent_this_round_[from];
+  ++stats_.messages_sent;
+  Message stamped = msg;
+  stamped.src = from;
+  const std::uint64_t delay = 1 + rng_.NextBelow(max_delay_);
+  in_flight_.push_back({stamped, to, time_ + delay});
+}
+
+std::span<const Message> AsyncNetwork::Inbox(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  return inboxes_[v];
+}
+
+void AsyncNetwork::EndRound() {
+  std::uint64_t round_max_send = 0;
+  for (const std::uint32_t s : sent_this_round_) {
+    round_max_send = std::max<std::uint64_t>(round_max_send, s);
+  }
+  stats_.max_send_load = std::max(stats_.max_send_load, round_max_send);
+  std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0u);
+
+  // Advance D steps: every in-flight message arrives (delay <= D), possibly
+  // in scrambled order — ordering within a round is unobservable to a
+  // synchronous protocol, which is exactly why the synchronizer works.
+  time_ += max_delay_;
+  for (auto& inbox : inboxes_) inbox.clear();
+  std::vector<std::vector<Message>> pending(num_nodes());
+  for (const InFlight& f : in_flight_) {
+    OVERLAY_CHECK(f.arrival_time <= time_, "delay exceeded max_delay");
+    pending[f.to].push_back(f.msg);
+  }
+  in_flight_.clear();
+
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    auto& queue = pending[v];
+    stats_.max_offered_load =
+        std::max<std::uint64_t>(stats_.max_offered_load, queue.size());
+    if (queue.size() > capacity_) {
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng_.NextBelow(queue.size() - i));
+        std::swap(queue[i], queue[j]);
+      }
+      stats_.messages_dropped += queue.size() - capacity_;
+      queue.resize(capacity_);
+    }
+    stats_.messages_delivered += queue.size();
+    inboxes_[v] = std::move(queue);
+  }
+  ++stats_.rounds;
+}
+
+}  // namespace overlay

@@ -1,0 +1,31 @@
+// Message type for the synchronous NCC0 network simulator.
+//
+// The model (Section 1.1) allows messages of O(log n) bits — enough to carry
+// "a constant number of identifiers". We model this as a fixed struct with a
+// protocol tag and up to three 64-bit payload words; algorithms that would
+// need more per message must split across rounds or messages, exactly as they
+// would in the model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace overlay {
+
+/// Number of 64-bit payload words a single O(log n)-bit message may carry.
+inline constexpr std::size_t kMessageWords = 3;
+
+/// One network message. `kind` is a protocol-defined tag; payload semantics
+/// are protocol-defined. `src` is trustworthy (set by the engine at send).
+struct Message {
+  NodeId src = kInvalidNode;
+  std::uint32_t kind = 0;
+  std::array<std::uint64_t, kMessageWords> words{};
+
+  /// Convenience: treat word 0 as a node identifier payload.
+  NodeId IdPayload() const { return static_cast<NodeId>(words[0]); }
+};
+
+}  // namespace overlay

@@ -1,0 +1,81 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace overlay {
+
+void NetworkStats::MergeFrom(const NetworkStats& other) {
+  rounds += other.rounds;
+  messages_sent += other.messages_sent;
+  messages_delivered += other.messages_delivered;
+  messages_dropped += other.messages_dropped;
+  max_offered_load = std::max(max_offered_load, other.max_offered_load);
+  max_send_load = std::max(max_send_load, other.max_send_load);
+}
+
+SyncNetwork::SyncNetwork(const Config& config)
+    : capacity_(config.capacity),
+      rng_(config.seed),
+      inboxes_(config.num_nodes),
+      pending_(config.num_nodes),
+      sent_this_round_(config.num_nodes, 0),
+      total_sent_(config.num_nodes, 0) {
+  OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
+  OVERLAY_CHECK(config.capacity >= 1, "capacity must be positive");
+}
+
+void SyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
+  OVERLAY_CHECK(from < num_nodes() && to < num_nodes(),
+                "message endpoint out of range");
+  OVERLAY_CHECK(sent_this_round_[from] < capacity_,
+                "protocol exceeded its per-round send cap");
+  ++sent_this_round_[from];
+  ++total_sent_[from];
+  ++stats_.messages_sent;
+  Message stamped = msg;
+  stamped.src = from;
+  pending_[to].push_back(stamped);
+}
+
+std::span<const Message> SyncNetwork::Inbox(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes(), "node out of range");
+  return inboxes_[v];
+}
+
+void SyncNetwork::EndRound() {
+  std::uint64_t round_max_send = 0;
+  for (const std::uint32_t s : sent_this_round_) {
+    round_max_send = std::max<std::uint64_t>(round_max_send, s);
+  }
+  stats_.max_send_load = std::max(stats_.max_send_load, round_max_send);
+  std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0u);
+
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    auto& queue = pending_[v];
+    stats_.max_offered_load =
+        std::max<std::uint64_t>(stats_.max_offered_load, queue.size());
+    if (queue.size() > capacity_) {
+      // The network delivers an arbitrary subset of size `capacity_`; we pick
+      // a uniformly random one (partial Fisher–Yates, then truncate).
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng_.NextBelow(queue.size() - i));
+        std::swap(queue[i], queue[j]);
+      }
+      stats_.messages_dropped += queue.size() - capacity_;
+      queue.resize(capacity_);
+    }
+    stats_.messages_delivered += queue.size();
+    inboxes_[v].swap(queue);
+    queue.clear();
+  }
+  ++stats_.rounds;
+}
+
+std::uint64_t SyncNetwork::MaxTotalSentPerNode() const {
+  std::uint64_t best = 0;
+  for (const std::uint64_t t : total_sent_) best = std::max(best, t);
+  return best;
+}
+
+}  // namespace overlay

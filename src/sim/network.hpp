@@ -1,0 +1,95 @@
+// Synchronous round-based network engine with NCC0 capacity enforcement.
+//
+// Semantics (Section 1.1): time proceeds in rounds; a message sent in round i
+// is delivered at the beginning of round i+1; each node may send and receive
+// at most `cap` messages per round. If more than `cap` messages address a
+// node, it receives an *arbitrary* subset and the rest is dropped by the
+// network — this engine drops a uniformly random subset (one legal adversary)
+// and records the event.
+//
+// Send-cap violations are *algorithm* bugs, not adversary behaviour, so the
+// engine raises ContractViolation when a protocol tries to over-send.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+
+namespace overlay {
+
+/// Telemetry the benchmarks report: totals, peaks, and drops.
+struct NetworkStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  /// Max messages any single node received in any round (before drops).
+  std::uint64_t max_offered_load = 0;
+  /// Max messages any single node sent in any round.
+  std::uint64_t max_send_load = 0;
+
+  void MergeFrom(const NetworkStats& other);
+};
+
+/// The round engine. Typical protocol-driver loop:
+///
+///   SyncNetwork net(cfg);
+///   while (!done) {
+///     for (NodeId v = 0; v < n; ++v) {
+///       for (const Message& m : net.Inbox(v)) { ...; net.Send(v, to, msg); }
+///     }
+///     net.EndRound();
+///   }
+class SyncNetwork {
+ public:
+  struct Config {
+    std::size_t num_nodes = 0;
+    /// Per-round, per-node send and receive cap (the model's O(log n)).
+    std::size_t capacity = 0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit SyncNetwork(const Config& config);
+
+  std::size_t num_nodes() const { return inboxes_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t round() const { return stats_.rounds; }
+
+  /// Queues a message from `from` to `to` for delivery next round.
+  /// Raises ContractViolation if `from` exceeds its send cap this round.
+  void Send(NodeId from, NodeId to, const Message& msg);
+
+  /// Messages delivered to `v` at the beginning of the current round.
+  std::span<const Message> Inbox(NodeId v) const;
+
+  /// Closes the round: enforces receive caps (random drop of the excess),
+  /// moves queued messages into inboxes, advances the round counter.
+  void EndRound();
+
+  /// Advances the round counter by `k` without message activity. Used by
+  /// drivers for protocol phases whose round cost is accounted analytically
+  /// (documented per call site).
+  void SkipRounds(std::uint64_t k) { stats_.rounds += k; }
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Total messages node `v` has sent over the whole execution (for the
+  /// Theorem 1.1 per-node O(log² n) message bound).
+  std::uint64_t TotalSentBy(NodeId v) const { return total_sent_[v]; }
+  std::uint64_t MaxTotalSentPerNode() const;
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  NetworkStats stats_;
+  std::vector<std::vector<Message>> inboxes_;   // delivered this round
+  std::vector<std::vector<Message>> pending_;   // queued for next round
+  std::vector<std::uint32_t> sent_this_round_;  // per-node send counters
+  std::vector<std::uint64_t> total_sent_;
+};
+
+}  // namespace overlay

@@ -1,0 +1,57 @@
+#include "sim/token_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
+                              Rng& rng) {
+  OVERLAY_CHECK(opts.tokens_per_node >= 1, "need at least one token per node");
+  OVERLAY_CHECK(opts.walk_length >= 1, "walks must take at least one step");
+  const std::size_t n = g.num_nodes();
+  const std::size_t num_tokens = n * opts.tokens_per_node;
+
+  TokenWalkResult result;
+  result.token_origin.reserve(num_tokens);
+  std::vector<NodeId> position;
+  position.reserve(num_tokens);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t t = 0; t < opts.tokens_per_node; ++t) {
+      position.push_back(v);
+      result.token_origin.push_back(v);
+    }
+  }
+  if (opts.record_paths) {
+    result.paths.assign(num_tokens, {});
+    for (std::size_t i = 0; i < num_tokens; ++i) {
+      result.paths[i].reserve(opts.walk_length + 1);
+      result.paths[i].push_back(position[i]);
+    }
+  }
+
+  std::vector<std::uint32_t> load(n, 0);
+  for (std::size_t step = 0; step < opts.walk_length; ++step) {
+    std::fill(load.begin(), load.end(), 0u);
+    for (std::size_t i = 0; i < num_tokens; ++i) {
+      const NodeId next = g.RandomNeighbor(position[i], rng);
+      position[i] = next;
+      ++load[next];
+      if (opts.record_paths) {
+        result.paths[i].push_back(next);
+      }
+    }
+    result.token_steps += num_tokens;
+    const auto step_max = *std::max_element(load.begin(), load.end());
+    result.max_load = std::max<std::uint64_t>(result.max_load, step_max);
+  }
+
+  result.arrivals.assign(n, {});
+  for (std::size_t i = 0; i < num_tokens; ++i) {
+    result.arrivals[position[i]].push_back(result.token_origin[i]);
+  }
+  return result;
+}
+
+}  // namespace overlay

@@ -1,0 +1,52 @@
+// Vectorized random-walk token engine (fast path of the simulator).
+//
+// CreateExpander moves n·Δ/8 tokens for ℓ rounds per evolution. Routing each
+// token as a generic Message through SyncNetwork works but dominates runtime
+// at n = 2^15+, so this engine moves tokens directly over multigraph slot
+// arrays with *identical* semantics: one uniform incident slot per token per
+// round, per-node offered-load accounting per round, drop-free (Lemma 3.2:
+// loads stay below 3Δ/8 w.h.p., which the caller checks via max_offered_load).
+// tests/sim_equivalence_test.cpp verifies the endpoint distribution matches
+// the generic message-passing engine statistically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/multigraph.hpp"
+
+namespace overlay {
+
+/// Result of running all walks of one evolution.
+struct TokenWalkResult {
+  /// arrivals[v] = origins of the tokens located at v after the final step.
+  std::vector<std::vector<NodeId>> arrivals;
+  /// Maximum number of tokens co-located at any node after any single step
+  /// (the Lemma 3.2 load; compare against 3Δ/8).
+  std::uint64_t max_load = 0;
+  /// Token-step count (= messages the walks would cost in SyncNetwork).
+  std::uint64_t token_steps = 0;
+  /// When paths are recorded: paths[i] is token i's node sequence, length
+  /// ℓ+1, paths[i].front() = origin. Token order matches `token_origin`.
+  std::vector<std::vector<NodeId>> paths;
+  /// Origin of token i (parallel to `paths` when recorded).
+  std::vector<NodeId> token_origin;
+};
+
+struct TokenWalkOptions {
+  std::size_t tokens_per_node = 1;
+  std::size_t walk_length = 1;
+  /// Record full node sequences (needed by the Theorem 1.3 spanning-tree
+  /// unwinding); costs O(tokens · ℓ) memory.
+  bool record_paths = false;
+};
+
+/// Runs `tokens_per_node` independent lazy random walks of `walk_length`
+/// steps from every node of `g`. Each step picks a uniformly random slot of
+/// the token's current node (self-loop slots keep it in place).
+TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
+                              Rng& rng);
+
+}  // namespace overlay

@@ -1,0 +1,121 @@
+// Tests for the bounded-delay asynchronous engine (paper footnote 2):
+// a synchronous protocol must run unchanged under the max-delay
+// synchronizer, at a wall-clock cost of max_delay per round.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sim/async_network.hpp"
+
+namespace overlay {
+namespace {
+
+/// Min-id flooding protocol run against any SyncNetwork-shaped engine.
+/// Returns (per-node known minimum, rounds used).
+template <typename Net>
+std::pair<std::vector<NodeId>, std::uint64_t> FloodMinId(const Graph& g,
+                                                         Net& net) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> best(n);
+  for (NodeId v = 0; v < n; ++v) best[v] = v;
+  std::vector<char> changed(n, 1);
+  bool active = true;
+  while (active) {
+    active = false;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Message& m : net.Inbox(v)) {
+        const NodeId r = static_cast<NodeId>(m.words[0]);
+        if (r < best[v]) {
+          best[v] = r;
+          changed[v] = 1;
+        }
+      }
+      if (changed[v]) {
+        Message msg;
+        msg.kind = 1;
+        msg.words[0] = best[v];
+        for (NodeId w : g.Neighbors(v)) net.Send(v, w, msg);
+        changed[v] = 0;
+        active = true;
+      }
+    }
+    net.EndRound();
+    for (NodeId v = 0; v < n && !active; ++v) {
+      if (!net.Inbox(v).empty()) active = true;
+    }
+  }
+  return {best, net.stats().rounds};
+}
+
+TEST(AsyncNetwork, DeliversWithinTheRound) {
+  AsyncNetwork net({2, 4, 5, 1});
+  Message m;
+  m.kind = 1;
+  m.words[0] = 42;
+  net.Send(0, 1, m);
+  EXPECT_TRUE(net.Inbox(1).empty());
+  net.EndRound();
+  ASSERT_EQ(net.Inbox(1).size(), 1u);
+  EXPECT_EQ(net.Inbox(1)[0].words[0], 42u);
+  EXPECT_EQ(net.time_steps(), 5u);  // one round = max_delay steps
+}
+
+TEST(AsyncNetwork, WallClockIsRoundsTimesDelay) {
+  AsyncNetwork net({4, 4, 7, 1});
+  for (int i = 0; i < 3; ++i) net.EndRound();
+  EXPECT_EQ(net.round(), 3u);
+  EXPECT_EQ(net.time_steps(), 21u);
+}
+
+TEST(AsyncNetwork, SendCapEnforced) {
+  AsyncNetwork net({2, 2, 3, 1});
+  Message m;
+  net.Send(0, 1, m);
+  net.Send(0, 1, m);
+  EXPECT_THROW(net.Send(0, 1, m), ContractViolation);
+}
+
+TEST(AsyncNetwork, ReceiveCapDrops) {
+  AsyncNetwork net({10, 3, 4, 1});
+  Message m;
+  for (NodeId v = 0; v < 8; ++v) net.Send(v, 9, m);
+  net.EndRound();
+  EXPECT_EQ(net.Inbox(9).size(), 3u);
+  EXPECT_EQ(net.stats().messages_dropped, 5u);
+}
+
+class AsyncFloodTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AsyncFloodTest, SynchronousProtocolUnchangedUnderDelay) {
+  // The same flooding protocol must compute the same result on the
+  // asynchronous engine for any max delay, in the same number of *logical*
+  // rounds (± none: the synchronizer is exact).
+  const std::size_t max_delay = GetParam();
+  const Graph g = gen::ConnectedGnp(128, 0.04, 5);
+
+  SyncNetwork sync({128, 128, 2});
+  const auto [sync_best, sync_rounds] = FloodMinId(g, sync);
+
+  AsyncNetwork async({128, 128, max_delay, 2});
+  const auto [async_best, async_rounds] = FloodMinId(g, async);
+
+  EXPECT_EQ(async_best, sync_best);
+  EXPECT_EQ(async_rounds, sync_rounds);
+  EXPECT_EQ(async.time_steps(), async_rounds * max_delay);
+  for (const NodeId b : async_best) EXPECT_EQ(b, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, AsyncFloodTest,
+                         ::testing::Values(1, 2, 5, 16));
+
+TEST(AsyncNetwork, RejectsInvalidConfig) {
+  EXPECT_THROW(AsyncNetwork({0, 1, 1, 1}), ContractViolation);
+  EXPECT_THROW(AsyncNetwork({1, 0, 1, 1}), ContractViolation);
+  EXPECT_THROW(AsyncNetwork({1, 1, 0, 1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace overlay

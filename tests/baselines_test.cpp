@@ -1,0 +1,139 @@
+// Tests for the baselines: supernode merging, pointer jumping, sequential
+// biconnectivity, partition comparison.
+#include <gtest/gtest.h>
+
+#include "baselines/pointer_jumping.hpp"
+#include "baselines/seq_biconnectivity.hpp"
+#include "baselines/seq_checks.hpp"
+#include "baselines/supernode_merge.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/union_find.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(SupernodeMerge, ConvergesToSingleSupernode) {
+  for (std::size_t n : {8u, 64u, 256u}) {
+    const auto r = RunSupernodeMerge(gen::Line(n));
+    EXPECT_EQ(r.supernode_counts.back(), 1u);
+    EXPECT_GT(r.rounds, 0u);
+  }
+}
+
+TEST(SupernodeMerge, ParentLinksFormSpanningForestOfG) {
+  const Graph g = gen::ConnectedGnp(128, 0.05, 3);
+  const auto r = RunSupernodeMerge(g);
+  UnionFind uf(128);
+  std::size_t links = 0;
+  for (NodeId v = 0; v < 128; ++v) {
+    if (r.parent[v] == kInvalidNode) continue;
+    EXPECT_TRUE(g.HasEdge(v, r.parent[v]));
+    EXPECT_TRUE(uf.Union(v, r.parent[v]));  // acyclic
+    ++links;
+  }
+  EXPECT_EQ(links, 127u);  // spanning tree of the merge structure
+  EXPECT_EQ(uf.ComponentCount(), 1u);
+}
+
+TEST(SupernodeMerge, PhasesAreLogarithmic) {
+  const auto r = RunSupernodeMerge(gen::Line(1024));
+  // Coin-flip grouping merges a constant fraction per phase, so phases stay
+  // O(log n) (generous constant for coin-flip variance).
+  EXPECT_LE(r.phases, 60u);
+  for (std::size_t i = 1; i + 1 < r.supernode_counts.size(); ++i) {
+    EXPECT_LE(r.supernode_counts[i], r.supernode_counts[i - 1]);
+  }
+}
+
+TEST(SupernodeMerge, RoundBillGrowsSuperlogarithmically) {
+  // The Θ(log² n) shape: rounds / log n must grow as n grows.
+  const auto small = RunSupernodeMerge(gen::Line(64));
+  const auto large = RunSupernodeMerge(gen::Line(4096));
+  const double small_ratio = static_cast<double>(small.rounds) / 6.0;
+  const double large_ratio = static_cast<double>(large.rounds) / 12.0;
+  EXPECT_GT(large_ratio, 1.5 * small_ratio);
+}
+
+TEST(SupernodeMerge, RequiresConnectivity) {
+  const Graph g = gen::DisjointUnion({gen::Line(4), gen::Line(4)});
+  EXPECT_THROW(RunSupernodeMerge(g), ContractViolation);
+}
+
+TEST(PointerJumping, ReachesCliqueInLogDiameterRounds) {
+  const auto r = RunPointerJumping(gen::Line(64));
+  EXPECT_EQ(r.final_diameter, 1u);
+  EXPECT_LE(r.rounds, 7u);  // ceil(log2(63)) + 1
+}
+
+TEST(PointerJumping, MessageBlowupIsLinearInN) {
+  const auto small = RunPointerJumping(gen::Line(64));
+  const auto large = RunPointerJumping(gen::Line(512));
+  // Peak per-node per-round messages approach Θ(n²) when the graph
+  // densifies; at minimum they grow superlinearly with n.
+  EXPECT_GT(large.max_node_messages_per_round,
+            4 * small.max_node_messages_per_round);
+  EXPECT_GE(large.max_node_messages_per_round, 512u);
+}
+
+TEST(PointerJumping, AlreadyCliqueNoRounds) {
+  const auto r = RunPointerJumping(gen::Complete(16));
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.final_diameter, 1u);
+}
+
+TEST(SeqBcc, LineAllBridges) {
+  const auto r = HopcroftTarjanBcc(gen::Line(6));
+  EXPECT_EQ(r.num_components, 5u);
+  EXPECT_EQ(r.bridge_edges.size(), 5u);
+  EXPECT_EQ(r.cut_vertices.size(), 4u);
+}
+
+TEST(SeqBcc, CycleOneComponent) {
+  const auto r = HopcroftTarjanBcc(gen::Cycle(8));
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.cut_vertices.empty());
+  EXPECT_TRUE(r.bridge_edges.empty());
+}
+
+TEST(SeqBcc, TwoTrianglesSharingANode) {
+  // 0-1-2-0 and 2-3-4-2: node 2 is the articulation point.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 2);
+  const auto r = HopcroftTarjanBcc(std::move(b).Build());
+  EXPECT_EQ(r.num_components, 2u);
+  ASSERT_EQ(r.cut_vertices.size(), 1u);
+  EXPECT_EQ(r.cut_vertices[0], 2u);
+  EXPECT_TRUE(r.bridge_edges.empty());
+}
+
+TEST(SeqBcc, RootArticulation) {
+  // Star: center (node 0, DFS root) has every edge as its own component.
+  const auto r = HopcroftTarjanBcc(gen::Star(5));
+  EXPECT_EQ(r.num_components, 4u);
+  ASSERT_EQ(r.cut_vertices.size(), 1u);
+  EXPECT_EQ(r.cut_vertices[0], 0u);
+}
+
+TEST(SeqBcc, DeepGraphNoStackOverflow) {
+  // 100k-node line: the iterative DFS must not blow the call stack.
+  const auto r = HopcroftTarjanBcc(gen::Line(100000));
+  EXPECT_EQ(r.num_components, 99999u);
+}
+
+TEST(SameEdgePartition, DetectsRefinementsAndRenames) {
+  EXPECT_TRUE(SameEdgePartition({0, 0, 1}, {5, 5, 3}));
+  EXPECT_FALSE(SameEdgePartition({0, 0, 1}, {0, 1, 1}));
+  EXPECT_FALSE(SameEdgePartition({0, 1}, {0, 0}));   // b merges
+  EXPECT_FALSE(SameEdgePartition({0, 0}, {0, 1}));   // b splits
+  EXPECT_FALSE(SameEdgePartition({0}, {0, 1}));      // size mismatch
+  EXPECT_TRUE(SameEdgePartition({}, {}));
+}
+
+}  // namespace
+}  // namespace overlay

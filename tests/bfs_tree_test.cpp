@@ -1,0 +1,89 @@
+// Tests for the distributed min-id election + BFS protocol.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/bfs_tree.hpp"
+
+namespace overlay {
+namespace {
+
+class BfsFamilyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BfsFamilyTest, ValidOnRandomGraphs) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::ConnectedGnp(n, 4.0 / static_cast<double>(n), seed);
+    const auto r = BuildBfsTree(g, 0, seed);
+    EXPECT_TRUE(ValidateBfsTree(g, r)) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BfsFamilyTest,
+                         ::testing::Values(2, 8, 64, 256));
+
+TEST(BfsTree, LineRootsAtZeroWithFullDepth) {
+  const Graph g = gen::Line(20);
+  const auto r = BuildBfsTree(g);
+  EXPECT_EQ(r.root, 0u);
+  EXPECT_EQ(r.height, 19u);
+  EXPECT_TRUE(ValidateBfsTree(g, r));
+}
+
+TEST(BfsTree, StarFinishesFast) {
+  const Graph g = gen::Star(50);
+  const auto r = BuildBfsTree(g);
+  EXPECT_TRUE(ValidateBfsTree(g, r));
+  EXPECT_LE(r.height, 2u);
+  EXPECT_LE(r.stats.rounds, 8u);
+}
+
+TEST(BfsTree, RoundsScaleWithDiameter) {
+  const auto line = BuildBfsTree(gen::Line(64));
+  const auto cube = BuildBfsTree(gen::Hypercube(6));
+  // Line diameter 63 vs hypercube diameter 6: round gap must be large.
+  EXPECT_GT(line.stats.rounds, cube.stats.rounds + 30);
+}
+
+TEST(BfsTree, RequiresConnectivity) {
+  const Graph g = gen::DisjointUnion({gen::Line(4), gen::Line(4)});
+  EXPECT_THROW(BuildBfsTree(g), ContractViolation);
+}
+
+TEST(BfsTree, CapacityBelowDegreeRejected) {
+  const Graph g = gen::Star(20);
+  EXPECT_THROW(BuildBfsTree(g, /*capacity=*/2), ContractViolation);
+}
+
+TEST(BfsTree, NoMessagesDropped) {
+  // Flooding respects the degree-sized capacity, so nothing is ever dropped.
+  const Graph g = gen::ConnectedGnp(128, 0.04, 5);
+  const auto r = BuildBfsTree(g);
+  EXPECT_EQ(r.stats.messages_dropped, 0u);
+}
+
+TEST(ValidateBfsTree, RejectsCorruptedTrees) {
+  const Graph g = gen::Line(10);
+  auto r = BuildBfsTree(g);
+  ASSERT_TRUE(ValidateBfsTree(g, r));
+  auto wrong_parent = r;
+  wrong_parent.parent[5] = 9;  // not a neighbor
+  EXPECT_FALSE(ValidateBfsTree(g, wrong_parent));
+  auto wrong_depth = r;
+  wrong_depth.depth[3] = 7;
+  EXPECT_FALSE(ValidateBfsTree(g, wrong_depth));
+  auto wrong_root = r;
+  wrong_root.root = 4;
+  EXPECT_FALSE(ValidateBfsTree(g, wrong_root));
+}
+
+TEST(BfsTree, SingleNodeGraph) {
+  const Graph g = GraphBuilder(1).Build();
+  const auto r = BuildBfsTree(g, 1);
+  EXPECT_EQ(r.root, 0u);
+  EXPECT_EQ(r.height, 0u);
+}
+
+}  // namespace
+}  // namespace overlay

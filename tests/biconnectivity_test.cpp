@@ -1,0 +1,167 @@
+// Tests for Theorem 1.4 (hybrid Tarjan–Vishkin) against the sequential
+// Hopcroft–Tarjan oracle, including the paper's Figure 1 rule examples.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "baselines/seq_biconnectivity.hpp"
+#include "baselines/seq_checks.hpp"
+#include "graph/generators.hpp"
+#include "hybrid/biconnectivity.hpp"
+
+namespace overlay {
+namespace {
+
+void ExpectMatchesOracle(const Graph& g, std::uint64_t seed) {
+  BiconnectivityOptions opts;
+  opts.overlay.seed = seed;
+  const auto got = ComputeBiconnectedComponents(g, opts);
+  const auto want = HopcroftTarjanBcc(g);
+  EXPECT_EQ(got.num_components, want.num_components);
+  EXPECT_TRUE(SameEdgePartition(got.edge_component, want.edge_component));
+  EXPECT_EQ(got.cut_vertices, want.cut_vertices);
+  EXPECT_EQ(got.bridge_edges, want.bridge_edges);
+}
+
+TEST(Biconnectivity, SingleEdge) {
+  const Graph g = gen::Line(2);
+  BiconnectivityOptions opts;
+  const auto r = ComputeBiconnectedComponents(g, opts);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.bridge_edges.size(), 1u);
+  EXPECT_TRUE(r.cut_vertices.empty());
+  EXPECT_FALSE(r.graph_biconnected);
+}
+
+TEST(Biconnectivity, TriangleIsBiconnected) {
+  const Graph g = gen::Cycle(3);
+  BiconnectivityOptions opts;
+  const auto r = ComputeBiconnectedComponents(g, opts);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.graph_biconnected);
+  EXPECT_TRUE(r.cut_vertices.empty());
+  EXPECT_TRUE(r.bridge_edges.empty());
+}
+
+TEST(Biconnectivity, LineIsAllBridges) {
+  const Graph g = gen::Line(10);
+  BiconnectivityOptions opts;
+  const auto r = ComputeBiconnectedComponents(g, opts);
+  EXPECT_EQ(r.num_components, 9u);
+  EXPECT_EQ(r.bridge_edges.size(), 9u);
+  EXPECT_EQ(r.cut_vertices.size(), 8u);  // interior nodes
+}
+
+TEST(Biconnectivity, CycleIsOneComponent) {
+  ExpectMatchesOracle(gen::Cycle(12), 1);
+}
+
+TEST(Biconnectivity, BarbellHasThreeComponents) {
+  // Two cliques + bridge path: cliques are blocks, path edges are bridges.
+  const Graph g = gen::Barbell(5, 2);
+  BiconnectivityOptions opts;
+  const auto r = ComputeBiconnectedComponents(g, opts);
+  const auto want = HopcroftTarjanBcc(g);
+  EXPECT_EQ(r.num_components, want.num_components);
+  EXPECT_EQ(r.num_components, 2u + 3u);  // 2 cliques + 3 path edges
+  ExpectMatchesOracle(g, 2);
+}
+
+TEST(Biconnectivity, FigureOneRuleOneExample) {
+  // Figure 1 (left): tree edges (v,u), (w,x); non-tree {v,w} joins the two
+  // parent edges. Concretely: u-v, x-w tree edges under root r: r-u, r-x.
+  //   r(0) - u(1) - v(2),  r(0) - x(3) - w(4),  plus non-tree v-w.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(2, 4);  // the non-tree edge {v, w}
+  const Graph g = std::move(b).Build();
+  ExpectMatchesOracle(g, 3);
+  // The cycle 0-1-2-4-3-0 makes the whole graph one block.
+  BiconnectivityOptions opts;
+  const auto r = ComputeBiconnectedComponents(g, opts);
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(Biconnectivity, FigureOneRuleTwoExample) {
+  // Figure 1 (center): a path u-v-w with a non-tree edge from a descendant
+  // of w to a non-descendant of v (here: w's child back to u).
+  //   u(0) - v(1) - w(2) - z(3), non-tree z-u.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 0);
+  const Graph g = std::move(b).Build();
+  ExpectMatchesOracle(g, 4);
+}
+
+TEST(Biconnectivity, FigureOneRuleThreeExample) {
+  // Figure 1 (right): non-tree edge {v,w} attaches to w's parent edge's
+  // component. A triangle hanging off a path exercises it.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);  // bridge
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 1);  // triangle 1-2-3
+  b.AddEdge(3, 4);  // bridge
+  const Graph g = std::move(b).Build();
+  ExpectMatchesOracle(g, 5);
+  BiconnectivityOptions opts;
+  const auto r = ComputeBiconnectedComponents(g, opts);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_EQ(r.bridge_edges.size(), 2u);
+  const std::set<NodeId> cuts(r.cut_vertices.begin(), r.cut_vertices.end());
+  EXPECT_EQ(cuts, (std::set<NodeId>{1, 3}));
+}
+
+class BccRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BccRandomTest, MatchesOracleOnSparseRandomGraphs) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    // Sparse G(n,p) has a rich block structure (many cut nodes + bridges).
+    const Graph g = gen::ConnectedGnp(n, 1.2 / static_cast<double>(n), seed);
+    ExpectMatchesOracle(g, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BccRandomTest,
+                         ::testing::Values(16, 64, 256));
+
+TEST(Biconnectivity, MatchesOracleOnDenserGraphs) {
+  const Graph g = gen::ConnectedGnp(128, 0.05, 7);
+  ExpectMatchesOracle(g, 7);
+}
+
+TEST(Biconnectivity, MatchesOracleOnTrees) {
+  // Every edge of a tree is its own component; every internal node is a cut.
+  const Graph g = gen::RandomTree(64, 9);
+  ExpectMatchesOracle(g, 9);
+}
+
+TEST(Biconnectivity, OverlayHelperPathAgrees) {
+  // Running the measured Theorem 1.2 machinery on G'' must not change the
+  // answer, only the cost accounting.
+  const Graph g = gen::ConnectedGnp(96, 0.04, 11);
+  BiconnectivityOptions fast, slow;
+  fast.overlay.seed = slow.overlay.seed = 11;
+  slow.run_overlay_on_helper = true;
+  const auto a = ComputeBiconnectedComponents(g, fast);
+  const auto b = ComputeBiconnectedComponents(g, slow);
+  EXPECT_TRUE(SameEdgePartition(a.edge_component, b.edge_component));
+  EXPECT_EQ(a.cut_vertices, b.cut_vertices);
+  EXPECT_GE(b.cost.rounds, a.cost.rounds);
+}
+
+TEST(Biconnectivity, RejectsDisconnected) {
+  const Graph g = gen::DisjointUnion({gen::Cycle(4), gen::Cycle(4)});
+  BiconnectivityOptions opts;
+  EXPECT_THROW(ComputeBiconnectedComponents(g, opts), ContractViolation);
+}
+
+}  // namespace
+}  // namespace overlay

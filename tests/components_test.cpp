@@ -1,0 +1,128 @@
+// Tests for Theorem 1.2: well-formed trees on every connected component.
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "hybrid/components.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(InducedSubgraph, ExtractsCorrectEdges) {
+  const Graph g = gen::Cycle(6);
+  const std::vector<NodeId> nodes{0, 1, 2, 5};
+  const Graph s = InducedSubgraph(g, nodes);
+  EXPECT_EQ(s.num_nodes(), 4u);
+  // Edges among {0,1,2,5}: (0,1), (1,2), (5,0) -> local (3,0).
+  EXPECT_EQ(s.num_edges(), 3u);
+  EXPECT_TRUE(s.HasEdge(0, 1));
+  EXPECT_TRUE(s.HasEdge(1, 2));
+  EXPECT_TRUE(s.HasEdge(0, 3));
+}
+
+TEST(InducedSubgraph, RequiresSortedNodes) {
+  const Graph g = gen::Cycle(6);
+  EXPECT_THROW(InducedSubgraph(g, {2, 1}), ContractViolation);
+}
+
+TEST(Components, SingleComponentGetsOneTree) {
+  const Graph g = gen::Cycle(200);
+  const auto r = BuildComponentOverlays(g, {.seed = 1});
+  ASSERT_EQ(r.components.size(), 1u);
+  EXPECT_EQ(r.components[0].nodes.size(), 200u);
+  EXPECT_TRUE(
+      ValidateWellFormedTree(r.components[0].tree, CeilLog2(200) + 1));
+}
+
+TEST(Components, MultipleComponentsEachGetTrees) {
+  const Graph g = gen::DisjointUnion(
+      {gen::Line(100), gen::Cycle(60), gen::ConnectedGnp(150, 0.05, 3)});
+  const auto r = BuildComponentOverlays(g, {.seed = 2});
+  ASSERT_EQ(r.components.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& c : r.components) {
+    total += c.nodes.size();
+    EXPECT_TRUE(ValidateWellFormedTree(
+        c.tree, CeilLog2(std::max<std::size_t>(2, c.nodes.size())) + 1))
+        << "component with " << c.nodes.size() << " nodes";
+  }
+  EXPECT_EQ(total, 310u);
+}
+
+TEST(Components, LabelsMatchGraphComponents) {
+  const Graph g = gen::DisjointUnion({gen::Line(30), gen::Line(40)});
+  const auto r = BuildComponentOverlays(g, {.seed = 3});
+  const auto want = ConnectedComponentLabels(g);
+  EXPECT_EQ(r.component_of, want);
+}
+
+TEST(Components, SingletonComponentsHandled) {
+  // Three isolated nodes plus a cycle.
+  GraphBuilder b(10);
+  for (NodeId v = 0; v < 7; ++v) {
+    b.AddEdge(v, static_cast<NodeId>((v + 1) % 7));
+  }
+  const Graph g = std::move(b).Build();
+  const auto r = BuildComponentOverlays(g, {.seed = 4});
+  ASSERT_EQ(r.components.size(), 4u);
+  std::size_t singletons = 0;
+  for (const auto& c : r.components) {
+    if (c.nodes.size() == 1) {
+      ++singletons;
+      EXPECT_TRUE(ValidateWellFormedTree(c.tree, 1));
+    }
+  }
+  EXPECT_EQ(singletons, 3u);
+}
+
+TEST(Components, TreeNodesAreLocalIndices) {
+  const Graph g = gen::DisjointUnion({gen::Cycle(40), gen::Cycle(50)});
+  const auto r = BuildComponentOverlays(g, {.seed = 5});
+  for (const auto& c : r.components) {
+    EXPECT_EQ(c.tree.num_nodes(), c.nodes.size());
+    EXPECT_TRUE(std::is_sorted(c.nodes.begin(), c.nodes.end()));
+  }
+}
+
+TEST(Components, HighDegreeComponentsWork) {
+  // Star mixed with a line: exercises the arbitrary-degree path (Thm 1.2's
+  // whole point vs Thm 1.1's constant-degree requirement).
+  const Graph g = gen::DisjointUnion({gen::Star(300), gen::Line(100)});
+  const auto r = BuildComponentOverlays(g, {.seed = 6});
+  ASSERT_EQ(r.components.size(), 2u);
+  for (const auto& c : r.components) {
+    EXPECT_TRUE(ValidateWellFormedTree(c.tree, CeilLog2(c.nodes.size()) + 1));
+  }
+}
+
+TEST(Components, RoundsGrowWithComponentSizeNotN) {
+  // Theorem 1.2's refinement: small components finish in O(log m + loglog n)
+  // rounds. Compare a graph of many small components with one big one of
+  // the same total size.
+  const std::size_t kTotal = 1024;
+  std::vector<Graph> small_parts;
+  for (int i = 0; i < 16; ++i) {
+    small_parts.push_back(gen::Cycle(kTotal / 16));
+  }
+  const Graph many_small = gen::DisjointUnion(small_parts);
+  const Graph one_big = gen::Cycle(kTotal);
+
+  HybridOverlayOptions opts;
+  opts.spanner.component_size_bound = kTotal / 16;
+  const auto small_r = BuildComponentOverlays(many_small, opts);
+  HybridOverlayOptions big_opts;
+  const auto big_r = BuildComponentOverlays(one_big, big_opts);
+  EXPECT_LT(small_r.total_cost.rounds, big_r.total_cost.rounds);
+}
+
+TEST(Components, CostsAccumulated) {
+  const Graph g = gen::Cycle(128);
+  const auto r = BuildComponentOverlays(g, {.seed = 7});
+  EXPECT_GT(r.total_cost.rounds, 0u);
+  EXPECT_GT(r.total_cost.local_messages, 0u);   // spanner broadcast
+  EXPECT_GT(r.total_cost.global_messages, 0u);  // token walks
+}
+
+}  // namespace
+}  // namespace overlay

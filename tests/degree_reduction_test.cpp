@@ -1,0 +1,93 @@
+// Tests for Section 4.2 Step 2 (incoming-edge delegation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "hybrid/degree_reduction.hpp"
+#include "hybrid/spanner.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(DegreeReduction, StarCollapsesToChain) {
+  // All leaves point at the hub: the hub keeps one edge; leaves chain up.
+  DigraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.AddArc(v, 0);
+  const auto r = ReduceDegree(std::move(b).Build());
+  EXPECT_TRUE(IsConnected(r.h));
+  EXPECT_LE(r.h.MaxDegree(), 2u);  // hub keeps 1; chain interior has 2
+  EXPECT_EQ(r.h.num_edges(), 5u);  // 1 kept + 4 sibling edges
+  // Hubs recorded for every sibling edge.
+  EXPECT_EQ(r.hubs.size(), 4u);
+  for (const auto& [edge, hub] : r.hubs) {
+    EXPECT_EQ(hub, 0u);
+  }
+}
+
+TEST(DegreeReduction, PreservesComponents) {
+  const Graph g = gen::DisjointUnion(
+      {gen::ConnectedGnp(60, 0.1, 1), gen::ConnectedGnp(80, 0.08, 2)});
+  const auto spanner = BuildSpanner(g, {.seed = 3});
+  const auto r = ReduceDegree(spanner.spanner);
+  const auto g_labels = ConnectedComponentLabels(g);
+  for (const auto& [u, v] : r.h.EdgeList()) {
+    EXPECT_EQ(g_labels[u], g_labels[v]) << u << "-" << v;
+  }
+  EXPECT_EQ(ComponentSizes(ConnectedComponentLabels(r.h)).size(), 2u);
+}
+
+TEST(DegreeReduction, BoundsDegreeOnDenseInputs) {
+  const std::size_t n = 1024;
+  const Graph g = gen::ConnectedGnp(n, 0.05, 5);
+  const auto spanner = BuildSpanner(g, {.seed = 5});
+  const auto r = ReduceDegree(spanner.spanner);
+  // Lemma 4.3: degree O(log n). Spanner out-degree O(log n) plus 1 kept
+  // incoming edge plus 2 sibling edges per outgoing edge.
+  const double limit = 40.0 * std::log2(static_cast<double>(n));
+  EXPECT_LE(static_cast<double>(r.h.MaxDegree()), limit);
+}
+
+TEST(DegreeReduction, StarGraphEndToEnd) {
+  // The full pipeline's stress case: a 2048-star has one node of degree
+  // 2047; after spanner + reduction every node must have low degree.
+  const Graph g = gen::Star(2048);
+  const auto spanner = BuildSpanner(g, {.seed = 7});
+  const auto r = ReduceDegree(spanner.spanner);
+  EXPECT_TRUE(IsConnected(r.h));
+  EXPECT_LE(static_cast<double>(r.h.MaxDegree()),
+            40.0 * std::log2(2048.0));
+}
+
+TEST(DegreeReduction, HubsAreAdjacentToBothEndpointsInG) {
+  const Graph g = gen::ConnectedGnp(256, 0.06, 9);
+  const auto spanner = BuildSpanner(g, {.seed = 9});
+  const auto r = ReduceDegree(spanner.spanner);
+  for (const auto& [edge, hub] : r.hubs) {
+    // Delegated edge {a,b} came from spanner arcs a->hub and b->hub, which
+    // are G edges (spanner ⊆ G).
+    EXPECT_TRUE(g.HasEdge(edge.first, hub));
+    EXPECT_TRUE(g.HasEdge(edge.second, hub));
+  }
+}
+
+TEST(DegreeReduction, EveryHEdgeIsInGOrDelegated) {
+  const Graph g = gen::ConnectedGnp(256, 0.05, 11);
+  const auto spanner = BuildSpanner(g, {.seed = 11});
+  const auto r = ReduceDegree(spanner.spanner);
+  for (const auto& [u, v] : r.h.EdgeList()) {
+    const auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+    EXPECT_TRUE(g.HasEdge(u, v) || r.hubs.count(key)) << u << "-" << v;
+  }
+}
+
+TEST(DegreeReduction, CostIsTwoRounds) {
+  const Graph g = gen::Cycle(32);
+  const auto spanner = BuildSpanner(g, {.seed = 13});
+  const auto r = ReduceDegree(spanner.spanner);
+  EXPECT_EQ(r.cost.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace overlay

@@ -1,0 +1,114 @@
+// Tests for Section 1.4 derived overlays (sorted ring, butterfly, De Bruijn,
+// hypercube) built from well-formed trees.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/construct.hpp"
+#include "overlay/derived.hpp"
+
+namespace overlay {
+namespace {
+
+WellFormedTree TreeFor(std::size_t n, std::uint64_t seed = 1) {
+  return ConstructWellFormedTree(gen::Line(n), seed).tree;
+}
+
+TEST(InOrderRanks, IsAPermutation) {
+  const auto tree = TreeFor(200);
+  const auto rank = InOrderRanks(tree);
+  std::set<std::uint32_t> seen(rank.begin(), rank.end());
+  EXPECT_EQ(seen.size(), 200u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 199u);
+}
+
+TEST(InOrderRanks, RespectsTreeOrder) {
+  const auto tree = TreeFor(64);
+  const auto rank = InOrderRanks(tree);
+  // In-order: everything in the left subtree ranks below the node.
+  for (NodeId v = 0; v < 64; ++v) {
+    if (tree.left_child[v] != kInvalidNode) {
+      EXPECT_LT(rank[tree.left_child[v]], rank[v]);
+    }
+    if (tree.right_child[v] != kInvalidNode) {
+      EXPECT_GT(rank[tree.right_child[v]], rank[v]);
+    }
+  }
+}
+
+class DerivedTopologyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DerivedTopologyTest, SortedRingShape) {
+  const std::size_t n = GetParam();
+  const auto ring = BuildSortedRing(TreeFor(n));
+  EXPECT_TRUE(IsConnected(ring.graph));
+  EXPECT_EQ(ring.graph.num_edges(), n >= 3 ? n : n - 1);
+  EXPECT_LE(ring.graph.MaxDegree(), 2u);
+  EXPECT_GT(ring.rounds_charged, 0u);
+}
+
+TEST_P(DerivedTopologyTest, DeBruijnShape) {
+  const std::size_t n = GetParam();
+  const auto db = BuildDeBruijn(TreeFor(n));
+  EXPECT_TRUE(IsConnected(db.graph));
+  // Out-arcs 2 per rank + in-arcs <= 4 after symmetrization + dedup.
+  EXPECT_LE(db.graph.MaxDegree(), 6u);
+  EXPECT_LE(ApproxDiameter(db.graph), CeilLog2(n) + 2);
+}
+
+TEST_P(DerivedTopologyTest, ButterflyShape) {
+  const std::size_t n = GetParam();
+  const auto bf = BuildButterfly(TreeFor(n));
+  EXPECT_TRUE(IsConnected(bf.graph));
+  EXPECT_LE(bf.graph.MaxDegree(), 8u);  // 4 butterfly + tail chaining
+  EXPECT_LE(ApproxDiameter(bf.graph), 6 * CeilLog2(n) + 6);
+}
+
+TEST_P(DerivedTopologyTest, HypercubeShape) {
+  const std::size_t n = GetParam();
+  const auto hc = BuildHypercube(TreeFor(n));
+  EXPECT_TRUE(IsConnected(hc.graph));
+  EXPECT_LE(hc.graph.MaxDegree(), FloorLog2(n) + 2);
+  EXPECT_LE(ApproxDiameter(hc.graph), FloorLog2(n) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DerivedTopologyTest,
+                         ::testing::Values(2, 3, 5, 16, 63, 64, 65, 500,
+                                           1024));
+
+TEST(Derived, SingletonHandled) {
+  WellFormedTree tree;
+  tree.root = 0;
+  tree.parent = {kInvalidNode};
+  tree.left_child = {kInvalidNode};
+  tree.right_child = {kInvalidNode};
+  EXPECT_EQ(BuildSortedRing(tree).graph.num_nodes(), 1u);
+  EXPECT_EQ(BuildDeBruijn(tree).graph.num_nodes(), 1u);
+  EXPECT_EQ(BuildButterfly(tree).graph.num_nodes(), 1u);
+  EXPECT_EQ(BuildHypercube(tree).graph.num_nodes(), 1u);
+}
+
+TEST(Derived, RingOrderMatchesRanks) {
+  const auto tree = TreeFor(128, 9);
+  const auto rank = InOrderRanks(tree);
+  const auto ring = BuildSortedRing(tree);
+  // Every ring edge joins rank-adjacent nodes (mod n).
+  for (const auto& [u, v] : ring.graph.EdgeList()) {
+    const auto d = (rank[u] > rank[v]) ? rank[u] - rank[v] : rank[v] - rank[u];
+    EXPECT_TRUE(d == 1 || d == 127) << "edge " << u << "-" << v;
+  }
+}
+
+TEST(Derived, RoundsChargedLogarithmic) {
+  const auto small = BuildDeBruijn(TreeFor(64));
+  const auto large = BuildDeBruijn(TreeFor(4096));
+  EXPECT_LT(large.rounds_charged, 2 * small.rounds_charged);
+}
+
+}  // namespace
+}  // namespace overlay

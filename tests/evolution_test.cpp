@@ -1,0 +1,115 @@
+// Tests for a single CreateExpander evolution: invariants, caps, provenance.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "overlay/benign.hpp"
+#include "overlay/evolution.hpp"
+
+namespace overlay {
+namespace {
+
+struct Setup {
+  Graph input;
+  ExpanderParams params;
+  Multigraph benign{0};
+};
+
+Setup MakeSetup(std::size_t n, std::uint64_t seed = 1) {
+  Setup s{gen::Cycle(n), {}, Multigraph{0}};
+  s.params = ExpanderParams::ForSize(n, s.input.MaxDegree(), seed);
+  s.benign = MakeBenign(s.input, s.params);
+  return s;
+}
+
+TEST(Evolution, OutputStaysRegularAndLazy) {
+  auto s = MakeSetup(64);
+  Rng rng(1);
+  const auto evo = RunEvolution(s.benign, s.params, rng);
+  EXPECT_TRUE(evo.next.IsRegular(s.params.delta));
+  EXPECT_TRUE(evo.next.IsLazy(s.params.MinSelfLoops()));
+}
+
+TEST(Evolution, NonLoopDegreeCappedAtHalfDelta) {
+  auto s = MakeSetup(64);
+  Rng rng(2);
+  const auto evo = RunEvolution(s.benign, s.params, rng);
+  for (NodeId v = 0; v < evo.next.num_nodes(); ++v) {
+    const std::size_t non_loop =
+        evo.next.Degree(v) - evo.next.SelfLoopCount(v);
+    EXPECT_LE(non_loop, s.params.delta / 2);
+  }
+}
+
+TEST(Evolution, RequiresRegularInput) {
+  auto s = MakeSetup(16);
+  Multigraph irregular(4);
+  irregular.AddEdge(0, 1);
+  Rng rng(3);
+  EXPECT_THROW(RunEvolution(irregular, s.params, rng), ContractViolation);
+}
+
+TEST(Evolution, TelemetryAccounting) {
+  auto s = MakeSetup(32);
+  Rng rng(4);
+  const auto evo = RunEvolution(s.benign, s.params, rng);
+  EXPECT_EQ(evo.telemetry.rounds, s.params.walk_length + 1);
+  EXPECT_EQ(evo.telemetry.token_steps,
+            32u * s.params.TokensPerNode() * s.params.walk_length);
+  EXPECT_EQ(evo.telemetry.reply_messages, evo.telemetry.edges_created);
+  EXPECT_GT(evo.telemetry.edges_created, 0u);
+}
+
+TEST(Evolution, MaxTokenLoadStaysBelowAcceptBoundWhp) {
+  // Lemma 3.2: loads stay below 3Δ/8, so (w.h.p.) nothing is discarded.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto s = MakeSetup(128, seed);
+    Rng rng(seed);
+    const auto evo = RunEvolution(s.benign, s.params, rng);
+    EXPECT_LT(evo.telemetry.max_token_load, s.params.AcceptBound())
+        << "seed " << seed;
+    EXPECT_EQ(evo.telemetry.tokens_discarded, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Evolution, ProvenanceMatchesEdges) {
+  auto s = MakeSetup(48);
+  s.params.record_paths = true;
+  Rng rng(6);
+  const auto evo = RunEvolution(s.benign, s.params, rng);
+  EXPECT_EQ(evo.provenance.size(), evo.telemetry.edges_created);
+  const Graph simple = s.benign.ToSimpleGraph();
+  for (const EdgeProvenance& p : evo.provenance) {
+    ASSERT_EQ(p.path.size(), s.params.walk_length + 1);
+    EXPECT_EQ(p.path.front(), p.origin);
+    EXPECT_EQ(p.path.back(), p.endpoint);
+    EXPECT_NE(p.origin, p.endpoint);
+    for (std::size_t i = 0; i + 1 < p.path.size(); ++i) {
+      EXPECT_TRUE(p.path[i] == p.path[i + 1] ||
+                  simple.HasEdge(p.path[i], p.path[i + 1]));
+    }
+  }
+}
+
+TEST(Evolution, NoProvenanceUnlessRequested) {
+  auto s = MakeSetup(32);
+  Rng rng(7);
+  const auto evo = RunEvolution(s.benign, s.params, rng);
+  EXPECT_TRUE(evo.provenance.empty());
+}
+
+TEST(Evolution, DeterministicInRngState) {
+  auto s = MakeSetup(32);
+  Rng rng1(9), rng2(9);
+  const auto a = RunEvolution(s.benign, s.params, rng1);
+  const auto b = RunEvolution(s.benign, s.params, rng2);
+  EXPECT_EQ(a.telemetry.edges_created, b.telemetry.edges_created);
+  for (NodeId v = 0; v < 32; ++v) {
+    const auto sa = a.next.Slots(v);
+    const auto sb = b.next.Slots(v);
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+  }
+}
+
+}  // namespace
+}  // namespace overlay

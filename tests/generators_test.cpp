@@ -1,0 +1,228 @@
+// Tests for the workload generators, including parameterized family sweeps.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(Generators, LineShape) {
+  const Graph g = gen::Line(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(ExactDiameter(g), 4u);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = gen::Cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 2u);
+  EXPECT_EQ(ExactDiameter(g), 3u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::Star(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.Degree(0), 9u);
+  EXPECT_EQ(ExactDiameter(g), 2u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = gen::Complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(ExactDiameter(g), 1u);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = gen::BinaryTree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::RandomTree(50, seed);
+    EXPECT_EQ(g.num_edges(), 49u);
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = gen::Grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // rows*(cols-1)+cols*(rows-1)
+  EXPECT_EQ(ExactDiameter(g), 5u);
+}
+
+TEST(Generators, TorusIsRegular) {
+  const Graph g = gen::Torus(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.Degree(v), 4u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = gen::Hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.Degree(v), 4u);
+  EXPECT_EQ(ExactDiameter(g), 4u);
+}
+
+TEST(Generators, RandomRegularIsRegular) {
+  for (std::size_t d : {3u, 4u, 6u}) {
+    const Graph g = gen::RandomRegular(60, d, 99);
+    for (NodeId v = 0; v < 60; ++v) EXPECT_EQ(g.Degree(v), d);
+  }
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(gen::RandomRegular(5, 3, 1), ContractViolation);
+}
+
+TEST(Generators, ConnectedRandomRegularIsConnected) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::ConnectedRandomRegular(64, 3, seed);
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+TEST(Generators, GnpDensityMatches) {
+  const Graph g = gen::Gnp(100, 0.1, 7);
+  const double expected = 0.1 * 100 * 99 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.35);
+}
+
+TEST(Generators, GnpZeroAndOne) {
+  EXPECT_EQ(gen::Gnp(20, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(gen::Gnp(20, 1.0, 1).num_edges(), 190u);
+}
+
+TEST(Generators, ConnectedGnpAlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_TRUE(IsConnected(gen::ConnectedGnp(200, 0.001, seed)));
+  }
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = gen::Barbell(5, 3);
+  EXPECT_EQ(g.num_nodes(), 13u);
+  EXPECT_TRUE(IsConnected(g));
+  // Two K5 + path of 3 + 2 bridge edges.
+  EXPECT_EQ(g.num_edges(), 10u + 10u + 2u + 2u);
+}
+
+TEST(Generators, BarbellZeroPath) {
+  const Graph g = gen::Barbell(4, 0);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_TRUE(g.HasEdge(3, 4));  // cliques touch directly
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = gen::Lollipop(4, 5);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.Degree(8), 1u);  // tail end
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = gen::Caterpillar(4, 2);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_edges(), 3u + 8u);
+}
+
+TEST(Generators, WattsStrogatzDegreePreserved) {
+  const Graph g = gen::WattsStrogatz(100, 4, 0.1, 3);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  // Rewiring preserves edge count.
+  EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(Generators, DisjointUnionOffsets) {
+  const Graph g = gen::DisjointUnion({gen::Line(3), gen::Cycle(4)});
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 2u + 4u);
+  EXPECT_FALSE(IsConnected(g));
+  const auto labels = ConnectedComponentLabels(g);
+  EXPECT_EQ(ComponentSizes(labels).size(), 2u);
+}
+
+TEST(Generators, RandomKnowledgeGraphWeaklyConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Digraph g = gen::RandomKnowledgeGraph(200, 3, seed);
+    EXPECT_TRUE(IsWeaklyConnected(g));
+    for (NodeId v = 0; v < 200; ++v) {
+      EXPECT_LE(g.OutDegree(v), 3u);
+    }
+  }
+}
+
+TEST(Generators, DirectedLineShape) {
+  const Digraph g = gen::DirectedLine(5);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_TRUE(IsWeaklyConnected(g));
+  EXPECT_EQ(g.OutDegree(4), 0u);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const Graph a = gen::ConnectedGnp(80, 0.05, 1234);
+  const Graph b = gen::ConnectedGnp(80, 0.05, 1234);
+  EXPECT_EQ(a.EdgeList(), b.EdgeList());
+  const Graph c = gen::ConnectedGnp(80, 0.05, 1235);
+  EXPECT_NE(a.EdgeList(), c.EdgeList());
+}
+
+// Parameterized sweep: every generator family must produce simple graphs
+// (no self-loops — implicit in Graph) with consistent degree sums.
+struct FamilyCase {
+  const char* name;
+  Graph (*make)(std::size_t, std::uint64_t);
+};
+
+Graph MakeLine(std::size_t n, std::uint64_t) { return gen::Line(n); }
+Graph MakeCycle(std::size_t n, std::uint64_t) { return gen::Cycle(n); }
+Graph MakeStar(std::size_t n, std::uint64_t) { return gen::Star(n); }
+Graph MakeTree(std::size_t n, std::uint64_t s) { return gen::RandomTree(n, s); }
+Graph MakeGnp(std::size_t n, std::uint64_t s) {
+  return gen::ConnectedGnp(n, 4.0 / static_cast<double>(n), s);
+}
+Graph MakeRegular(std::size_t n, std::uint64_t s) {
+  return gen::ConnectedRandomRegular(n, 4, s);
+}
+
+class GeneratorFamilyTest
+    : public ::testing::TestWithParam<std::tuple<FamilyCase, std::size_t>> {};
+
+TEST_P(GeneratorFamilyTest, HandshakeAndConnectivity) {
+  const auto& [family, n] = GetParam();
+  const Graph g = family.make(n, 42);
+  EXPECT_EQ(g.num_nodes(), n);
+  std::size_t degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degree_sum += g.Degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());  // handshake lemma
+  EXPECT_TRUE(IsConnected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorFamilyTest,
+    ::testing::Combine(
+        ::testing::Values(FamilyCase{"line", MakeLine},
+                          FamilyCase{"cycle", MakeCycle},
+                          FamilyCase{"star", MakeStar},
+                          FamilyCase{"tree", MakeTree},
+                          FamilyCase{"gnp", MakeGnp},
+                          FamilyCase{"regular", MakeRegular}),
+        ::testing::Values(8, 64, 256)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace overlay

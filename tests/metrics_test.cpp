@@ -1,0 +1,100 @@
+// Tests for BFS distances, diameter, connectivity, components, union-find.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/union_find.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(Metrics, BfsDistancesOnLine) {
+  const Graph g = gen::Line(6);
+  const auto dist = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Metrics, BfsUnreachableMarked) {
+  const Graph g = gen::DisjointUnion({gen::Line(3), gen::Line(3)});
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Metrics, EccentricityCenterVsEnd) {
+  const Graph g = gen::Line(7);
+  EXPECT_EQ(Eccentricity(g, 0), 6u);
+  EXPECT_EQ(Eccentricity(g, 3), 3u);
+}
+
+TEST(Metrics, ExactDiameterKnownGraphs) {
+  EXPECT_EQ(ExactDiameter(gen::Line(10)), 9u);
+  EXPECT_EQ(ExactDiameter(gen::Cycle(10)), 5u);
+  EXPECT_EQ(ExactDiameter(gen::Complete(10)), 1u);
+  EXPECT_EQ(ExactDiameter(gen::Star(10)), 2u);
+}
+
+TEST(Metrics, ExactDiameterRequiresConnected) {
+  const Graph g = gen::DisjointUnion({gen::Line(2), gen::Line(2)});
+  EXPECT_THROW(ExactDiameter(g), ContractViolation);
+}
+
+TEST(Metrics, ApproxDiameterLowerBoundsAndHitsPaths) {
+  // Double sweep is exact on trees.
+  const Graph line = gen::Line(50);
+  EXPECT_EQ(ApproxDiameter(line), 49u);
+  const Graph tree = gen::RandomTree(200, 5);
+  EXPECT_EQ(ApproxDiameter(tree), ExactDiameter(tree));
+  // Always a lower bound.
+  const Graph g = gen::ConnectedGnp(100, 0.05, 3);
+  EXPECT_LE(ApproxDiameter(g), ExactDiameter(g));
+}
+
+TEST(Metrics, Connectivity) {
+  EXPECT_TRUE(IsConnected(gen::Line(5)));
+  EXPECT_FALSE(IsConnected(gen::DisjointUnion({gen::Line(2), gen::Line(3)})));
+  EXPECT_TRUE(IsConnected(GraphBuilder(1).Build()));
+  EXPECT_TRUE(IsConnected(GraphBuilder(0).Build()));
+}
+
+TEST(Metrics, WeakConnectivityIgnoresDirection) {
+  EXPECT_TRUE(IsWeaklyConnected(gen::DirectedLine(10)));
+  DigraphBuilder b(3);
+  b.AddArc(0, 1);
+  const Digraph g = std::move(b).Build();
+  EXPECT_FALSE(IsWeaklyConnected(g));
+}
+
+TEST(Metrics, ComponentLabelsAndSizes) {
+  const Graph g =
+      gen::DisjointUnion({gen::Line(3), gen::Cycle(4), gen::Line(1)});
+  const auto labels = ConnectedComponentLabels(g);
+  const auto sizes = ComponentSizes(labels);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 1u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.ComponentCount(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already together
+  EXPECT_EQ(uf.ComponentCount(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.ComponentSize(1), 3u);
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.Find(3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace overlay

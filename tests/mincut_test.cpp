@@ -1,0 +1,78 @@
+// Tests for Stoer–Wagner exact min cut and the Karger sampler.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/multigraph.hpp"
+
+namespace overlay {
+namespace {
+
+Multigraph FromGraph(const Graph& g, std::size_t copies = 1) {
+  Multigraph m(g.num_nodes());
+  for (const auto& [u, v] : g.EdgeList()) {
+    for (std::size_t c = 0; c < copies; ++c) m.AddEdge(u, v);
+  }
+  return m;
+}
+
+TEST(StoerWagner, LineHasCutOne) {
+  EXPECT_EQ(StoerWagnerMinCut(gen::Line(10)), 1u);
+}
+
+TEST(StoerWagner, CycleHasCutTwo) {
+  EXPECT_EQ(StoerWagnerMinCut(gen::Cycle(10)), 2u);
+}
+
+TEST(StoerWagner, CompleteGraphCut) {
+  EXPECT_EQ(StoerWagnerMinCut(gen::Complete(7)), 6u);
+}
+
+TEST(StoerWagner, HypercubeCutEqualsDegree) {
+  EXPECT_EQ(StoerWagnerMinCut(gen::Hypercube(4)), 4u);
+}
+
+TEST(StoerWagner, BarbellBridge) {
+  EXPECT_EQ(StoerWagnerMinCut(gen::Barbell(6, 2)), 1u);
+}
+
+TEST(StoerWagner, MultiplicityCounts) {
+  const Multigraph m = FromGraph(gen::Line(6), 5);
+  EXPECT_EQ(StoerWagnerMinCut(m), 5u);
+}
+
+TEST(StoerWagner, SelfLoopsNeverCross) {
+  Multigraph m = FromGraph(gen::Cycle(5), 3);
+  for (NodeId v = 0; v < 5; ++v) m.AddSelfLoop(v);
+  EXPECT_EQ(StoerWagnerMinCut(m), 6u);
+}
+
+TEST(StoerWagner, RequiresConnected) {
+  const Graph g = gen::DisjointUnion({gen::Line(3), gen::Line(3)});
+  EXPECT_THROW(StoerWagnerMinCut(g), ContractViolation);
+}
+
+TEST(Karger, UpperBoundsAndUsuallyMatchesExact) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::ConnectedGnp(40, 0.15, seed);
+    const Multigraph m = FromGraph(g);
+    const auto exact = StoerWagnerMinCut(m);
+    const auto sampled = KargerMinCutSample(m, 300, seed);
+    EXPECT_GE(sampled, exact);
+    EXPECT_EQ(sampled, exact);  // 300 trials on n=40 find the min cut w.h.p.
+  }
+}
+
+TEST(Karger, FindsPlantedBridge) {
+  const Multigraph m = FromGraph(gen::Barbell(8, 0));
+  EXPECT_EQ(KargerMinCutSample(m, 200, 5), 1u);
+}
+
+TEST(Karger, RespectsMultiplicity) {
+  const Multigraph m = FromGraph(gen::Line(8), 4);
+  EXPECT_EQ(KargerMinCutSample(m, 200, 5), 4u);
+}
+
+}  // namespace
+}  // namespace overlay

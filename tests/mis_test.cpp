@@ -1,0 +1,138 @@
+// Tests for Theorem 1.5: MIS by shattering + parallel Métivier executions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/seq_checks.hpp"
+#include "graph/generators.hpp"
+#include "hybrid/mis.hpp"
+
+namespace overlay {
+namespace {
+
+struct FamilyCase {
+  const char* name;
+  Graph (*make)(std::size_t, std::uint64_t);
+};
+
+Graph MakeLine(std::size_t n, std::uint64_t) { return gen::Line(n); }
+Graph MakeCycle(std::size_t n, std::uint64_t) { return gen::Cycle(n); }
+Graph MakeStar(std::size_t n, std::uint64_t) { return gen::Star(n); }
+Graph MakeGnp(std::size_t n, std::uint64_t s) {
+  return gen::ConnectedGnp(n, 8.0 / static_cast<double>(n), s);
+}
+Graph MakeRegular(std::size_t n, std::uint64_t s) {
+  return gen::ConnectedRandomRegular(n, 6, s);
+}
+Graph MakeComplete(std::size_t n, std::uint64_t) {
+  return gen::Complete(std::min<std::size_t>(n, 64));
+}
+
+class MisFamilyTest
+    : public ::testing::TestWithParam<std::tuple<FamilyCase, std::size_t>> {};
+
+TEST_P(MisFamilyTest, ProducesValidMis) {
+  const auto& [family, n] = GetParam();
+  const Graph g = family.make(n, 3);
+  const auto r = ComputeMis(g, {.seed = 3});
+  EXPECT_TRUE(ValidateMis(g, r.in_mis));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MisFamilyTest,
+    ::testing::Combine(
+        ::testing::Values(FamilyCase{"line", MakeLine},
+                          FamilyCase{"cycle", MakeCycle},
+                          FamilyCase{"star", MakeStar},
+                          FamilyCase{"gnp", MakeGnp},
+                          FamilyCase{"regular6", MakeRegular},
+                          FamilyCase{"complete", MakeComplete}),
+        ::testing::Values(64, 256, 1024)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Mis, ValidAcrossSeeds) {
+  const Graph g = gen::ConnectedGnp(300, 0.03, 5);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto r = ComputeMis(g, {.seed = seed});
+    EXPECT_TRUE(ValidateMis(g, r.in_mis)) << "seed " << seed;
+  }
+}
+
+TEST(Mis, DisconnectedInputHandled) {
+  const Graph g = gen::DisjointUnion({gen::Cycle(40), gen::Line(30)});
+  const auto r = ComputeMis(g, {.seed = 7});
+  EXPECT_TRUE(ValidateMis(g, r.in_mis));
+}
+
+TEST(Mis, SingletonGraph) {
+  const Graph g = GraphBuilder(1).Build();
+  const auto r = ComputeMis(g, {.seed = 1});
+  EXPECT_EQ(r.in_mis[0], 1);
+}
+
+TEST(Mis, EdgelessGraphAllInMis) {
+  const Graph g = GraphBuilder(5).Build();
+  const auto r = ComputeMis(g, {.seed = 1});
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(r.in_mis[v], 1);
+}
+
+TEST(Mis, ShatteringLeavesFewUndecided) {
+  // Ghaffari's stage must decide the vast majority of nodes.
+  const Graph g = gen::ConnectedRandomRegular(2048, 8, 9);
+  const auto r = ComputeMis(g, {.seed = 9});
+  EXPECT_TRUE(ValidateMis(g, r.in_mis));
+  EXPECT_LT(r.undecided_after_shattering, 2048u / 4);
+}
+
+TEST(Mis, ShatteredComponentsAreSmall) {
+  const Graph g = gen::ConnectedGnp(4096, 6.0 / 4096.0, 11);
+  const auto r = ComputeMis(g, {.seed = 11});
+  EXPECT_TRUE(ValidateMis(g, r.in_mis));
+  EXPECT_LT(r.largest_undecided_component, 256u);
+}
+
+TEST(Mis, StarDecidedAlmostInstantly) {
+  const Graph g = gen::Star(1000);
+  const auto r = ComputeMis(g, {.seed = 13});
+  EXPECT_TRUE(ValidateMis(g, r.in_mis));
+  // Either the hub or all leaves are in the set — both are valid MIS.
+  const bool hub = r.in_mis[0];
+  for (NodeId v = 1; v < 1000; ++v) EXPECT_EQ(r.in_mis[v], !hub);
+}
+
+TEST(Mis, DeterministicInSeed) {
+  const Graph g = gen::ConnectedGnp(128, 0.05, 15);
+  const auto a = ComputeMis(g, {.seed = 21});
+  const auto b = ComputeMis(g, {.seed = 21});
+  EXPECT_EQ(a.in_mis, b.in_mis);
+}
+
+TEST(ValidateMis, RejectsDependentAndNonMaximalSets) {
+  const Graph g = gen::Line(4);  // 0-1-2-3
+  EXPECT_TRUE(ValidateMis(g, {1, 0, 1, 0}));
+  EXPECT_TRUE(ValidateMis(g, {1, 0, 0, 1}));   // {0,3} is also a valid MIS
+  EXPECT_FALSE(ValidateMis(g, {1, 1, 0, 1}));  // 0,1 adjacent
+  EXPECT_FALSE(ValidateMis(g, {0, 1, 0, 0}));  // 3 undominated
+  EXPECT_FALSE(ValidateMis(g, {0, 0, 0, 0}));  // not maximal
+  EXPECT_FALSE(ValidateMis(g, {1, 0, 0}));     // wrong size
+}
+
+TEST(ValidateMis, AcceptsBothStarSolutions) {
+  const Graph g = gen::Star(5);
+  EXPECT_TRUE(ValidateMis(g, {1, 0, 0, 0, 0}));
+  EXPECT_TRUE(ValidateMis(g, {0, 1, 1, 1, 1}));
+}
+
+TEST(GreedyAndLuby, OraclesAreValid) {
+  const Graph g = gen::ConnectedGnp(256, 0.04, 17);
+  EXPECT_TRUE(ValidateMis(g, GreedyMis(g)));
+  const auto luby = LubyMis(g, 17);
+  EXPECT_TRUE(ValidateMis(g, luby.in_mis));
+  EXPECT_GT(luby.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace overlay

@@ -1,0 +1,119 @@
+// Tests for the Section 1.4 monitoring problems ([27]) over the overlay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "hybrid/spanning_tree.hpp"
+#include "overlay/construct.hpp"
+#include "overlay/monitoring.hpp"
+
+namespace overlay {
+namespace {
+
+struct Fixture {
+  Graph g;
+  WellFormedTree tree;
+};
+
+Fixture Make(const Graph& g, std::uint64_t seed = 1) {
+  return {g, ConstructWellFormedTree(g, seed).tree};
+}
+
+TEST(Monitoring, NodeCount) {
+  const auto f = Make(gen::Cycle(300));
+  const auto r = MonitorNodeCount(f.tree);
+  EXPECT_EQ(r.value, 300u);
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_LE(r.rounds, 2u * (f.tree.Depth() + 1));
+}
+
+TEST(Monitoring, EdgeCount) {
+  const auto f = Make(gen::ConnectedGnp(256, 0.05, 3));
+  const auto r = MonitorEdgeCount(f.tree, f.g);
+  EXPECT_EQ(r.value, f.g.num_edges());
+}
+
+TEST(Monitoring, MaxDegree) {
+  const auto f = Make(gen::Caterpillar(50, 3));
+  const auto r = MonitorMaxDegree(f.tree, f.g);
+  EXPECT_EQ(r.value, f.g.MaxDegree());
+}
+
+TEST(Monitoring, GenericAggregationMatchesStd) {
+  const auto f = Make(gen::Line(100));
+  std::vector<std::uint64_t> values(100);
+  Rng rng(5);
+  for (auto& v : values) v = rng.NextBelow(1000);
+  const auto sum = AggregateOverTree(
+      f.tree, values, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  const auto max = AggregateOverTree(
+      f.tree, values,
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  EXPECT_EQ(sum.value, std::accumulate(values.begin(), values.end(),
+                                       std::uint64_t{0}));
+  EXPECT_EQ(max.value, *std::max_element(values.begin(), values.end()));
+}
+
+TEST(Monitoring, AggregationRejectsSizeMismatch) {
+  const auto f = Make(gen::Line(10));
+  EXPECT_THROW(AggregateOverTree(f.tree, std::vector<std::uint64_t>(5),
+                                 [](std::uint64_t a, std::uint64_t b) {
+                                   return a + b;
+                                 }),
+               ContractViolation);
+}
+
+TEST(Monitoring, BipartiteGraphsAccepted) {
+  // Even cycles, trees, grids are bipartite.
+  for (const Graph& g :
+       {gen::Cycle(64), gen::RandomTree(100, 7), gen::Grid(8, 9)}) {
+    const auto f = Make(g);
+    const auto st = BuildSpanningTree(g, {.seed = 3});
+    const auto r = MonitorBipartiteness(f.tree, g, st.parent);
+    EXPECT_TRUE(r.bipartite) << g.num_nodes() << " nodes";
+    EXPECT_EQ(r.violating_edges, 0u);
+  }
+}
+
+TEST(Monitoring, OddCyclesRejected) {
+  for (std::size_t n : {3u, 65u, 255u}) {
+    const Graph g = gen::Cycle(n);
+    const auto f = Make(g);
+    const auto st = BuildSpanningTree(g, {.seed = 4});
+    const auto r = MonitorBipartiteness(f.tree, g, st.parent);
+    EXPECT_FALSE(r.bipartite) << "odd cycle " << n;
+    EXPECT_GE(r.violating_edges, 1u);
+  }
+}
+
+TEST(Monitoring, CliquesRejected) {
+  const Graph g = gen::Complete(10);
+  const auto f = Make(g);
+  const auto st = BuildSpanningTree(g, {.seed = 5});
+  const auto r = MonitorBipartiteness(f.tree, g, st.parent);
+  EXPECT_FALSE(r.bipartite);
+}
+
+TEST(Monitoring, ViolationCountIsExactForKnownGraph) {
+  // Odd cycle: exactly one violating edge regardless of the spanning tree
+  // (any spanning tree is the path; the single non-tree edge closes the odd
+  // cycle).
+  const Graph g = gen::Cycle(9);
+  const auto f = Make(g);
+  const auto st = BuildSpanningTree(g, {.seed = 6});
+  const auto r = MonitorBipartiteness(f.tree, g, st.parent);
+  EXPECT_EQ(r.violating_edges, 1u);
+}
+
+TEST(Monitoring, RoundBillLogarithmic) {
+  const auto small = Make(gen::Cycle(64));
+  const auto large = Make(gen::Cycle(4096));
+  const auto rs = MonitorNodeCount(small.tree);
+  const auto rl = MonitorNodeCount(large.tree);
+  EXPECT_LT(rl.rounds, 2 * rs.rounds + 8);
+}
+
+}  // namespace
+}  // namespace overlay

@@ -1,0 +1,131 @@
+// Unit tests for the multigraph (benign-graph substrate).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/multigraph.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(Multigraph, ParallelEdgesCount) {
+  Multigraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 3u);
+  EXPECT_EQ(g.TotalEdgeMultiplicity(), 3u);
+}
+
+TEST(Multigraph, SelfLoopsOccupyOneSlot) {
+  Multigraph g(2);
+  g.AddSelfLoop(0);
+  g.AddSelfLoop(0);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.SelfLoopCount(0), 2u);
+  EXPECT_EQ(g.Degree(1), 0u);
+  EXPECT_EQ(g.TotalEdgeMultiplicity(), 0u);
+}
+
+TEST(Multigraph, AddEdgeRejectsSelf) {
+  Multigraph g(2);
+  EXPECT_THROW(g.AddEdge(1, 1), ContractViolation);
+}
+
+TEST(Multigraph, RegularityCheck) {
+  Multigraph g(2);
+  g.AddEdge(0, 1);
+  g.AddSelfLoop(0);
+  EXPECT_FALSE(g.IsRegular(2));
+  g.AddSelfLoop(1);
+  EXPECT_TRUE(g.IsRegular(2));
+}
+
+TEST(Multigraph, LazinessCheck) {
+  Multigraph g(2);
+  g.AddEdge(0, 1);
+  g.AddSelfLoop(0);
+  g.AddSelfLoop(1);
+  EXPECT_TRUE(g.IsLazy(1));
+  EXPECT_FALSE(g.IsLazy(2));
+}
+
+TEST(Multigraph, CutWeightCountsMultiplicity) {
+  Multigraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddSelfLoop(1);  // never crosses
+  const std::vector<char> s{1, 1, 0, 0};
+  EXPECT_EQ(g.CutWeight(s), 1u);
+  const std::vector<char> t{1, 0, 0, 0};
+  EXPECT_EQ(g.CutWeight(t), 2u);
+}
+
+TEST(Multigraph, ConductanceDefinition) {
+  // 4-node cycle with delta=2: S = two adjacent nodes has 2 crossing edges,
+  // conductance 2 / (2*2) = 0.5.
+  Multigraph g(4);
+  for (NodeId v = 0; v < 4; ++v) g.AddEdge(v, (v + 1) % 4);
+  const std::vector<char> s{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(g.ConductanceOf(s, 2), 0.5);
+}
+
+TEST(Multigraph, ConductanceRejectsLargeSet) {
+  Multigraph g(4);
+  for (NodeId v = 0; v < 4; ++v) g.AddEdge(v, (v + 1) % 4);
+  const std::vector<char> too_big{1, 1, 1, 0};
+  EXPECT_THROW(g.ConductanceOf(too_big, 2), ContractViolation);
+}
+
+TEST(Multigraph, RandomNeighborRespectsSlots) {
+  Multigraph g(3);
+  g.AddEdge(0, 1);
+  g.AddSelfLoop(0);
+  Rng rng(5);
+  int self = 0, other = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId w = g.RandomNeighbor(0, rng);
+    ASSERT_TRUE(w == 0 || w == 1);
+    (w == 0 ? self : other)++;
+  }
+  // Half the slots are the loop: expect a near-even split.
+  EXPECT_NEAR(self, 1000, 150);
+  EXPECT_NEAR(other, 1000, 150);
+}
+
+TEST(Multigraph, RandomNeighborFromIsolatedThrows) {
+  Multigraph g(1);
+  Rng rng(1);
+  EXPECT_THROW(g.RandomNeighbor(0, rng), ContractViolation);
+}
+
+TEST(Multigraph, ToSimpleGraphCollapses) {
+  Multigraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddSelfLoop(2);
+  const Graph s = g.ToSimpleGraph();
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_TRUE(s.HasEdge(0, 1));
+  EXPECT_TRUE(s.HasEdge(1, 2));
+}
+
+TEST(Multigraph, WeightedEdges) {
+  Multigraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  g.AddSelfLoop(0);
+  const auto weights = g.WeightedEdges();
+  EXPECT_EQ(weights.size(), 2u);
+  EXPECT_EQ(weights.at({0, 1}), 2u);
+  EXPECT_EQ(weights.at({1, 2}), 1u);
+}
+
+}  // namespace
+}  // namespace overlay

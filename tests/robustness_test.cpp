@@ -1,0 +1,136 @@
+// Robustness and property tests across seeds, families, and hostile
+// parameters: the library must degrade predictably, never crash or emit
+// invalid structures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "hybrid/mis.hpp"
+#include "hybrid/spanning_tree.hpp"
+#include "overlay/benign.hpp"
+#include "overlay/construct.hpp"
+#include "overlay/evolution.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(Robustness, ConstructSeedSweep) {
+  // Theorem 1.1 is a w.h.p. statement; across 20 seeds on one topology the
+  // construction must never fail at these parameter scales.
+  const Graph g = gen::Cycle(128);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto r = ConstructWellFormedTree(g, seed);
+    EXPECT_TRUE(ValidateWellFormedTree(r.tree, CeilLog2(128) + 1))
+        << "seed " << seed;
+  }
+}
+
+TEST(Robustness, ConstructOnBottleneckFamilies) {
+  // Low-conductance families (planted bottlenecks) are the hard inputs for
+  // a conductance-growth argument.
+  const std::vector<Graph> graphs = {
+      gen::Barbell(24, 4),            // Θ(1/k²) conductance
+      gen::Lollipop(32, 64),          // clique + long tail
+      gen::Caterpillar(64, 2),        // thin spine
+      gen::WattsStrogatz(128, 4, 0.05, 3),
+      gen::Grid(4, 48),               // long thin grid
+  };
+  for (const Graph& g : graphs) {
+    const auto r = ConstructWellFormedTree(g, 7);
+    EXPECT_TRUE(
+        ValidateWellFormedTree(r.tree, CeilLog2(g.num_nodes()) + 1))
+        << g.num_nodes() << " nodes";
+    EXPECT_LE(ApproxDiameter(r.expander),
+              4 * LogUpperBound(g.num_nodes()) + 4);
+  }
+}
+
+TEST(Robustness, EvolutionSurvivesHostileParameters) {
+  // Δ=8 gives one token per node and an accept bound of 3 — far below the
+  // paper's Θ(log n) prescription. The structural invariants (regularity,
+  // laziness, degree caps) must hold regardless; only connectivity may
+  // suffer, and then MakeBenign/CreateExpander contracts say so loudly.
+  const Graph g = gen::Cycle(32);
+  ExpanderParams params;
+  params.delta = 8;
+  params.lambda = 1;
+  params.walk_length = 4;
+  params.num_evolutions = 1;
+  params.seed = 3;
+  Multigraph m = MakeBenign(g, params);
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    auto evo = RunEvolution(m, params, rng);
+    m = std::move(evo.next);
+    EXPECT_TRUE(m.IsRegular(params.delta)) << "evolution " << i;
+    EXPECT_TRUE(m.IsLazy(params.MinSelfLoops())) << "evolution " << i;
+  }
+}
+
+TEST(Robustness, SpanningTreePermutationInvariance) {
+  const Graph g = gen::ConnectedGnp(128, 0.05, 9);
+  std::vector<NodeId> perm(128);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(11);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const Graph permuted = g.Permuted(perm);
+  const auto r = BuildSpanningTree(permuted, {.seed = 11});
+  EXPECT_TRUE(ValidateSpanningTree(permuted, r));
+}
+
+TEST(Robustness, MisPermutationInvariance) {
+  const Graph g = gen::ConnectedGnp(200, 0.04, 13);
+  std::vector<NodeId> perm(200);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(13);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const Graph permuted = g.Permuted(perm);
+  const auto r = ComputeMis(permuted, {.seed = 13});
+  EXPECT_TRUE(ValidateMis(permuted, r.in_mis));
+}
+
+TEST(Robustness, MisSeedSweepOnHighDegree) {
+  const Graph g = gen::Star(512);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto r = ComputeMis(g, {.seed = seed});
+    EXPECT_TRUE(ValidateMis(g, r.in_mis)) << "seed " << seed;
+  }
+}
+
+TEST(Robustness, SpanningTreeSeedSweep) {
+  const Graph g = gen::Barbell(16, 8);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto r = BuildSpanningTree(g, {.seed = seed});
+    EXPECT_TRUE(ValidateSpanningTree(g, r)) << "seed " << seed;
+  }
+}
+
+TEST(Robustness, TinyGraphsEndToEnd) {
+  // n = 2 and n = 3 exercise every boundary (tree of one edge, trivial
+  // election, one-node subtrees).
+  for (std::size_t n : {2u, 3u, 4u, 5u}) {
+    const Graph g = gen::Line(n);
+    const auto r = ConstructWellFormedTree(g, 1);
+    EXPECT_TRUE(ValidateWellFormedTree(r.tree, CeilLog2(n) + 1)) << n;
+    const auto st = BuildSpanningTree(g, {.seed = 1});
+    EXPECT_TRUE(ValidateSpanningTree(g, st)) << n;
+    const auto mis = ComputeMis(g, {.seed = 1});
+    EXPECT_TRUE(ValidateMis(g, mis.in_mis)) << n;
+  }
+}
+
+TEST(Robustness, DigraphKnowledgeSweep) {
+  for (std::size_t out_deg : {1u, 2u, 4u}) {
+    const Digraph g = gen::RandomKnowledgeGraph(256, out_deg, 17);
+    const auto r = ConstructWellFormedTree(g, 17);
+    EXPECT_TRUE(ValidateWellFormedTree(r.tree, CeilLog2(256) + 1))
+        << "out_deg " << out_deg;
+  }
+}
+
+}  // namespace
+}  // namespace overlay

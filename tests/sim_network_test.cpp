@@ -1,0 +1,135 @@
+// Tests for the NCC0 synchronous round engine: delivery semantics, capacity
+// enforcement, drop accounting, statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "sim/network.hpp"
+
+namespace overlay {
+namespace {
+
+Message Payload(std::uint64_t w0) {
+  Message m;
+  m.kind = 1;
+  m.words[0] = w0;
+  return m;
+}
+
+TEST(SyncNetwork, MessagesArriveNextRound) {
+  SyncNetwork net({2, 4, 1});
+  net.Send(0, 1, Payload(7));
+  EXPECT_TRUE(net.Inbox(1).empty());  // not yet delivered
+  net.EndRound();
+  ASSERT_EQ(net.Inbox(1).size(), 1u);
+  EXPECT_EQ(net.Inbox(1)[0].words[0], 7u);
+  EXPECT_EQ(net.Inbox(1)[0].src, 0u);
+  net.EndRound();
+  EXPECT_TRUE(net.Inbox(1).empty());  // consumed, not redelivered
+}
+
+TEST(SyncNetwork, SourceIsStampedByEngine) {
+  SyncNetwork net({3, 4, 1});
+  Message m = Payload(1);
+  m.src = 2;  // lying about the source must not matter
+  net.Send(0, 1, m);
+  net.EndRound();
+  EXPECT_EQ(net.Inbox(1)[0].src, 0u);
+}
+
+TEST(SyncNetwork, SendCapViolationThrows) {
+  SyncNetwork net({2, 2, 1});
+  net.Send(0, 1, Payload(1));
+  net.Send(0, 1, Payload(2));
+  EXPECT_THROW(net.Send(0, 1, Payload(3)), ContractViolation);
+}
+
+TEST(SyncNetwork, SendCapResetsEachRound) {
+  SyncNetwork net({2, 2, 1});
+  net.Send(0, 1, Payload(1));
+  net.Send(0, 1, Payload(2));
+  net.EndRound();
+  EXPECT_NO_THROW(net.Send(0, 1, Payload(3)));
+}
+
+TEST(SyncNetwork, ReceiveOverloadDropsToCapacity) {
+  // 8 senders, capacity 3: node 9 receives exactly 3, the rest dropped.
+  SyncNetwork net({10, 3, 7});
+  for (NodeId v = 0; v < 8; ++v) net.Send(v, 9, Payload(v));
+  net.EndRound();
+  EXPECT_EQ(net.Inbox(9).size(), 3u);
+  EXPECT_EQ(net.stats().messages_dropped, 5u);
+  EXPECT_EQ(net.stats().max_offered_load, 8u);
+  // The delivered subset contains distinct original messages.
+  std::set<std::uint64_t> seen;
+  for (const Message& m : net.Inbox(9)) seen.insert(m.words[0]);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SyncNetwork, DropSubsetIsRandomAcrossSeeds) {
+  // Different engine seeds should (usually) keep different subsets.
+  std::set<std::set<std::uint64_t>> outcomes;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SyncNetwork net({10, 2, seed});
+    for (NodeId v = 0; v < 8; ++v) net.Send(v, 9, Payload(v));
+    net.EndRound();
+    std::set<std::uint64_t> kept;
+    for (const Message& m : net.Inbox(9)) kept.insert(m.words[0]);
+    outcomes.insert(kept);
+  }
+  EXPECT_GE(outcomes.size(), 2u);
+}
+
+TEST(SyncNetwork, StatsTotals) {
+  SyncNetwork net({4, 8, 1});
+  net.Send(0, 1, Payload(1));
+  net.Send(0, 2, Payload(2));
+  net.Send(3, 1, Payload(3));
+  net.EndRound();
+  net.EndRound();
+  const auto& s = net.stats();
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_EQ(s.messages_sent, 3u);
+  EXPECT_EQ(s.messages_delivered, 3u);
+  EXPECT_EQ(s.messages_dropped, 0u);
+  EXPECT_EQ(s.max_send_load, 2u);
+  EXPECT_EQ(net.TotalSentBy(0), 2u);
+  EXPECT_EQ(net.TotalSentBy(3), 1u);
+  EXPECT_EQ(net.MaxTotalSentPerNode(), 2u);
+}
+
+TEST(SyncNetwork, SkipRoundsAdvancesClock) {
+  SyncNetwork net({2, 2, 1});
+  net.SkipRounds(10);
+  EXPECT_EQ(net.round(), 10u);
+}
+
+TEST(SyncNetwork, RejectsInvalidConfig) {
+  EXPECT_THROW(SyncNetwork({0, 1, 1}), ContractViolation);
+  EXPECT_THROW(SyncNetwork({1, 0, 1}), ContractViolation);
+}
+
+TEST(SyncNetwork, OutOfRangeEndpoints) {
+  SyncNetwork net({2, 2, 1});
+  EXPECT_THROW(net.Send(0, 5, Payload(1)), ContractViolation);
+  EXPECT_THROW(net.Send(5, 0, Payload(1)), ContractViolation);
+  EXPECT_THROW(net.Inbox(2), ContractViolation);
+}
+
+TEST(NetworkStats, MergeTakesMaximaAndSums) {
+  NetworkStats a, b;
+  a.rounds = 3;
+  a.messages_sent = 10;
+  a.max_offered_load = 5;
+  b.rounds = 2;
+  b.messages_sent = 7;
+  b.max_offered_load = 9;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_EQ(a.messages_sent, 17u);
+  EXPECT_EQ(a.max_offered_load, 9u);
+}
+
+}  // namespace
+}  // namespace overlay

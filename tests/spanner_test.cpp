@@ -1,0 +1,105 @@
+// Tests for the Elkin–Neiman spanner (Section 4.2, Step 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "hybrid/spanner.hpp"
+
+namespace overlay {
+namespace {
+
+class SpannerFamilyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpannerFamilyTest, PreservesComponentStructure) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::ConnectedGnp(n, 8.0 / static_cast<double>(n), seed);
+    const auto r = BuildSpanner(g, {.seed = seed});
+    const Graph s = r.spanner.Undirected();
+    // Lemma 4.8: the spanner of a connected graph is connected.
+    EXPECT_TRUE(IsConnected(s)) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpannerFamilyTest,
+                         ::testing::Values(32, 128, 512));
+
+TEST(Spanner, DisconnectedInputKeepsComponentsSeparate) {
+  const Graph g = gen::DisjointUnion({gen::Cycle(40), gen::Cycle(50)});
+  const auto r = BuildSpanner(g, {.seed = 3});
+  const Graph s = r.spanner.Undirected();
+  const auto g_labels = ConnectedComponentLabels(g);
+  const auto s_labels = ConnectedComponentLabels(s);
+  // Same partition: spanner edges only within components, and each
+  // component stays internally connected.
+  EXPECT_EQ(ComponentSizes(s_labels).size(), 2u);
+  for (const auto& [u, v] : s.EdgeList()) {
+    EXPECT_EQ(g_labels[u], g_labels[v]);
+  }
+}
+
+TEST(Spanner, OutDegreeIsLogarithmic) {
+  // Lemma 4.10: O(log n) out-degree w.h.p. The dense star is the stress
+  // case: the hub must not keep all n-1 edges as *outgoing* choices.
+  const std::size_t n = 1024;
+  const Graph g = gen::ConnectedGnp(n, 0.05, 5);
+  const auto r = BuildSpanner(g, {.seed = 5});
+  const double limit = 12.0 * std::log2(static_cast<double>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(static_cast<double>(r.spanner.OutDegree(v)), limit)
+        << "node " << v;
+  }
+}
+
+TEST(Spanner, SparsifiesDenseGraphs) {
+  const std::size_t n = 512;
+  const Graph g = gen::ConnectedGnp(n, 0.1, 7);  // ~13k edges
+  const auto r = BuildSpanner(g, {.seed = 7});
+  EXPECT_LT(r.spanner.num_arcs(), g.num_edges());
+}
+
+TEST(Spanner, SpannerEdgesExistInInput) {
+  const Graph g = gen::ConnectedGnp(128, 0.05, 9);
+  const auto r = BuildSpanner(g, {.seed = 9});
+  for (NodeId v = 0; v < 128; ++v) {
+    for (NodeId w : r.spanner.OutNeighbors(v)) {
+      EXPECT_TRUE(g.HasEdge(v, w)) << v << "->" << w;
+    }
+  }
+}
+
+TEST(Spanner, LowDegreeNodesKeepAllEdges) {
+  const Graph g = gen::Line(64);  // all degrees <= 2 < c log n
+  const auto r = BuildSpanner(g, {.seed = 1});
+  const Graph s = r.spanner.Undirected();
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(Spanner, HighDegreeNodesAreActive) {
+  // Lemma 4.5: nodes of degree >= c log n become active w.h.p.
+  const Graph g = gen::Star(4096);
+  const auto r = BuildSpanner(g, {.seed = 11});
+  EXPECT_GE(r.active_nodes, 1u);  // at least the hub
+  EXPECT_TRUE(IsConnected(r.spanner.Undirected()));
+}
+
+TEST(Spanner, ComponentBoundTruncatesBroadcast) {
+  // With m-bound 16, the broadcast radius is 2*log2(16)+1 = 9 rounds.
+  const Graph g = gen::Cycle(64);
+  const auto r = BuildSpanner(g, {.component_size_bound = 16, .seed = 2});
+  EXPECT_EQ(r.cost.rounds, 9u);
+  // Low-degree compensation still keeps it connected.
+  EXPECT_TRUE(IsConnected(r.spanner.Undirected()));
+}
+
+TEST(Spanner, DeterministicInSeed) {
+  const Graph g = gen::ConnectedGnp(128, 0.05, 13);
+  const auto a = BuildSpanner(g, {.seed = 21});
+  const auto b = BuildSpanner(g, {.seed = 21});
+  EXPECT_EQ(a.spanner.num_arcs(), b.spanner.num_arcs());
+}
+
+}  // namespace
+}  // namespace overlay

@@ -1,0 +1,166 @@
+// Tests for the vectorized token-walk engine, including the statistical
+// equivalence check against a message-passing walk on SyncNetwork.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/multigraph.hpp"
+#include "sim/network.hpp"
+#include "sim/token_engine.hpp"
+
+namespace overlay {
+namespace {
+
+Multigraph LazyCycle(std::size_t n, std::size_t delta) {
+  Multigraph m(n);
+  for (NodeId v = 0; v < n; ++v) m.AddEdge(v, (v + 1) % n);
+  for (NodeId v = 0; v < n; ++v) {
+    while (m.Degree(v) < delta) m.AddSelfLoop(v);
+  }
+  return m;
+}
+
+TEST(TokenEngine, TokenConservation) {
+  const Multigraph m = LazyCycle(16, 4);
+  Rng rng(1);
+  const auto result = RunTokenWalks(m, {.tokens_per_node = 3, .walk_length = 5}, rng);
+  std::size_t total = 0;
+  for (const auto& arrivals : result.arrivals) total += arrivals.size();
+  EXPECT_EQ(total, 16u * 3u);
+  EXPECT_EQ(result.token_steps, 16u * 3u * 5u);
+}
+
+TEST(TokenEngine, OriginsAreCorrect) {
+  const Multigraph m = LazyCycle(8, 4);
+  Rng rng(2);
+  const auto result = RunTokenWalks(m, {.tokens_per_node = 2, .walk_length = 3}, rng);
+  std::vector<std::size_t> origin_count(8, 0);
+  for (const auto& arrivals : result.arrivals) {
+    for (const NodeId origin : arrivals) ++origin_count[origin];
+  }
+  for (const auto c : origin_count) EXPECT_EQ(c, 2u);
+}
+
+TEST(TokenEngine, PathsAreValidWalks) {
+  const Multigraph m = LazyCycle(12, 4);
+  Rng rng(3);
+  const auto result = RunTokenWalks(
+      m, {.tokens_per_node = 2, .walk_length = 6, .record_paths = true}, rng);
+  ASSERT_EQ(result.paths.size(), 24u);
+  const Graph simple = m.ToSimpleGraph();
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    const auto& path = result.paths[i];
+    ASSERT_EQ(path.size(), 7u);
+    EXPECT_EQ(path.front(), result.token_origin[i]);
+    for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+      // Every step is a real edge or a lazy self-loop stay.
+      EXPECT_TRUE(path[s] == path[s + 1] || simple.HasEdge(path[s], path[s + 1]));
+    }
+  }
+}
+
+TEST(TokenEngine, PathEndpointsMatchArrivals) {
+  const Multigraph m = LazyCycle(10, 4);
+  Rng rng(4);
+  const auto result = RunTokenWalks(
+      m, {.tokens_per_node = 1, .walk_length = 4, .record_paths = true}, rng);
+  std::vector<std::size_t> ends(10, 0), arr(10, 0);
+  for (const auto& p : result.paths) ++ends[p.back()];
+  for (NodeId v = 0; v < 10; ++v) arr[v] = result.arrivals[v].size();
+  EXPECT_EQ(ends, arr);
+}
+
+TEST(TokenEngine, MaxLoadBoundedByTotalTokens) {
+  const Multigraph m = LazyCycle(8, 4);
+  Rng rng(5);
+  const auto result = RunTokenWalks(m, {.tokens_per_node = 4, .walk_length = 8}, rng);
+  EXPECT_GE(result.max_load, 4u);   // pigeonhole: someone holds >= average
+  EXPECT_LE(result.max_load, 32u);  // cannot exceed the token population
+}
+
+TEST(TokenEngine, RejectsDegenerateOptions) {
+  const Multigraph m = LazyCycle(8, 4);
+  Rng rng(6);
+  EXPECT_THROW(RunTokenWalks(m, {.tokens_per_node = 0, .walk_length = 4}, rng),
+               ContractViolation);
+  EXPECT_THROW(RunTokenWalks(m, {.tokens_per_node = 1, .walk_length = 0}, rng),
+               ContractViolation);
+}
+
+TEST(TokenEngine, MixedWalkIsNearUniformOnExpander) {
+  // After a long walk on a lazy complete graph, endpoints should be close
+  // to uniform.
+  const std::size_t n = 16;
+  Multigraph m(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) m.AddEdge(u, v);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    while (m.Degree(v) < 30) m.AddSelfLoop(v);
+  }
+  Rng rng(7);
+  const auto result = RunTokenWalks(m, {.tokens_per_node = 500, .walk_length = 12}, rng);
+  const double expected = 500.0;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(static_cast<double>(result.arrivals[v].size()), expected,
+                expected * 0.2);
+  }
+}
+
+// Statistical equivalence with a message-passing implementation of the same
+// walk on SyncNetwork: endpoint distributions from both engines on the same
+// graph must agree within sampling noise (DESIGN.md §3.3 fast-path claim).
+TEST(TokenEngine, MatchesMessagePassingWalkDistribution) {
+  const std::size_t n = 8;
+  const std::size_t delta = 4;
+  const Multigraph m = LazyCycle(n, delta);
+  const std::size_t kTokens = 400;  // per node
+  const std::size_t kSteps = 3;
+
+  // Engine A: token engine.
+  Rng rng_a(11);
+  const auto fast =
+      RunTokenWalks(m, {.tokens_per_node = kTokens, .walk_length = kSteps}, rng_a);
+
+  // Engine B: explicit messages. Token = message whose word0 is the origin.
+  // Capacity is generous; this verifies semantics, not caps.
+  SyncNetwork net({n, 16 * kTokens, 13});
+  Rng rng_b(12);
+  std::vector<std::size_t> arrivals_b(n, 0);
+  // Round 0: each node sends its tokens one step.
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t t = 0; t < kTokens; ++t) {
+      Message msg;
+      msg.kind = 1;
+      msg.words[0] = v;
+      net.Send(v, m.RandomNeighbor(v, rng_b), msg);
+    }
+  }
+  net.EndRound();
+  for (std::size_t step = 1; step < kSteps; ++step) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Message& msg : net.Inbox(v)) {
+        net.Send(v, m.RandomNeighbor(v, rng_b), msg);
+      }
+    }
+    net.EndRound();
+  }
+  for (NodeId v = 0; v < n; ++v) arrivals_b[v] += net.Inbox(v).size();
+
+  // Compare per-node arrival counts: both are sums of the same multinomial;
+  // allow 5 sigma of binomial noise.
+  const double mean = static_cast<double>(kTokens);
+  const double sigma = std::sqrt(mean);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(static_cast<double>(fast.arrivals[v].size()),
+                static_cast<double>(arrivals_b[v]), 10 * sigma)
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace overlay

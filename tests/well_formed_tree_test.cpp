@@ -1,0 +1,104 @@
+// Tests for the Euler-tour contraction into well-formed binary trees.
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "overlay/bfs_tree.hpp"
+#include "overlay/well_formed_tree.hpp"
+
+namespace overlay {
+namespace {
+
+class ContractionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ContractionTest, ProducesValidLogDepthTree) {
+  const std::size_t n = GetParam();
+  const Graph g = gen::Line(n);  // worst-case input: BFS tree is a path
+  const auto bfs = BuildBfsTree(g);
+  const WellFormedTree t = ContractToWellFormedTree(bfs);
+  EXPECT_EQ(t.num_nodes(), n);
+  EXPECT_TRUE(ValidateWellFormedTree(t, CeilLog2(n) + 1));
+  EXPECT_LE(t.Depth(), CeilLog2(n) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ContractionTest,
+                         ::testing::Values(1, 2, 3, 5, 16, 100, 1024, 4097));
+
+TEST(Contraction, HandlesHighDegreeBfsTrees) {
+  const Graph g = gen::Star(200);
+  const auto bfs = BuildBfsTree(g);
+  const WellFormedTree t = ContractToWellFormedTree(bfs);
+  EXPECT_TRUE(ValidateWellFormedTree(t, CeilLog2(200) + 1));
+}
+
+TEST(Contraction, HandlesRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::ConnectedGnp(300, 0.02, seed);
+    const WellFormedTree t = ContractToWellFormedTree(BuildBfsTree(g, 0, seed));
+    EXPECT_TRUE(ValidateWellFormedTree(t, CeilLog2(300) + 1));
+  }
+}
+
+TEST(Contraction, RoundsChargedAreLogarithmic) {
+  const Graph g = gen::Line(1024);
+  const WellFormedTree t = ContractToWellFormedTree(BuildBfsTree(g));
+  EXPECT_EQ(t.rounds_charged, 2ull * CeilLog2(2048) + 4);
+}
+
+TEST(Validate, AcceptsSingleton) {
+  WellFormedTree t;
+  t.root = 0;
+  t.parent = {kInvalidNode};
+  t.left_child = {kInvalidNode};
+  t.right_child = {kInvalidNode};
+  EXPECT_TRUE(ValidateWellFormedTree(t, 0));
+}
+
+TEST(Validate, RejectsCycle) {
+  WellFormedTree t;
+  t.root = 0;
+  t.parent = {kInvalidNode, 0};
+  t.left_child = {1, 0};  // 1's child points back at 0
+  t.right_child = {kInvalidNode, kInvalidNode};
+  EXPECT_FALSE(ValidateWellFormedTree(t, 0));
+}
+
+TEST(Validate, RejectsOrphanNode) {
+  WellFormedTree t;
+  t.root = 0;
+  t.parent = {kInvalidNode, kInvalidNode, 0};  // node 1 unreachable
+  t.left_child = {2, kInvalidNode, kInvalidNode};
+  t.right_child = {kInvalidNode, kInvalidNode, kInvalidNode};
+  EXPECT_FALSE(ValidateWellFormedTree(t, 0));
+}
+
+TEST(Validate, RejectsParentChildMismatch) {
+  WellFormedTree t;
+  t.root = 0;
+  t.parent = {kInvalidNode, kInvalidNode};  // 1 claims no parent
+  t.left_child = {1, kInvalidNode};          // but 0 claims 1 as child
+  t.right_child = {kInvalidNode, kInvalidNode};
+  EXPECT_FALSE(ValidateWellFormedTree(t, 0));
+}
+
+TEST(Validate, EnforcesDepthBound) {
+  // A 3-node path-shaped binary tree has depth 2; bound 1 must fail.
+  WellFormedTree t;
+  t.root = 0;
+  t.parent = {kInvalidNode, 0, 1};
+  t.left_child = {1, 2, kInvalidNode};
+  t.right_child = {kInvalidNode, kInvalidNode, kInvalidNode};
+  EXPECT_TRUE(ValidateWellFormedTree(t, 2));
+  EXPECT_FALSE(ValidateWellFormedTree(t, 1));
+}
+
+TEST(Depth, BalancedTreeDepth) {
+  // 7 nodes in balanced shape -> depth 2.
+  const Graph g = gen::Line(7);
+  const WellFormedTree t = ContractToWellFormedTree(BuildBfsTree(g));
+  EXPECT_LE(t.Depth(), 3u);
+  EXPECT_GE(t.Depth(), 2u);
+}
+
+}  // namespace
+}  // namespace overlay
