@@ -12,7 +12,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_message_load");
   bench::Banner(
       "E2 / Theorem 1.1: per-node message totals",
       "claim: O(log^2 n) messages per node; check col 5 (normalized by the "
@@ -35,5 +36,6 @@ int main() {
           r.report.total_messages, r.report.max_node_messages_bfs);
   }
   t.Print();
-  return 0;
+  json.Add("message_load", t);
+  return json.Finish();
 }

@@ -1,0 +1,159 @@
+// Parallel round-engine scaling: rounds/sec of the sharded executor.
+//
+// Workload: n nodes each send `cap` messages per round to hash-picked
+// destinations (Poisson-like offered loads around cap, so the random-drop
+// path is exercised), for R rounds. The workload is a pure function of
+// (node, round), so every engine sees the identical send sequence.
+//
+// Columns: rounds/sec per shard count, speedup vs the S=1 sharded run, and
+// a per-round FNV-1a checksum over all delivered inboxes. The S=1 checksum
+// must equal SyncNetwork's — the sharded executor with one shard replays
+// the reference engine bit for bit (same drops, same inbox order).
+//
+// Defaults reproduce the acceptance workload: 100k nodes, cap 8. Override
+// with --n / --rounds / --cap; emit JSON with --json out.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "sim/network.hpp"
+#include "sim/sharded_network.hpp"
+
+using namespace overlay;
+
+namespace {
+
+std::uint64_t DestHash(NodeId v, std::size_t round, std::size_t i) {
+  return (v * 0x9e3779b97f4a7c15ULL) ^ (round * 0xbf58476d1ce4e5b9ULL) ^
+         (i * 0x94d049bb133111ebULL);
+}
+
+std::uint64_t Fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename Net>
+std::uint64_t ChecksumInboxes(const Net& net, std::uint64_t h) {
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (const Message& m : net.Inbox(v)) {
+      h = Fnv1a(h, m.src);
+      h = Fnv1a(h, m.kind);
+      for (const std::uint64_t w : m.words) h = Fnv1a(h, w);
+    }
+  }
+  return h;
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t checksum = 0;
+  NetworkStats stats;
+};
+
+/// Drives `rounds` rounds of the workload. The sharded engine processes the
+/// send loop on its shard workers via ForEachNode; SyncNetwork serially.
+template <typename Net>
+RunResult Run(Net& net, std::size_t rounds, std::size_t sends) {
+  const std::size_t n = net.num_nodes();
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  RunResult r;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto drive = [&](NodeId v) {
+      for (std::size_t i = 0; i < sends; ++i) {
+        Message m;
+        m.kind = 1;
+        m.words[0] = DestHash(v, round, i);
+        net.Send(v, static_cast<NodeId>(m.words[0] % n), m);
+      }
+    };
+    // Only the engine work (sends + EndRound) is timed; the serial checksum
+    // walk below is verification overhead and would otherwise Amdahl-cap
+    // the measurable speedup.
+    const auto start = std::chrono::steady_clock::now();
+    if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+      net.ForEachNode(drive);
+    } else {
+      for (NodeId v = 0; v < n; ++v) drive(v);
+    }
+    net.EndRound();
+    const auto stop = std::chrono::steady_clock::now();
+    r.seconds += std::chrono::duration<double>(stop - start).count();
+    checksum = ChecksumInboxes(net, checksum);
+  }
+  r.checksum = checksum;
+  r.stats = net.stats();
+  return r;
+}
+
+std::size_t SizeFlag(int argc, char** argv, const char* flag,
+                     std::size_t fallback) {
+  const char* v = bench::FlagValue(argc, argv, flag);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const std::size_t parsed =
+      static_cast<std::size_t>(std::strtoull(v, &end, 10));
+  if (end == v || *end != '\0' || parsed == 0) {
+    std::fprintf(stderr, "%s needs a positive integer, got '%s'\n", flag, v);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = SizeFlag(argc, argv, "--n", 100000);
+  const std::size_t cap = SizeFlag(argc, argv, "--cap", 8);
+  const std::size_t rounds = SizeFlag(argc, argv, "--rounds", 25);
+  const std::uint64_t seed = SizeFlag(argc, argv, "--seed", 7);
+
+  bench::Banner(
+      "Parallel round-engine scaling",
+      "claim: sharded EndRound scales rounds/sec with shard count on "
+      "multi-core hosts; S=1 is bit-identical to SyncNetwork (checksum col)");
+  std::printf("n=%zu cap=%zu rounds=%zu seed=%llu hw_threads=%u\n\n", n, cap,
+              rounds, static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency());
+
+  bench::JsonReport json(argc, argv, "bench_parallel_scaling");
+  bench::Table t({"engine", "shards", "seconds", "rounds_per_sec", "speedup",
+                  "delivered", "dropped", "checksum", "matches_sync"});
+
+  SyncNetwork sync({.num_nodes = n, .capacity = cap, .seed = seed});
+  const RunResult base = Run(sync, rounds, cap);
+  t.Row("sync", 1, base.seconds, rounds / base.seconds, 1.0,
+        base.stats.messages_delivered, base.stats.messages_dropped,
+        base.checksum, true);
+
+  double s1_seconds = 0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
+                        .num_shards = shards});
+    const RunResult r = Run(net, rounds, cap);
+    if (shards == 1) s1_seconds = r.seconds;
+    const bool matches =
+        shards == 1 ? r.checksum == base.checksum
+                    : r.stats.messages_delivered ==
+                          base.stats.messages_delivered &&
+                          r.stats.messages_dropped ==
+                              base.stats.messages_dropped;
+    t.Row("sharded", shards, r.seconds, rounds / r.seconds,
+          s1_seconds / r.seconds, r.stats.messages_delivered,
+          r.stats.messages_dropped, r.checksum, matches);
+    if (!matches) {
+      std::fprintf(stderr, "FAIL: shard count %zu diverged from SyncNetwork\n",
+                   shards);
+      return 1;
+    }
+  }
+
+  t.Print();
+  json.Add("parallel_scaling", t);
+  return json.Finish();
+}

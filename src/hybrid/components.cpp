@@ -88,8 +88,11 @@ ComponentsResult BuildComponentOverlays(const Graph& g,
     OVERLAY_CHECK(IsConnected(overlay.expander),
                   "hybrid expander disconnected a component");
 
+    EngineConfig bfs_cfg = opts.engine;
+    bfs_cfg.capacity = 0;
+    bfs_cfg.seed = opts.seed ^ (0xabcULL + c);
     const BfsTreeResult bfs =
-        BuildBfsTree(overlay.expander, 0, opts.seed ^ (0xabcULL + c));
+        BuildBfsTree(overlay.expander, opts.engine_kind, bfs_cfg);
     overlay.cost.rounds += bfs.stats.rounds;
     overlay.cost.global_messages += bfs.stats.messages_sent;
 

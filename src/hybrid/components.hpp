@@ -18,6 +18,7 @@
 #include "hybrid/hybrid_model.hpp"
 #include "hybrid/spanner.hpp"
 #include "overlay/well_formed_tree.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
@@ -34,6 +35,11 @@ struct HybridOverlayOptions {
   SpannerOptions spanner;
   HybridExpanderOptions expander;
   std::uint64_t seed = 1;
+  /// Engine executing the measured message-passing phases (BFS floods).
+  /// `engine.num_nodes/capacity/seed` are set per phase by the driver;
+  /// num_shards/max_delay pass through to the selected engine.
+  EngineKind engine_kind = EngineKind::kSync;
+  EngineConfig engine;
 };
 
 struct ComponentsResult {

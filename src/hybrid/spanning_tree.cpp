@@ -60,7 +60,10 @@ SpanningTreeResult BuildSpanningTree(const Graph& g,
   OVERLAY_CHECK(IsConnected(expander), "expander phase disconnected");
 
   // Phase 4: BFS tree S_L' on the final expander.
-  const BfsTreeResult bfs = BuildBfsTree(expander, 0, opts.seed ^ 0xbf5ULL);
+  EngineConfig bfs_cfg = opts.engine;
+  bfs_cfg.capacity = 0;
+  bfs_cfg.seed = opts.seed ^ 0xbf5ULL;
+  const BfsTreeResult bfs = BuildBfsTree(expander, opts.engine_kind, bfs_cfg);
   result.cost.rounds += bfs.stats.rounds;
   result.cost.global_messages += bfs.stats.messages_sent;
 

@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "graph/metrics.hpp"
+#include "sim/async_network.hpp"
+#include "sim/sharded_network.hpp"
 
 namespace overlay {
 
@@ -11,19 +13,20 @@ namespace {
 constexpr std::uint32_t kBfsKind = 0x1u;
 }  // namespace
 
-BfsTreeResult BuildBfsTree(const Graph& g, std::size_t capacity,
-                           std::uint64_t seed) {
+template <NetworkEngine Engine>
+BfsTreeResult BuildBfsTree(const Graph& g, EngineConfig cfg) {
   const std::size_t n = g.num_nodes();
   OVERLAY_CHECK(n >= 1, "empty graph");
   OVERLAY_CHECK(IsConnected(g), "BFS tree requires a connected graph");
 
-  if (capacity == 0) {
-    capacity = std::max<std::size_t>(1, g.MaxDegree());
+  if (cfg.capacity == 0) {
+    cfg.capacity = std::max<std::size_t>(1, g.MaxDegree());
   }
-  OVERLAY_CHECK(capacity >= g.MaxDegree(),
+  OVERLAY_CHECK(cfg.capacity >= g.MaxDegree(),
                 "flooding needs capacity >= max degree");
+  cfg.num_nodes = n;
 
-  SyncNetwork net({n, capacity, seed});
+  Engine net(cfg);
 
   // Node state: best root seen, distance to it, parent toward it.
   std::vector<NodeId> best_root(n);
@@ -75,6 +78,29 @@ BfsTreeResult BuildBfsTree(const Graph& g, std::size_t capacity,
   result.height = *std::max_element(result.depth.begin(), result.depth.end());
   result.stats = net.stats();
   return result;
+}
+
+template BfsTreeResult BuildBfsTree<SyncNetwork>(const Graph&, EngineConfig);
+template BfsTreeResult BuildBfsTree<AsyncNetwork>(const Graph&, EngineConfig);
+template BfsTreeResult BuildBfsTree<ShardedNetwork>(const Graph&,
+                                                    EngineConfig);
+
+BfsTreeResult BuildBfsTree(const Graph& g, std::size_t capacity,
+                           std::uint64_t seed) {
+  return BuildBfsTree<SyncNetwork>(
+      g, EngineConfig{.capacity = capacity, .seed = seed});
+}
+
+BfsTreeResult BuildBfsTree(const Graph& g, EngineKind kind, EngineConfig cfg) {
+  switch (kind) {
+    case EngineKind::kAsync:
+      return BuildBfsTree<AsyncNetwork>(g, cfg);
+    case EngineKind::kSharded:
+      return BuildBfsTree<ShardedNetwork>(g, cfg);
+    case EngineKind::kSync:
+      break;
+  }
+  return BuildBfsTree<SyncNetwork>(g, cfg);
 }
 
 bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r) {

@@ -15,6 +15,7 @@
 
 #include "common/ids.hpp"
 #include "graph/graph.hpp"
+#include "sim/engine.hpp"
 #include "sim/network.hpp"
 
 namespace overlay {
@@ -29,11 +30,19 @@ struct BfsTreeResult {
   NetworkStats stats;
 };
 
-/// Builds the election+BFS tree over `g` (must be connected). `capacity` is
-/// the per-round message cap; it must be >= max degree of `g` for flooding to
-/// be legal (checked). The default picks exactly that.
+/// Builds the election+BFS tree over `g` (must be connected) on any engine.
+/// `cfg.num_nodes` is overridden from `g`; `cfg.capacity` must be >= max
+/// degree of `g` for flooding to be legal (checked), 0 = exactly max degree.
+/// Engine-specific knobs (num_shards, max_delay) pass through.
+template <NetworkEngine Engine = SyncNetwork>
+BfsTreeResult BuildBfsTree(const Graph& g, EngineConfig cfg);
+
+/// Convenience form on the reference engine (the historical signature).
 BfsTreeResult BuildBfsTree(const Graph& g, std::size_t capacity = 0,
                            std::uint64_t seed = 1);
+
+/// Runtime-dispatched form for drivers that carry the engine choice as data.
+BfsTreeResult BuildBfsTree(const Graph& g, EngineKind kind, EngineConfig cfg);
 
 /// Validates that `r` is a BFS tree of `g` rooted at the minimum id:
 /// parent edges exist in g, depths are shortest-path distances, root is min.

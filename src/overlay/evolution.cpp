@@ -18,6 +18,7 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
   walk_opts.tokens_per_node = params.TokensPerNode();
   walk_opts.walk_length = params.walk_length;
   walk_opts.record_paths = params.record_paths;
+  walk_opts.num_shards = params.num_shards;
   TokenWalkResult walks = RunTokenWalks(g, walk_opts, rng);
 
   EvolutionResult result{Multigraph(n), {}, {}};

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "sim/async_network.hpp"
+#include "sim/sharded_network.hpp"
 
 namespace overlay {
 
@@ -12,14 +14,17 @@ constexpr std::uint32_t kTokenMsg = 0x10u;
 constexpr std::uint32_t kReplyMsg = 0x11u;
 }  // namespace
 
+template <NetworkEngine Engine>
 MessagePassingEvolutionResult RunEvolutionMessagePassing(
-    const Multigraph& g, const ExpanderParams& params, std::size_t capacity) {
+    const Multigraph& g, const ExpanderParams& params, EngineConfig cfg) {
   OVERLAY_CHECK(g.IsRegular(params.delta),
                 "evolutions require a Δ-regular (benign) graph");
   const std::size_t n = g.num_nodes();
-  if (capacity == 0) capacity = params.delta;
+  if (cfg.capacity == 0) cfg.capacity = params.delta;
+  cfg.num_nodes = n;
+  cfg.seed = params.seed ^ 0x3e57ULL;
 
-  SyncNetwork net({n, capacity, params.seed ^ 0x3e57ULL});
+  Engine net(cfg);
   Rng rng(params.seed ^ 0x70c3ULL);
 
   MessagePassingEvolutionResult result{Multigraph(n), {}, 0, 0};
@@ -96,6 +101,22 @@ MessagePassingEvolutionResult RunEvolutionMessagePassing(
   }
   result.stats = net.stats();
   return result;
+}
+
+template MessagePassingEvolutionResult RunEvolutionMessagePassing<SyncNetwork>(
+    const Multigraph&, const ExpanderParams&, EngineConfig);
+template MessagePassingEvolutionResult
+RunEvolutionMessagePassing<AsyncNetwork>(const Multigraph&,
+                                         const ExpanderParams&, EngineConfig);
+template MessagePassingEvolutionResult
+RunEvolutionMessagePassing<ShardedNetwork>(const Multigraph&,
+                                           const ExpanderParams&,
+                                           EngineConfig);
+
+MessagePassingEvolutionResult RunEvolutionMessagePassing(
+    const Multigraph& g, const ExpanderParams& params, std::size_t capacity) {
+  return RunEvolutionMessagePassing<SyncNetwork>(
+      g, params, EngineConfig{.capacity = capacity});
 }
 
 }  // namespace overlay

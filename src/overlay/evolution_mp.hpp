@@ -21,6 +21,7 @@
 
 #include "graph/multigraph.hpp"
 #include "overlay/params.hpp"
+#include "sim/engine.hpp"
 #include "sim/network.hpp"
 
 namespace overlay {
@@ -32,10 +33,17 @@ struct MessagePassingEvolutionResult {
   std::uint64_t tokens_without_edge = 0;  ///< home-returns + accept-bound + capacity drops
 };
 
-/// Runs one evolution of CreateExpander entirely over SyncNetwork.
-/// `capacity` is the per-round cap; 0 = Δ (the NCC0 Θ(log n) budget at the
-/// default parameters — Lemma 3.2 keeps loads below 3Δ/8 < Δ w.h.p., so
-/// drops are rare and the output remains benign).
+/// Runs one evolution of CreateExpander entirely over a capacity-enforced
+/// engine. `cfg.capacity` is the per-round cap; 0 = Δ (the NCC0 Θ(log n)
+/// budget at the default parameters — Lemma 3.2 keeps loads below 3Δ/8 < Δ
+/// w.h.p., so drops are rare and the output remains benign). `cfg.num_nodes`
+/// and `cfg.seed` are derived from `g`/`params`; num_shards/max_delay pass
+/// through to engines that use them.
+template <NetworkEngine Engine = SyncNetwork>
+MessagePassingEvolutionResult RunEvolutionMessagePassing(
+    const Multigraph& g, const ExpanderParams& params, EngineConfig cfg);
+
+/// Convenience form on the reference engine (the historical signature).
 MessagePassingEvolutionResult RunEvolutionMessagePassing(
     const Multigraph& g, const ExpanderParams& params,
     std::size_t capacity = 0);

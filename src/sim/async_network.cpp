@@ -55,18 +55,7 @@ void AsyncNetwork::EndRound() {
 
   for (NodeId v = 0; v < num_nodes(); ++v) {
     auto& queue = pending[v];
-    stats_.max_offered_load =
-        std::max<std::uint64_t>(stats_.max_offered_load, queue.size());
-    if (queue.size() > capacity_) {
-      for (std::size_t i = 0; i < capacity_; ++i) {
-        const std::size_t j =
-            i + static_cast<std::size_t>(rng_.NextBelow(queue.size() - i));
-        std::swap(queue[i], queue[j]);
-      }
-      stats_.messages_dropped += queue.size() - capacity_;
-      queue.resize(capacity_);
-    }
-    stats_.messages_delivered += queue.size();
+    queue.resize(EnforceReceiveCap(queue, capacity_, rng_, stats_));
     inboxes_[v] = std::move(queue);
   }
   ++stats_.rounds;

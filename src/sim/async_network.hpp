@@ -21,24 +21,21 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sim/engine.hpp"
 #include "sim/message.hpp"
-#include "sim/network.hpp"
 
 namespace overlay {
 
 /// SyncNetwork-compatible engine over a bounded-delay asynchronous fabric.
+/// `EngineConfig::max_delay` is D, the slowest message delay in time steps.
 class AsyncNetwork {
  public:
-  struct Config {
-    std::size_t num_nodes = 0;
-    std::size_t capacity = 0;   ///< per logical round, as in SyncNetwork
-    std::size_t max_delay = 1;  ///< D: slowest message, in time steps
-    std::uint64_t seed = 1;
-  };
+  using Config = EngineConfig;
 
   explicit AsyncNetwork(const Config& config);
 
   std::size_t num_nodes() const { return inboxes_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t round() const { return stats_.rounds; }
   /// Wall-clock steps consumed so far (= rounds · max_delay).
   std::uint64_t time_steps() const { return time_; }

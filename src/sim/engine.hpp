@@ -1,0 +1,93 @@
+// Unified surface of the round-based network engines.
+//
+// Every engine in src/sim — SyncNetwork (reference single-threaded),
+// AsyncNetwork (bounded-delay synchronizer), ShardedNetwork (parallel
+// sharded executor) — exposes the same protocol-facing API:
+//
+//   Engine net(EngineConfig{...});
+//   while (!done) {
+//     for (NodeId v = 0; v < n; ++v)
+//       for (const Message& m : net.Inbox(v)) { ...; net.Send(v, to, msg); }
+//     net.EndRound();
+//   }
+//
+// Drivers are written against the `NetworkEngine` concept, so a protocol is
+// implemented once and can execute on any engine; engine-specific knobs
+// (max_delay, num_shards) live in the shared EngineConfig and are ignored by
+// engines they do not apply to.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+
+namespace overlay {
+
+/// Telemetry the benchmarks report: totals, peaks, and drops.
+struct NetworkStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  /// Max messages any single node received in any round (before drops).
+  std::uint64_t max_offered_load = 0;
+  /// Max messages any single node sent in any round.
+  std::uint64_t max_send_load = 0;
+
+  void MergeFrom(const NetworkStats& other);
+
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
+};
+
+/// Shared configuration of all engines. Fields an engine does not use are
+/// ignored (e.g. max_delay outside AsyncNetwork, num_shards outside
+/// ShardedNetwork), so one config type can parameterize any engine.
+struct EngineConfig {
+  std::size_t num_nodes = 0;
+  /// Per-round, per-node send and receive cap (the model's O(log n)).
+  std::size_t capacity = 0;
+  std::uint64_t seed = 1;
+  /// AsyncNetwork: slowest message delay D, in time steps.
+  std::size_t max_delay = 1;
+  /// ShardedNetwork: worker shard count S (clamped to num_nodes).
+  std::size_t num_shards = 1;
+};
+
+/// Runtime engine selector for drivers that take the choice as data (e.g.
+/// hybrid pipeline options) rather than as a template parameter.
+enum class EngineKind { kSync, kAsync, kSharded };
+
+/// Enforces the per-node receive cap on one offered bucket, in place: when
+/// `bucket.size() > capacity` a uniformly random subset of `capacity`
+/// messages is moved to the front (partial Fisher–Yates) and the excess is
+/// accounted as dropped. Updates max_offered_load / messages_dropped /
+/// messages_delivered and returns how many messages to deliver.
+///
+/// Every engine routes its drop decisions through this single definition —
+/// the sharded engine's S=1 bit-identical-to-SyncNetwork guarantee rests on
+/// all engines consuming `rng` in exactly this pattern.
+std::size_t EnforceReceiveCap(std::span<Message> bucket, std::size_t capacity,
+                              Rng& rng, NetworkStats& stats);
+
+/// The engine concept protocol drivers are templated over.
+template <typename E>
+concept NetworkEngine =
+    std::constructible_from<E, const EngineConfig&> &&
+    requires(E e, const E ce, NodeId v, const Message& m) {
+      { ce.num_nodes() } -> std::convertible_to<std::size_t>;
+      { ce.capacity() } -> std::convertible_to<std::size_t>;
+      { ce.round() } -> std::convertible_to<std::uint64_t>;
+      e.Send(v, v, m);
+      { ce.Inbox(v) } -> std::convertible_to<std::span<const Message>>;
+      e.EndRound();
+      // By const reference (Sync/Async) or by value (ShardedNetwork, whose
+      // merged stats are computed on demand and must not be cached through a
+      // const method shared across reader threads).
+      { ce.stats() } -> std::convertible_to<NetworkStats>;
+    };
+
+}  // namespace overlay

@@ -13,6 +13,27 @@ void NetworkStats::MergeFrom(const NetworkStats& other) {
   max_send_load = std::max(max_send_load, other.max_send_load);
 }
 
+std::size_t EnforceReceiveCap(std::span<Message> bucket, std::size_t capacity,
+                              Rng& rng, NetworkStats& stats) {
+  const std::size_t offered = bucket.size();
+  stats.max_offered_load =
+      std::max<std::uint64_t>(stats.max_offered_load, offered);
+  std::size_t keep = offered;
+  if (offered > capacity) {
+    // The network delivers an arbitrary subset of size `capacity`; we pick a
+    // uniformly random one (partial Fisher–Yates, then truncate).
+    for (std::size_t i = 0; i < capacity; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.NextBelow(offered - i));
+      std::swap(bucket[i], bucket[j]);
+    }
+    stats.messages_dropped += offered - capacity;
+    keep = capacity;
+  }
+  stats.messages_delivered += keep;
+  return keep;
+}
+
 SyncNetwork::SyncNetwork(const Config& config)
     : capacity_(config.capacity),
       rng_(config.seed),
@@ -52,20 +73,7 @@ void SyncNetwork::EndRound() {
 
   for (NodeId v = 0; v < num_nodes(); ++v) {
     auto& queue = pending_[v];
-    stats_.max_offered_load =
-        std::max<std::uint64_t>(stats_.max_offered_load, queue.size());
-    if (queue.size() > capacity_) {
-      // The network delivers an arbitrary subset of size `capacity_`; we pick
-      // a uniformly random one (partial Fisher–Yates, then truncate).
-      for (std::size_t i = 0; i < capacity_; ++i) {
-        const std::size_t j =
-            i + static_cast<std::size_t>(rng_.NextBelow(queue.size() - i));
-        std::swap(queue[i], queue[j]);
-      }
-      stats_.messages_dropped += queue.size() - capacity_;
-      queue.resize(capacity_);
-    }
-    stats_.messages_delivered += queue.size();
+    queue.resize(EnforceReceiveCap(queue, capacity_, rng_, stats_));
     inboxes_[v].swap(queue);
     queue.clear();
   }

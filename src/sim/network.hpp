@@ -17,25 +17,12 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sim/engine.hpp"
 #include "sim/message.hpp"
 
 namespace overlay {
 
-/// Telemetry the benchmarks report: totals, peaks, and drops.
-struct NetworkStats {
-  std::uint64_t rounds = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;
-  /// Max messages any single node received in any round (before drops).
-  std::uint64_t max_offered_load = 0;
-  /// Max messages any single node sent in any round.
-  std::uint64_t max_send_load = 0;
-
-  void MergeFrom(const NetworkStats& other);
-};
-
-/// The round engine. Typical protocol-driver loop:
+/// The reference round engine. Typical protocol-driver loop:
 ///
 ///   SyncNetwork net(cfg);
 ///   while (!done) {
@@ -46,12 +33,7 @@ struct NetworkStats {
 ///   }
 class SyncNetwork {
  public:
-  struct Config {
-    std::size_t num_nodes = 0;
-    /// Per-round, per-node send and receive cap (the model's O(log n)).
-    std::size_t capacity = 0;
-    std::uint64_t seed = 1;
-  };
+  using Config = EngineConfig;
 
   explicit SyncNetwork(const Config& config);
 

@@ -1,0 +1,181 @@
+#include "sim/sharded_network.hpp"
+
+#include <algorithm>
+#include <barrier>
+
+namespace overlay {
+
+ShardedNetwork::ShardedNetwork(const Config& config)
+    : num_nodes_(config.num_nodes),
+      capacity_(config.capacity),
+      sent_this_round_(config.num_nodes, 0),
+      total_sent_(config.num_nodes, 0) {
+  OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
+  OVERLAY_CHECK(config.capacity >= 1, "capacity must be positive");
+  OVERLAY_CHECK(config.num_shards >= 1, "need at least one shard");
+
+  const std::size_t s_count = std::min(config.num_shards, num_nodes_);
+  base_ = num_nodes_ / s_count;
+  rem_ = num_nodes_ % s_count;
+
+  // Shard 0 uses the config seed verbatim so that a single-sharded engine
+  // consumes the exact RNG stream SyncNetwork would (bit-identical runs);
+  // further shards get independent SplitMix64-derived streams.
+  std::uint64_t chain = config.seed;
+  shards_.reserve(s_count);
+  for (std::size_t s = 0; s < s_count; ++s) {
+    const std::uint64_t shard_seed = s == 0 ? config.seed : SplitMix64(chain);
+    Shard shard{.rng = Rng(shard_seed)};
+    shard.staging.resize(s_count);
+    shard.offsets.assign(ShardEnd(s) - ShardBase(s) + 1, 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedNetwork::Send(NodeId from, NodeId to, const Message& msg) {
+  OVERLAY_CHECK(from < num_nodes_ && to < num_nodes_,
+                "message endpoint out of range");
+  OVERLAY_CHECK(sent_this_round_[from] < capacity_,
+                "protocol exceeded its per-round send cap");
+  ++sent_this_round_[from];
+  ++total_sent_[from];
+  Shard& shard = shards_[ShardOf(from)];
+  ++shard.partial.messages_sent;
+  Message stamped = msg;
+  stamped.src = from;
+  shard.outbox.push_back({to, stamped});
+}
+
+std::span<const Message> ShardedNetwork::Inbox(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes_, "node out of range");
+  const Shard& shard = shards_[ShardOf(v)];
+  const std::size_t lv = v - ShardBase(ShardOf(v));
+  return {shard.arena.data() + shard.offsets[lv],
+          shard.offsets[lv + 1] - shard.offsets[lv]};
+}
+
+void ShardedNetwork::FlushOutbox(std::size_t s) {
+  Shard& shard = shards_[s];
+  std::uint64_t round_max_send = 0;
+  const NodeId lo = ShardBase(s);
+  const NodeId hi = ShardEnd(s);
+  for (NodeId v = lo; v < hi; ++v) {
+    round_max_send = std::max<std::uint64_t>(round_max_send,
+                                             sent_this_round_[v]);
+    sent_this_round_[v] = 0;
+  }
+  shard.partial.max_send_load =
+      std::max(shard.partial.max_send_load, round_max_send);
+
+  for (const Outgoing& out : shard.outbox) {
+    shard.staging[ShardOf(out.to)].push_back(out);
+  }
+  shard.outbox.clear();
+}
+
+void ShardedNetwork::DeliverInboxes(std::size_t d) {
+  Shard& dst = shards_[d];
+  const NodeId base = ShardBase(d);
+  const std::size_t local_n = ShardEnd(d) - base;
+  const std::size_t s_count = shards_.size();
+
+  // Stable per-node bucketing of everything staged for this shard, in fixed
+  // (source shard, send order) order — counting sort into `incoming`.
+  auto& counts = dst.cursor;  // reused scratch: counts, then write cursors
+  counts.assign(local_n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < s_count; ++s) {
+    for (const Outgoing& out : shards_[s].staging[d]) {
+      ++counts[out.to - base];
+      ++total;
+    }
+  }
+  // counts -> start offsets (exclusive prefix sum), kept in dst.offsets shape
+  // via a parallel pass below; cursor walks while filling.
+  std::vector<std::size_t>& starts = dst.offsets;  // rebuilt this round
+  starts.assign(local_n + 1, 0);
+  for (std::size_t lv = 0; lv < local_n; ++lv) {
+    starts[lv + 1] = starts[lv] + counts[lv];
+  }
+  dst.incoming.resize(total);
+  std::copy(starts.begin(), starts.end(), counts.begin());  // write cursors
+  for (std::size_t s = 0; s < s_count; ++s) {
+    auto& staged = shards_[s].staging[d];
+    for (const Outgoing& out : staged) {
+      dst.incoming[counts[out.to - base]++] = out.msg;
+    }
+    staged.clear();
+  }
+
+  // Capacity enforcement + compaction into the arena. The shared helper
+  // consumes this shard's stream in local node order — the same pattern
+  // SyncNetwork uses, which is what makes S=1 runs bit-identical.
+  dst.arena.clear();
+  dst.arena.reserve(total);
+  std::size_t write_start = 0;
+  for (std::size_t lv = 0; lv < local_n; ++lv) {
+    const std::size_t begin = starts[lv];
+    const std::size_t offered = starts[lv + 1] - begin;
+    const std::size_t keep = EnforceReceiveCap(
+        std::span<Message>(dst.incoming.data() + begin, offered), capacity_,
+        dst.rng, dst.partial);
+    dst.arena.insert(dst.arena.end(), dst.incoming.begin() + begin,
+                     dst.incoming.begin() + begin + keep);
+    starts[lv] = write_start;
+    write_start += keep;
+  }
+  starts[local_n] = write_start;
+}
+
+void ShardedNetwork::EndRound() {
+  const std::size_t s_count = shards_.size();
+  if (s_count == 1) {
+    FlushOutbox(0);
+    DeliverInboxes(0);
+    ++rounds_;
+    return;
+  }
+  // One worker per shard runs both phases, separated by a barrier (phase 2
+  // reads every shard's staging buffers, so all flushes must land first).
+  std::vector<std::exception_ptr> errors(s_count);
+  std::barrier sync(static_cast<std::ptrdiff_t>(s_count));
+  auto work = [&](std::size_t s) {
+    try {
+      FlushOutbox(s);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+    sync.arrive_and_wait();
+    if (errors[s] != nullptr) return;
+    try {
+      DeliverInboxes(s);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  };
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(s_count - 1);
+    for (std::size_t s = 1; s < s_count; ++s) workers.emplace_back(work, s);
+    work(0);
+  }  // jthreads join
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  ++rounds_;
+}
+
+NetworkStats ShardedNetwork::stats() const {
+  NetworkStats merged;
+  merged.rounds = rounds_;
+  for (const Shard& shard : shards_) merged.MergeFrom(shard.partial);
+  return merged;
+}
+
+std::uint64_t ShardedNetwork::MaxTotalSentPerNode() const {
+  std::uint64_t best = 0;
+  for (const std::uint64_t t : total_sent_) best = std::max(best, t);
+  return best;
+}
+
+}  // namespace overlay

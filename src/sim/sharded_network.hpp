@@ -1,0 +1,170 @@
+// Sharded parallel round engine (NCC0 semantics, multi-core EndRound).
+//
+// Nodes are partitioned into S contiguous shards. Each shard owns
+//   - a flat inbox arena (one std::vector<Message> + per-node offsets,
+//     replacing SyncNetwork's per-node vectors),
+//   - an outbox of this round's sends from the shard's nodes,
+//   - a private RNG stream that drives its capacity-drop choices.
+//
+// EndRound is a two-phase exchange executed by one worker thread per shard:
+//   phase 1 (parallel over *source* shards): each shard flushes its outbox
+//     into per-destination-shard staging buffers and folds its nodes' send
+//     counters into the send-load stats;
+//   phase 2 (parallel over *destination* shards): each shard gathers the
+//     staging buffers addressed to it (in fixed source-shard order), buckets
+//     messages per node, enforces the receive cap with a uniformly random
+//     drop from its own RNG stream, and compacts survivors into the arena.
+//
+// Determinism: for a fixed (seed, num_shards) the execution is bit-identical
+// regardless of thread scheduling — message order per node is fixed by
+// (source shard, send order) and each drop decision uses the destination
+// shard's private stream. With num_shards = 1 the engine consumes randomness
+// in exactly SyncNetwork's order, so delivered inboxes, drops, and stats are
+// bit-identical to the reference engine on the same seed (tested).
+//
+// Protocol compute can also be sharded: ForEachNode(f) runs f(v) for every
+// node on the owning shard's worker. Within f, a node may freely read its
+// Inbox and Send from itself; all engine state touched is shard-private.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace overlay {
+
+/// Parallel sharded engine; drop-in for SyncNetwork behind `NetworkEngine`.
+class ShardedNetwork {
+ public:
+  using Config = EngineConfig;
+
+  explicit ShardedNetwork(const Config& config);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  std::uint64_t round() const { return rounds_; }
+
+  /// Queues a message from `from` to `to` for delivery next round. Raises
+  /// ContractViolation if `from` exceeds its send cap this round. Thread-safe
+  /// across shards: may be called concurrently for `from` nodes owned by
+  /// different shards (ForEachNode guarantees exactly that).
+  void Send(NodeId from, NodeId to, const Message& msg);
+
+  /// Messages delivered to `v` at the beginning of the current round.
+  std::span<const Message> Inbox(NodeId v) const;
+
+  /// Closes the round with the two-phase parallel exchange described above.
+  void EndRound();
+
+  /// Advances the round counter by `k` without message activity (see
+  /// SyncNetwork::SkipRounds).
+  void SkipRounds(std::uint64_t k) { rounds_ += k; }
+
+  /// Merged engine statistics, recomputed from the per-shard partials. By
+  /// value: concurrent const readers must not share a cache slot.
+  NetworkStats stats() const;
+
+  std::uint64_t TotalSentBy(NodeId v) const { return total_sent_[v]; }
+  std::uint64_t MaxTotalSentPerNode() const;
+
+  /// Shard owning node `v`. Nodes are split as evenly as possible: the
+  /// first `rem_` shards own `base_ + 1` contiguous nodes, the rest `base_`,
+  /// so exactly min(num_shards, num_nodes) shards exist.
+  std::size_t ShardOf(NodeId v) const {
+    const std::size_t big = rem_ * (base_ + 1);
+    return v < big ? v / (base_ + 1) : rem_ + (v - big) / base_;
+  }
+
+  /// Runs `f(v)` for every node, each shard's range on its own worker.
+  /// `f` may call Inbox(v) and Send(v, ...) for the node it was invoked on.
+  template <typename F>
+  void ForEachNode(F&& f) {
+    RunOnShards([&](std::size_t s) {
+      const NodeId lo = ShardBase(s);
+      const NodeId hi = ShardEnd(s);
+      for (NodeId v = lo; v < hi; ++v) f(v);
+    });
+  }
+
+ private:
+  struct Outgoing {
+    NodeId to;
+    Message msg;
+  };
+
+  /// All mutable state a worker touches in a phase is shard-private.
+  struct Shard {
+    Rng rng;
+    std::vector<Outgoing> outbox;                 ///< this round's sends
+    std::vector<std::vector<Outgoing>> staging;   ///< [dst shard], phase 1 out
+    std::vector<Message> arena;                   ///< delivered inbox storage
+    std::vector<std::size_t> offsets;             ///< per local node, +1 slot
+    std::vector<Message> incoming;                ///< phase 2 gather scratch
+    std::vector<std::size_t> cursor;              ///< phase 2 bucket scratch
+    NetworkStats partial;                         ///< rounds field unused
+  };
+
+  NodeId ShardBase(std::size_t s) const {
+    return static_cast<NodeId>(s * base_ + std::min(s, rem_));
+  }
+  NodeId ShardEnd(std::size_t s) const { return ShardBase(s + 1); }
+
+  /// Runs fn(shard) on every shard, one worker thread per shard (inline when
+  /// single-sharded). Worker exceptions are captured and rethrown here.
+  template <typename F>
+  void RunOnShards(F&& fn) {
+    const std::size_t s_count = shards_.size();
+    if (s_count == 1) {
+      fn(std::size_t{0});
+      return;
+    }
+    std::vector<std::exception_ptr> errors(s_count);
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(s_count - 1);
+      for (std::size_t s = 1; s < s_count; ++s) {
+        workers.emplace_back([&fn, &errors, s] {
+          try {
+            fn(s);
+          } catch (...) {
+            errors[s] = std::current_exception();
+          }
+        });
+      }
+      try {
+        fn(std::size_t{0});
+      } catch (...) {
+        errors[0] = std::current_exception();
+      }
+    }  // jthreads join
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  void FlushOutbox(std::size_t s);    ///< phase 1 body
+  void DeliverInboxes(std::size_t s); ///< phase 2 body
+
+  std::size_t num_nodes_;
+  std::size_t capacity_;
+  std::size_t base_;  ///< nodes per shard; first `rem_` shards get one more
+  std::size_t rem_;
+  std::uint64_t rounds_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> sent_this_round_;  ///< per node
+  std::vector<std::uint64_t> total_sent_;       ///< per node
+};
+
+static_assert(NetworkEngine<ShardedNetwork>);
+
+}  // namespace overlay

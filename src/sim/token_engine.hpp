@@ -41,6 +41,12 @@ struct TokenWalkOptions {
   /// Record full node sequences (needed by the Theorem 1.3 spanning-tree
   /// unwinding); costs O(tokens · ℓ) memory.
   bool record_paths = false;
+  /// Worker shards (same idiom as ShardedNetwork): tokens are partitioned
+  /// into contiguous blocks, each advanced by its own thread with a private
+  /// RNG stream split off the caller's. 1 = the exact historical serial
+  /// behavior (caller's RNG consumed directly); for a fixed (rng seed,
+  /// num_shards) runs are deterministic regardless of scheduling.
+  std::size_t num_shards = 1;
 };
 
 /// Runs `tokens_per_node` independent lazy random walks of `walk_length`

@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
 #include "sim/async_network.hpp"
+#include "sim/network.hpp"
 
 namespace overlay {
 namespace {
@@ -51,7 +52,7 @@ std::pair<std::vector<NodeId>, std::uint64_t> FloodMinId(const Graph& g,
 }
 
 TEST(AsyncNetwork, DeliversWithinTheRound) {
-  AsyncNetwork net({2, 4, 5, 1});
+  AsyncNetwork net({.num_nodes = 2, .capacity = 4, .seed = 1, .max_delay = 5});
   Message m;
   m.kind = 1;
   m.words[0] = 42;
@@ -64,14 +65,14 @@ TEST(AsyncNetwork, DeliversWithinTheRound) {
 }
 
 TEST(AsyncNetwork, WallClockIsRoundsTimesDelay) {
-  AsyncNetwork net({4, 4, 7, 1});
+  AsyncNetwork net({.num_nodes = 4, .capacity = 4, .seed = 1, .max_delay = 7});
   for (int i = 0; i < 3; ++i) net.EndRound();
   EXPECT_EQ(net.round(), 3u);
   EXPECT_EQ(net.time_steps(), 21u);
 }
 
 TEST(AsyncNetwork, SendCapEnforced) {
-  AsyncNetwork net({2, 2, 3, 1});
+  AsyncNetwork net({.num_nodes = 2, .capacity = 2, .seed = 1, .max_delay = 3});
   Message m;
   net.Send(0, 1, m);
   net.Send(0, 1, m);
@@ -79,7 +80,7 @@ TEST(AsyncNetwork, SendCapEnforced) {
 }
 
 TEST(AsyncNetwork, ReceiveCapDrops) {
-  AsyncNetwork net({10, 3, 4, 1});
+  AsyncNetwork net({.num_nodes = 10, .capacity = 3, .seed = 1, .max_delay = 4});
   Message m;
   for (NodeId v = 0; v < 8; ++v) net.Send(v, 9, m);
   net.EndRound();
@@ -99,7 +100,7 @@ TEST_P(AsyncFloodTest, SynchronousProtocolUnchangedUnderDelay) {
   SyncNetwork sync({128, 128, 2});
   const auto [sync_best, sync_rounds] = FloodMinId(g, sync);
 
-  AsyncNetwork async({128, 128, max_delay, 2});
+  AsyncNetwork async({.num_nodes = 128, .capacity = 128, .seed = 2, .max_delay = max_delay});
   const auto [async_best, async_rounds] = FloodMinId(g, async);
 
   EXPECT_EQ(async_best, sync_best);
@@ -112,9 +113,9 @@ INSTANTIATE_TEST_SUITE_P(Delays, AsyncFloodTest,
                          ::testing::Values(1, 2, 5, 16));
 
 TEST(AsyncNetwork, RejectsInvalidConfig) {
-  EXPECT_THROW(AsyncNetwork({0, 1, 1, 1}), ContractViolation);
-  EXPECT_THROW(AsyncNetwork({1, 0, 1, 1}), ContractViolation);
-  EXPECT_THROW(AsyncNetwork({1, 1, 0, 1}), ContractViolation);
+  EXPECT_THROW(AsyncNetwork({.num_nodes = 0, .capacity = 1}), ContractViolation);
+  EXPECT_THROW(AsyncNetwork({.num_nodes = 1, .capacity = 0}), ContractViolation);
+  EXPECT_THROW(AsyncNetwork({.num_nodes = 1, .capacity = 1, .seed = 1, .max_delay = 0}), ContractViolation);
 }
 
 }  // namespace

@@ -85,5 +85,29 @@ TEST(BfsTree, SingleNodeGraph) {
   EXPECT_EQ(r.height, 0u);
 }
 
+TEST(BfsTree, AllEnginesAgreeOnRootAndDepths) {
+  // The runtime engine dispatch must give an equally valid BFS tree on every
+  // engine. Inbox ordering differs across engines, so parents may legally
+  // differ, but root, depths, and validity are engine-invariant.
+  const Graph g = gen::ConnectedGnp(200, 0.03, 11);
+  const auto sync = BuildBfsTree(g, EngineKind::kSync, {.seed = 11});
+  ASSERT_TRUE(ValidateBfsTree(g, sync));
+  for (const EngineKind kind : {EngineKind::kAsync, EngineKind::kSharded}) {
+    const auto r = BuildBfsTree(
+        g, kind, {.seed = 11, .max_delay = 3, .num_shards = 4});
+    EXPECT_TRUE(ValidateBfsTree(g, r));
+    EXPECT_EQ(r.root, sync.root);
+    EXPECT_EQ(r.depth, sync.depth);
+    EXPECT_EQ(r.stats.messages_dropped, 0u);
+  }
+  // The sharded engine path is also deterministic run to run.
+  const auto a = BuildBfsTree(g, EngineKind::kSharded,
+                              {.seed = 5, .num_shards = 4});
+  const auto b = BuildBfsTree(g, EngineKind::kSharded,
+                              {.seed = 5, .num_shards = 4});
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
 }  // namespace
 }  // namespace overlay

@@ -82,6 +82,36 @@ TEST(TokenEngine, MaxLoadBoundedByTotalTokens) {
   EXPECT_LE(result.max_load, 32u);  // cannot exceed the token population
 }
 
+TEST(TokenEngine, ShardedWalksDeterministicAndConserving) {
+  // The sharded walk path: same (seed, num_shards) => identical arrivals,
+  // paths, and load telemetry; tokens are conserved across shards.
+  const Multigraph m = LazyCycle(24, 8);
+  const TokenWalkOptions opts{.tokens_per_node = 3,
+                              .walk_length = 6,
+                              .record_paths = true,
+                              .num_shards = 4};
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const auto a = RunTokenWalks(m, opts, rng_a);
+  const auto b = RunTokenWalks(m, opts, rng_b);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_EQ(a.max_load, b.max_load);
+  std::size_t total = 0;
+  for (const auto& arrivals : a.arrivals) total += arrivals.size();
+  EXPECT_EQ(total, 24u * 3u);
+  EXPECT_EQ(a.token_steps, 24u * 3u * 6u);
+  // Every recorded path is a valid walk of the advertised length.
+  const Graph simple = m.ToSimpleGraph();
+  for (const auto& path : a.paths) {
+    ASSERT_EQ(path.size(), 7u);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(path[i] == path[i + 1] ||
+                  simple.HasEdge(path[i], path[i + 1]));
+    }
+  }
+}
+
 TEST(TokenEngine, RejectsDegenerateOptions) {
   const Multigraph m = LazyCycle(8, 4);
   Rng rng(6);
