@@ -17,7 +17,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_baseline_compare");
   bench::Banner(
       "E10: CreateExpander vs supernode merging vs pointer jumping (line)",
       "claim: this paper O(log n) rounds/O(log n) msgs-per-round; supernode "
@@ -52,5 +53,7 @@ int main() {
       "\nnote: pointer jumping reaches a clique in ~log2(n) rounds but its "
       "peak per-node message column grows ~n², which no NCC0 node may "
       "send.\n");
-  return 0;
+  json.Add("rounds_vs_baselines", t);
+  json.Add("pointer_jumping", t2);
+  return json.Finish();
 }

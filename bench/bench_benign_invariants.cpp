@@ -12,11 +12,12 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("E5 / Definition 2.1: benign invariants per evolution",
                 "claim: all graphs G_i are Δ-regular, lazy, with Λ-sized "
                 "min cut; exact cut via Stoer-Wagner at n=128");
 
+  bench::JsonReport json(argc, argv, "bench_benign_invariants");
   for (const char* family : {"line", "cycle", "tree"}) {
     const std::size_t n = 128;
     const Graph input = std::string(family) == "line"    ? gen::Line(n)
@@ -44,6 +45,7 @@ int main() {
     }
     t.Print();
     std::printf("\n");
+    json.Add(std::string("invariants_") + family, t);
   }
-  return 0;
+  return json.Finish();
 }

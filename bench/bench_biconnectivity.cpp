@@ -15,7 +15,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_biconnectivity");
   bench::Banner("E8 / Theorem 1.4 + Figure 1: biconnected components",
                 "claim: O(log n) rounds, exact biconnectivity; check "
                 "match=yes everywhere, rounds/log2(n) flat");
@@ -67,5 +68,6 @@ int main() {
   run("sparse_gnp_2k", gen::ConnectedGnp(2048, 1.2 / 2048.0, 6), 6);
   run("denser_gnp_2k", gen::ConnectedGnp(2048, 6.0 / 2048.0, 7), 7);
   t.Print();
-  return 0;
+  json.Add("biconnectivity", t);
+  return json.Finish();
 }

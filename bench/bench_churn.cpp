@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
+#include "overlay/churn.hpp"
 #include "overlay/construct.hpp"
 #include "overlay/derived.hpp"
 #include "overlay/monitoring.hpp"
@@ -22,35 +23,15 @@ using namespace overlay;
 namespace {
 
 /// Fraction of survivors inside the largest component after killing each
-/// node independently with probability p.
+/// node independently with probability p (the sharded churn driver's
+/// cohesion number; shards = 1 keeps the serial RNG stream).
 double SurvivorCohesion(const Graph& g, double p, Rng& rng) {
-  std::vector<char> alive(g.num_nodes(), 1);
-  std::size_t survivors = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    alive[v] = !rng.NextBool(p);
-    survivors += alive[v];
-  }
-  if (survivors == 0) return 0.0;
-  GraphBuilder b(g.num_nodes());
-  for (const auto& [u, v] : g.EdgeList()) {
-    if (alive[u] && alive[v]) b.AddEdge(u, v);
-  }
-  const Graph sub = std::move(b).Build();
-  auto labels = ConnectedComponentLabels(sub);
-  // Count only surviving nodes per component.
-  std::vector<std::size_t> sizes(g.num_nodes(), 0);
-  std::size_t best = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (alive[v]) {
-      best = std::max(best, ++sizes[labels[v]]);
-    }
-  }
-  return static_cast<double>(best) / static_cast<double>(survivors);
+  return ApplyChurn(g, {.failure_prob = p, .num_shards = 1}, rng).Cohesion();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("E14 / Section 1.4: robustness under random failures",
                 "claim: log-cut expanders stay connected under constant "
                 "failure rates; constant-cut topologies shatter — check the "
@@ -68,6 +49,7 @@ int main() {
   }
   const Graph tree = std::move(tb).Build();
 
+  bench::JsonReport json(argc, argv, "bench_churn");
   bench::Table t({"failure_prob", "expander_cohesion", "ring_cohesion",
                   "tree_cohesion"});
   Rng rng(5);
@@ -93,5 +75,7 @@ int main() {
   t2.Row("edge_count(expander)", edges.value, edges.rounds);
   t2.Row("max_degree(expander)", deg.value, deg.rounds);
   t2.Print();
-  return 0;
+  json.Add("cohesion", t);
+  json.Add("monitoring", t2);
+  return json.Finish();
 }

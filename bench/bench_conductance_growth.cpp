@@ -17,7 +17,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_conductance_growth");
   bench::Banner("E3 / Lemma 3.3: conductance growth per evolution",
                 "claim: Φ(G_{i+1}) >= c·sqrt(ℓ)·Φ(G_i) until constant; gap "
                 "column must grow geometrically, then plateau");
@@ -41,6 +42,7 @@ int main() {
         SweepCutConductance(run.final_graph, params.delta, 500);
     t.Row(std::string("final"), prev, 1.0, sweep);
     t.Print();
+    json.Add("gap_per_evolution", t);
   }
 
   std::printf("\nwalk-length sweep (line n=512, gap after evolutions 2..5):\n");
@@ -60,5 +62,6 @@ int main() {
            gap(4), growth);
   }
   t2.Print();
-  return 0;
+  json.Add("walk_length_sweep", t2);
+  return json.Finish();
 }

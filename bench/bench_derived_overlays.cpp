@@ -14,7 +14,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_derived_overlays");
   bench::Banner("E13 / Section 1.4: derived overlays",
                 "claim: ring/butterfly/DeBruijn/hypercube in O(log n) "
                 "rounds; check degree+diameter columns match the textbook "
@@ -37,6 +38,7 @@ int main() {
     report("hypercube", BuildHypercube(base.tree), n);
     t.Print();
     std::printf("\n");
+    json.Add("derived_n" + std::to_string(n), t);
   }
-  return 0;
+  return json.Finish();
 }

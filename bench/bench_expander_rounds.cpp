@@ -13,7 +13,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_expander_rounds");
   bench::Banner("E1 / Theorem 1.1: rounds vs n",
                 "claim: O(log n) rounds; check rounds/log2(n) flat, tree "
                 "valid, expander diameter O(log n)");
@@ -37,6 +38,8 @@ int main() {
     }
     t.Print();
     std::printf("\n");
+    json.Add(std::string(family) == "line" ? "rounds_line" : "rounds_knowledge",
+             t);
   }
-  return 0;
+  return json.Finish();
 }

@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark): throughput of the primitives the
 // simulation spends its time in. Not an experiment reproduction — these
 // exist to catch performance regressions in the substrate.
+//
+// Accepts the repo-wide `--json out.json` convention (bench_util.hpp) by
+// mapping it onto Google Benchmark's native JSON reporter, so the
+// perf-trajectory tooling drives every bench binary with the same flag.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "graph/conductance.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
@@ -30,6 +39,24 @@ void BM_TokenWalks(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * 8 * 16);
 }
 BENCHMARK(BM_TokenWalks)->Arg(1024)->Arg(8192);
+
+void BM_TokenWalksSharded(benchmark::State& state) {
+  // The pooled sharded walk path (persistent workers, per-step barrier).
+  const std::size_t n = 8192;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const Multigraph m = BenignLine(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto r = RunTokenWalks(
+        m,
+        {.tokens_per_node = 8, .walk_length = 16, .num_shards = shards},
+        rng);
+    benchmark::DoNotOptimize(r.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8 * 16);
+}
+BENCHMARK(BM_TokenWalksSharded)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Evolution(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -66,4 +93,34 @@ BENCHMARK(BM_BfsDiameter)->Arg(4096)->Arg(16384);
 }  // namespace
 }  // namespace overlay
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate `--json <path>` / `--json=<path>` into the native reporter
+  // flags, dropping the original so Google Benchmark's flag parser does not
+  // reject it.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  std::string out_path;
+  std::string out_format = "--benchmark_out_format=json";
+  if (const char* path = overlay::bench::FlagValue(argc, argv, "--json")) {
+    out_path = std::string("--benchmark_out=") + path;
+    args.push_back(out_path.data());
+    args.push_back(out_format.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

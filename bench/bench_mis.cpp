@@ -12,7 +12,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_mis");
   bench::Banner("E9 / Theorem 1.5: MIS rounds vs degree",
                 "claim: O(log d + log log n) rounds; check rounds growing "
                 "with log2(d) at fixed n, flat in n at fixed d, valid=yes");
@@ -38,5 +39,7 @@ int main() {
            ValidateMis(g, r.in_mis));
   }
   t2.Print();
-  return 0;
+  json.Add("degree_sweep", t);
+  json.Add("size_sweep", t2);
+  return json.Finish();
 }

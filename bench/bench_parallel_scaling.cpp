@@ -11,7 +11,10 @@
 // the reference engine bit for bit (same drops, same inbox order).
 //
 // Defaults reproduce the acceptance workload: 100k nodes, cap 8. Override
-// with --n / --rounds / --cap; emit JSON with --json out.json.
+// with --n / --rounds / --cap; emit JSON with --json out.json. `--shards S`
+// restricts the sweep to the single shard count S (plus the SyncNetwork
+// baseline) — the TSan thread-count smoke matrix runs S in {1, 2, 4} that
+// way, exercising pool reuse under the race detector.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -112,6 +115,7 @@ int main(int argc, char** argv) {
   const std::size_t cap = SizeFlag(argc, argv, "--cap", 8);
   const std::size_t rounds = SizeFlag(argc, argv, "--rounds", 25);
   const std::uint64_t seed = SizeFlag(argc, argv, "--seed", 7);
+  const std::size_t only_shards = SizeFlag(argc, argv, "--shards", 0);
 
   bench::Banner(
       "Parallel round-engine scaling",
@@ -131,8 +135,12 @@ int main(int argc, char** argv) {
         base.stats.messages_delivered, base.stats.messages_dropped,
         base.checksum, true);
 
-  double s1_seconds = 0;
-  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+  std::vector<std::size_t> sweep{1, 2, 4, 8};
+  if (only_shards != 0) sweep.assign(1, only_shards);
+  // Speedup is reported against the S=1 sharded run; on a restricted sweep
+  // without S=1 it falls back to the SyncNetwork baseline.
+  double s1_seconds = base.seconds;
+  for (const std::size_t shards : sweep) {
     ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
                         .num_shards = shards});
     const RunResult r = Run(net, rounds, cap);

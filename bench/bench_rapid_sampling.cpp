@@ -27,7 +27,8 @@ Multigraph LazyCycle(std::size_t n, std::size_t delta) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_rapid_sampling");
   bench::Banner("E12 / Lemma 4.2: rapid sampling",
                 "claims: O(log ℓ) rounds, Θ(2k/ℓ) survivors, stitched "
                 "endpoint distribution == plain-walk distribution (TV small)");
@@ -76,5 +77,6 @@ int main() {
   t.Print();
   std::printf("\nnote: TV distance includes sampling noise from ~1000 "
               "stitched samples; < 0.1 indicates matching distributions.\n");
-  return 0;
+  json.Add("rapid_sampling", t);
+  return json.Finish();
 }

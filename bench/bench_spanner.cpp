@@ -13,7 +13,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_spanner");
   bench::Banner("E11 / Section 4.2: spanner + degree reduction quality",
                 "claims: spanner connected per component, out-degree "
                 "O(log n), H degree O(log n); check ratio columns flat");
@@ -46,5 +47,7 @@ int main() {
            IsConnected(red.h));
   }
   t2.Print();
-  return 0;
+  json.Add("spanner_quality", t);
+  json.Add("star_stress", t2);
+  return json.Finish();
 }

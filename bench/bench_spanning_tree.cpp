@@ -13,7 +13,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_spanning_tree");
   bench::Banner("E7 / Theorem 1.3: spanning trees by unwinding",
                 "claim: valid spanning tree in O(log n) rounds; check "
                 "valid=yes, rounds/log2(n) flat, unwound subgraph sparse");
@@ -36,6 +37,7 @@ int main() {
     }
     t.Print();
     std::printf("\n");
+    json.Add(std::string("spanning_tree_") + family, t);
   }
-  return 0;
+  return json.Finish();
 }

@@ -12,7 +12,8 @@
 
 using namespace overlay;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "bench_token_load");
   bench::Banner("E4 / Lemma 3.2: token load per round",
                 "claim: max load < 3Δ/8 w.h.p. — check max_load below the "
                 "bound and the discard *fraction* ~0 (a handful of discards "
@@ -37,5 +38,6 @@ int main() {
     }
   }
   t.Print();
-  return 0;
+  json.Add("token_load", t);
+  return json.Finish();
 }

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
+#include "overlay/churn.hpp"
 #include "overlay/construct.hpp"
 
 using namespace overlay;
@@ -64,45 +65,12 @@ Graph MaintainedTopology(const ConstructionResult& r) {
   return std::move(b).Build();
 }
 
-/// Kills each node independently with probability p; returns the largest
-/// surviving component re-indexed to dense ids.
-Graph LargestSurvivor(const Graph& g, double p, Rng& rng) {
-  std::vector<char> alive(g.num_nodes(), 1);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) alive[v] = !rng.NextBool(p);
-
-  std::vector<NodeId> local(g.num_nodes(), kInvalidNode);
-  std::size_t survivors = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (alive[v]) local[v] = static_cast<NodeId>(survivors++);
-  }
-  GraphBuilder sb(survivors);
-  for (const auto& [u, v] : g.EdgeList()) {
-    if (alive[u] && alive[v]) sb.AddEdge(local[u], local[v]);
-  }
-  const Graph sub = std::move(sb).Build();
-
-  const auto labels = ConnectedComponentLabels(sub);
-  const auto sizes = ComponentSizes(labels);
-  const auto best = static_cast<std::uint32_t>(
-      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
-  std::vector<NodeId> local2(sub.num_nodes(), kInvalidNode);
-  std::size_t kept = 0;
-  for (NodeId v = 0; v < sub.num_nodes(); ++v) {
-    if (labels[v] == best) local2[v] = static_cast<NodeId>(kept++);
-  }
-  GraphBuilder kb(kept);
-  for (const auto& [u, v] : sub.EdgeList()) {
-    if (local2[u] != kInvalidNode && local2[v] != kInvalidNode) {
-      kb.AddEdge(local2[u], local2[v]);
-    }
-  }
-  return std::move(kb).Build();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t n0 = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192;
+  const std::size_t shards =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
   const double kChurn = 0.25;  // 25% of nodes fail per epoch
 
   Rng rng(2026);
@@ -113,7 +81,11 @@ int main(int argc, char** argv) {
               ApproxDiameter(topology));
 
   for (int epoch = 1; epoch <= 5; ++epoch) {
-    const Graph wreckage = LargestSurvivor(topology, kChurn, rng);
+    // The churn strike runs on the sharded churn driver (shards = 1 keeps
+    // the historical serial RNG stream; pass a second argv to scale).
+    const ChurnResult strike = ApplyChurn(
+        topology, {.failure_prob = kChurn, .num_shards = shards}, rng);
+    const Graph& wreckage = strike.largest_component;
     if (wreckage.num_nodes() < 64) {
       std::printf("epoch %d: network too small to continue\n", epoch);
       break;

@@ -1,11 +1,13 @@
 #include "hybrid/components.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/check.hpp"
 #include "graph/metrics.hpp"
 #include "overlay/bfs_tree.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
@@ -64,10 +66,14 @@ ComponentsResult BuildComponentOverlays(const Graph& g,
   }
 
   // Per-component expander + tree. Components execute in parallel in the
-  // model: total cost charges the maximum component cost.
-  HybridCost worst{};
-  for (std::size_t c = 0; c < members.size(); ++c) {
-    ComponentOverlay overlay;
+  // model — and, with opts.parallel_components > 1, in the simulator too:
+  // each component's build is independent (its seed is a function of its
+  // index, its writes go to its own result slot), so workers pull component
+  // indices off a shared counter and build concurrently on the persistent
+  // shard pool. Results are identical for every worker count.
+  result.components.resize(members.size());
+  const auto build_component = [&](std::size_t c) {
+    ComponentOverlay& overlay = result.components[c];
     overlay.nodes = std::move(members[c]);
     const std::size_t m = overlay.nodes.size();
     if (m == 1) {
@@ -75,8 +81,7 @@ ComponentsResult BuildComponentOverlays(const Graph& g,
       overlay.tree.parent.assign(1, kInvalidNode);
       overlay.tree.left_child.assign(1, kInvalidNode);
       overlay.tree.right_child.assign(1, kInvalidNode);
-      result.components.push_back(std::move(overlay));
-      continue;
+      return;
     }
     const Graph local_h = InducedSubgraph(h, overlay.nodes);
 
@@ -98,13 +103,31 @@ ComponentsResult BuildComponentOverlays(const Graph& g,
 
     overlay.tree = ContractToWellFormedTree(bfs);
     overlay.cost.rounds += overlay.tree.rounds_charged;
+  };
 
-    if (overlay.cost.rounds > worst.rounds) worst.rounds = overlay.cost.rounds;
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(opts.parallel_components, members.size()));
+  if (workers == 1) {
+    for (std::size_t c = 0; c < members.size(); ++c) build_component(c);
+  } else {
+    std::atomic<std::size_t> next{0};
+    DefaultShardPool().Run(workers, [&](std::size_t) {
+      for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+           c < result.components.size();
+           c = next.fetch_add(1, std::memory_order_relaxed)) {
+        build_component(c);
+      }
+    });
+  }
+
+  // Cost fold over the finished components, in component order.
+  HybridCost worst{};
+  for (const ComponentOverlay& overlay : result.components) {
+    worst.rounds = std::max(worst.rounds, overlay.cost.rounds);
     worst.global_messages += overlay.cost.global_messages;
     worst.local_messages += overlay.cost.local_messages;
     worst.peak_global_per_node = std::max(worst.peak_global_per_node,
                                           overlay.cost.peak_global_per_node);
-    result.components.push_back(std::move(overlay));
   }
   result.total_cost += worst;
   return result;

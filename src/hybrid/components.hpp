@@ -40,6 +40,11 @@ struct HybridOverlayOptions {
   /// num_shards/max_delay pass through to the selected engine.
   EngineKind engine_kind = EngineKind::kSync;
   EngineConfig engine;
+  /// Worker count for building independent component overlays concurrently
+  /// on the persistent shard pool (components run in parallel in the model;
+  /// this makes the simulator match). Each component's seed is fixed by its
+  /// index, so results are identical for every value; 1 = serial loop.
+  std::size_t parallel_components = 1;
 };
 
 struct ComponentsResult {

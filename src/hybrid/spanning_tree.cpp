@@ -14,6 +14,7 @@
 #include "hybrid/hybrid_expander.hpp"
 #include "hybrid/spanner.hpp"
 #include "overlay/bfs_tree.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
@@ -77,6 +78,13 @@ SpanningTreeResult BuildSpanningTree(const Graph& g,
   }
   result.level_edge_counts.push_back(frontier.size());
 
+  // Unwind levels. The per-level frontier expansion (edge -> creating walk
+  // path -> path-segment edges) is read-only against the provenance index
+  // and produces a set union, so it shards over contiguous frontier chunks
+  // on the persistent pool; opts.engine.num_shards is the worker count.
+  // The merged set is identical for every shard count.
+  const std::size_t unwind_shards =
+      std::max<std::size_t>(1, opts.engine.num_shards);
   for (auto level = run.provenance_stack.rbegin();
        level != run.provenance_stack.rend(); ++level) {
     // Index this level's provenance by normalized edge (first entry wins —
@@ -85,17 +93,28 @@ SpanningTreeResult BuildSpanningTree(const Graph& g,
     for (const EdgeProvenance& p : *level) {
       by_edge.emplace(Norm(p.origin, p.endpoint), &p);
     }
-    std::set<EdgeKey> next;
-    for (const EdgeKey& e : frontier) {
-      const auto it = by_edge.find(e);
-      OVERLAY_CHECK(it != by_edge.end(),
-                    "overlay edge missing provenance — record_paths off?");
-      const auto& path = it->second->path;
-      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        if (path[i] != path[i + 1]) {  // skip lazy self-loop steps
-          next.insert(Norm(path[i], path[i + 1]));
-        }
-      }
+    const std::vector<EdgeKey> work(frontier.begin(), frontier.end());
+    std::vector<std::set<EdgeKey>> partial(
+        std::max<std::size_t>(1, std::min(unwind_shards, work.size())));
+    RunShardedBlocks(
+        DefaultShardPool(), work.size(), unwind_shards,
+        [&](std::size_t s, std::size_t lo, std::size_t hi) {
+          auto& mine = partial[s];
+          for (std::size_t w = lo; w < hi; ++w) {
+            const auto it = by_edge.find(work[w]);
+            OVERLAY_CHECK(it != by_edge.end(),
+                          "overlay edge missing provenance — record_paths off?");
+            const auto& path = it->second->path;
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+              if (path[i] != path[i + 1]) {  // skip lazy self-loop steps
+                mine.insert(Norm(path[i], path[i + 1]));
+              }
+            }
+          }
+        });
+    std::set<EdgeKey> next = std::move(partial[0]);
+    for (std::size_t s = 1; s < partial.size(); ++s) {
+      next.insert(partial[s].begin(), partial[s].end());
     }
     frontier = std::move(next);
     result.level_edge_counts.push_back(frontier.size());

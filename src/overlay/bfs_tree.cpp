@@ -1,6 +1,8 @@
 #include "overlay/bfs_tree.hpp"
 
 #include <algorithm>
+#include <type_traits>
+#include <vector>
 
 #include "common/check.hpp"
 #include "graph/metrics.hpp"
@@ -35,31 +37,50 @@ BfsTreeResult BuildBfsTree(const Graph& g, EngineConfig cfg) {
   std::vector<char> changed(n, 1);
   for (NodeId v = 0; v < n; ++v) best_root[v] = v;
 
+  // Round body for one node: adopt strictly better (root, dist) pairs from
+  // the inbox, flood improvements. Touches only node-v state plus Send(v,·),
+  // so it is exactly the shape ForEachNode/ForEachShard parallelize.
+  // Returns whether v flooded this round.
+  const auto node_round = [&](NodeId v) -> bool {
+    for (const Message& m : net.Inbox(v)) {
+      const NodeId r = static_cast<NodeId>(m.words[0]);
+      const auto d = static_cast<std::uint32_t>(m.words[1]) + 1;
+      if (r < best_root[v] || (r == best_root[v] && d < dist[v])) {
+        best_root[v] = r;
+        dist[v] = d;
+        parent[v] = m.src;
+        changed[v] = 1;
+      }
+    }
+    if (!changed[v]) return false;
+    Message msg;
+    msg.kind = kBfsKind;
+    msg.words[0] = best_root[v];
+    msg.words[1] = dist[v];
+    for (NodeId w : g.Neighbors(v)) {
+      net.Send(v, w, msg);
+    }
+    changed[v] = 0;
+    return true;
+  };
+
   bool any_activity = true;
   while (any_activity) {
     any_activity = false;
-    for (NodeId v = 0; v < n; ++v) {
-      // Process inbox: adopt strictly better (root, dist) pairs.
-      for (const Message& m : net.Inbox(v)) {
-        const NodeId r = static_cast<NodeId>(m.words[0]);
-        const auto d = static_cast<std::uint32_t>(m.words[1]) + 1;
-        if (r < best_root[v] || (r == best_root[v] && d < dist[v])) {
-          best_root[v] = r;
-          dist[v] = d;
-          parent[v] = m.src;
-          changed[v] = 1;
-        }
-      }
-      if (changed[v]) {
-        Message msg;
-        msg.kind = kBfsKind;
-        msg.words[0] = best_root[v];
-        msg.words[1] = dist[v];
-        for (NodeId w : g.Neighbors(v)) {
-          net.Send(v, w, msg);
-        }
-        changed[v] = 0;
-        any_activity = true;
+    if constexpr (std::is_same_v<Engine, ShardedNetwork>) {
+      // Sharded protocol compute: every shard drives its node range on its
+      // pool worker. The body draws no randomness, so the result is
+      // identical to the serial drive for every shard count.
+      std::vector<char> shard_active(net.num_shards(), 0);
+      net.ForEachShard([&](std::size_t s, NodeId lo, NodeId hi) {
+        char active = 0;
+        for (NodeId v = lo; v < hi; ++v) active |= node_round(v) ? 1 : 0;
+        shard_active[s] = active;
+      });
+      for (const char a : shard_active) any_activity = any_activity || a != 0;
+    } else {
+      for (NodeId v = 0; v < n; ++v) {
+        any_activity = node_round(v) || any_activity;
       }
     }
     net.EndRound();

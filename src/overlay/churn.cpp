@@ -1,0 +1,102 @@
+#include "overlay/churn.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace overlay {
+
+ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
+  OVERLAY_CHECK(opts.failure_prob >= 0.0 && opts.failure_prob <= 1.0,
+                "failure probability must be in [0, 1]");
+  OVERLAY_CHECK(opts.num_shards >= 1, "need at least one shard");
+  const std::size_t n = g.num_nodes();
+  const std::size_t shards = std::min(opts.num_shards, std::max<std::size_t>(n, 1));
+
+  ChurnResult result;
+  result.alive.assign(n, 1);
+
+  // Kill pass. Serial consumes `rng` in node order (the historical stream);
+  // sharded gives every contiguous node block its own split stream.
+  if (shards <= 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      result.alive[v] = !rng.NextBool(opts.failure_prob);
+    }
+  } else {
+    std::vector<Rng> shard_rng;
+    shard_rng.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(rng.Split());
+    RunShardedBlocks(DefaultShardPool(), n, shards,
+                     [&](std::size_t s, std::size_t lo, std::size_t hi) {
+                       Rng& r = shard_rng[s];
+                       for (std::size_t v = lo; v < hi; ++v) {
+                         result.alive[v] = !r.NextBool(opts.failure_prob);
+                       }
+                     });
+  }
+
+  // Dense re-indexing of the survivors (serial prefix pass, O(n)).
+  std::vector<NodeId> local(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.alive[v]) {
+      local[v] = static_cast<NodeId>(result.survivors++);
+      result.survivor_global.push_back(v);
+    }
+  }
+
+  // Surviving-edge filter: shards scan contiguous edge ranges and collect
+  // locally; the builder merge stays serial (GraphBuilder is not
+  // thread-safe). No randomness — the edge set is shard-count-invariant.
+  const auto edges = g.EdgeList();
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> kept(shards);
+  RunShardedBlocks(DefaultShardPool(), edges.size(), shards,
+                   [&](std::size_t s, std::size_t lo, std::size_t hi) {
+                     auto& mine = kept[s];
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       const auto& [u, v] = edges[i];
+                       if (result.alive[u] && result.alive[v]) {
+                         mine.emplace_back(local[u], local[v]);
+                       }
+                     }
+                   });
+
+  GraphBuilder sb(result.survivors);
+  for (const auto& shard_kept : kept) {
+    for (const auto& [u, v] : shard_kept) sb.AddEdge(u, v);
+  }
+  result.survivor_graph = std::move(sb).Build();
+
+  if (result.survivors == 0) {
+    result.largest_component = GraphBuilder(0).Build();
+    return result;
+  }
+
+  // Largest component, re-indexed densely against global ids.
+  const auto labels = ConnectedComponentLabels(result.survivor_graph);
+  const auto sizes = ComponentSizes(labels);
+  result.num_components = sizes.size();
+  const auto best = static_cast<std::uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<NodeId> comp_local(result.survivors, kInvalidNode);
+  for (NodeId v = 0; v < result.survivors; ++v) {
+    if (labels[v] == best) {
+      comp_local[v] = static_cast<NodeId>(result.component_global.size());
+      result.component_global.push_back(result.survivor_global[v]);
+    }
+  }
+  GraphBuilder cb(result.component_global.size());
+  for (const auto& shard_kept : kept) {
+    for (const auto& [u, v] : shard_kept) {
+      if (comp_local[u] != kInvalidNode && comp_local[v] != kInvalidNode) {
+        cb.AddEdge(comp_local[u], comp_local[v]);
+      }
+    }
+  }
+  result.largest_component = std::move(cb).Build();
+  return result;
+}
+
+}  // namespace overlay

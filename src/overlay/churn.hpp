@@ -1,0 +1,68 @@
+// Churn driver: random node failures and survivor extraction (Section 1.4).
+//
+// The paper's robustness story is rebuild-not-repair: under independent node
+// failures a logarithmic minimum cut keeps the network connected w.h.p., so
+// an overlay epoch kills a random fraction of nodes, keeps the connected
+// wreckage, and reconstructs from scratch in O(log n). This module is the
+// engine-side half of that loop — the churn strike and the survivor-graph
+// extraction — shared by the churn example, the robustness bench, and the
+// 1M-node churn scenarios.
+//
+// Sharded compute: the kill pass and the surviving-edge filter run in
+// contiguous blocks on the persistent shard pool (sim/shard_pool.hpp), one
+// split RNG stream per shard — the token-engine idiom. num_shards = 1
+// consumes the caller's RNG serially (the exact historical stream of the
+// pre-module example code); any fixed (rng state, num_shards) pair is
+// deterministic regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+struct ChurnOptions {
+  /// Independent per-node failure probability.
+  double failure_prob = 0.0;
+  /// Worker shards for the kill + edge-filter passes (1 = serial).
+  std::size_t num_shards = 1;
+};
+
+/// One churn strike against `g`.
+struct ChurnResult {
+  /// alive[v] = node v survived.
+  std::vector<char> alive;
+  std::size_t survivors = 0;
+
+  /// Subgraph induced by the survivors, re-indexed to dense local ids.
+  Graph survivor_graph;
+  /// Global id of survivor-local node i.
+  std::vector<NodeId> survivor_global;
+
+  /// Largest connected component of the survivor graph, re-indexed densely.
+  Graph largest_component;
+  /// Global id of component-local node i.
+  std::vector<NodeId> component_global;
+  std::size_t num_components = 0;
+
+  /// Fraction of survivors inside the largest component (0 when everybody
+  /// died) — the cohesion number the robustness experiments plot.
+  double Cohesion() const {
+    return survivors == 0
+               ? 0.0
+               : static_cast<double>(component_global.size()) /
+                     static_cast<double>(survivors);
+  }
+};
+
+/// Kills each node of `g` independently with probability
+/// `opts.failure_prob`, then extracts the survivor graph and its largest
+/// component. `rng` supplies the kill randomness (consumed directly when
+/// num_shards = 1; split into per-shard streams otherwise).
+ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng);
+
+}  // namespace overlay

@@ -29,9 +29,18 @@ ConstructionResult Construct(const Graph& g, const ExpanderParams& params,
                 "expander construction disconnected the graph — parameters "
                 "too aggressive for this input");
 
-  // Election + BFS on the expander (measured protocol).
-  const BfsTreeResult bfs = BuildBfsTree(
-      result.expander, /*capacity=*/0, /*seed=*/params.seed ^ 0xb5f5ULL);
+  // Election + BFS on the expander (measured protocol). With num_shards > 1
+  // the flood runs on the sharded engine, node loop included — flooding
+  // never exceeds the receive cap, so the tree is identical to the serial
+  // engine's for every shard count.
+  const BfsTreeResult bfs =
+      params.num_shards > 1
+          ? BuildBfsTree(result.expander, EngineKind::kSharded,
+                         EngineConfig{.capacity = 0,
+                                      .seed = params.seed ^ 0xb5f5ULL,
+                                      .num_shards = params.num_shards})
+          : BuildBfsTree(result.expander, /*capacity=*/0,
+                         /*seed=*/params.seed ^ 0xb5f5ULL);
   result.report.bfs_rounds = bfs.stats.rounds;
   result.report.max_node_messages_bfs = bfs.stats.max_send_load * bfs.stats.rounds;
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "sim/shard_pool.hpp"
 #include "sim/token_engine.hpp"
 
 namespace overlay {
@@ -36,24 +37,62 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
     }
   }
 
+  // Acceptance selection: over-subscribed endpoints keep a uniformly random
+  // subset without replacement (partial Fisher–Yates); the rest is
+  // discarded. Each node's selection touches only that node's arrival list
+  // (and matching path list), so the selection itself runs sharded —
+  // contiguous node blocks on the persistent pool, one split RNG stream per
+  // shard (same idiom as the token engine: num_shards = 1 consumes the
+  // caller's RNG in the exact historical order; any fixed
+  // (seed, num_shards) is deterministic regardless of scheduling).
   const std::size_t accept_bound = params.AcceptBound();
-  for (NodeId v = 0; v < n; ++v) {
+  std::vector<std::size_t> keep_count(n);
+  const auto select_for = [&](NodeId v, Rng& r) -> std::uint64_t {
     auto& arrived = walks.arrivals[v];
-    // Over-subscribed endpoints keep a uniformly random subset without
-    // replacement (partial Fisher–Yates); the rest is discarded.
     std::size_t keep = arrived.size();
     if (keep > accept_bound) {
       for (std::size_t i = 0; i < accept_bound; ++i) {
         const std::size_t j =
-            i + static_cast<std::size_t>(rng.NextBelow(arrived.size() - i));
+            i + static_cast<std::size_t>(r.NextBelow(arrived.size() - i));
         std::swap(arrived[i], arrived[j]);
         if (params.record_paths) {
           std::swap(arrival_paths[v][i], arrival_paths[v][j]);
         }
       }
       keep = accept_bound;
-      result.telemetry.tokens_discarded += arrived.size() - accept_bound;
     }
+    keep_count[v] = keep;
+    return arrived.size() - keep;
+  };
+
+  const std::size_t shards = std::min(params.num_shards, n);
+  if (shards <= 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      result.telemetry.tokens_discarded += select_for(v, rng);
+    }
+  } else {
+    std::vector<Rng> shard_rng;
+    shard_rng.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(rng.Split());
+    std::vector<std::uint64_t> discarded(shards, 0);
+    RunShardedBlocks(DefaultShardPool(), n, shards,
+                     [&](std::size_t s, std::size_t lo, std::size_t hi) {
+                       for (std::size_t v = lo; v < hi; ++v) {
+                         discarded[s] +=
+                             select_for(static_cast<NodeId>(v), shard_rng[s]);
+                       }
+                     });
+    for (const std::uint64_t d : discarded) {
+      result.telemetry.tokens_discarded += d;
+    }
+  }
+
+  // Edge establishment from the selected tokens. AddEdge touches both
+  // endpoints' slot lists, so this pass stays serial; it is O(edges) against
+  // the walks' O(n·Δ·ℓ).
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& arrived = walks.arrivals[v];
+    const std::size_t keep = keep_count[v];
     for (std::size_t i = 0; i < keep; ++i) {
       const NodeId origin = arrived[i];
       if (origin == v) {
@@ -76,13 +115,22 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
 
   // Self-loop padding back to Δ-regularity. Degrees never exceed Δ/2 non-loop
   // slots (Δ/8 own tokens + 3Δ/8 accepted), so laziness holds by construction.
-  for (NodeId v = 0; v < n; ++v) {
-    OVERLAY_CHECK(result.next.Degree(v) <= params.delta,
-                  "accept bound failed to cap the degree");
-    while (result.next.Degree(v) < params.delta) {
-      result.next.AddSelfLoop(v);
-    }
-  }
+  // AddSelfLoop(v) touches only node v's slot list, so the padding shards
+  // over the same contiguous node blocks (no randomness — any shard count
+  // produces the identical graph). Degree-cap violations raise from the
+  // pool with the serial path's exception type.
+  RunShardedBlocks(
+      DefaultShardPool(), n, shards,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId v = static_cast<NodeId>(i);
+          OVERLAY_CHECK(result.next.Degree(v) <= params.delta,
+                        "accept bound failed to cap the degree");
+          while (result.next.Degree(v) < params.delta) {
+            result.next.AddSelfLoop(v);
+          }
+        }
+      });
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "overlay/evolution_mp.hpp"
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -12,6 +13,28 @@ namespace overlay {
 namespace {
 constexpr std::uint32_t kTokenMsg = 0x10u;
 constexpr std::uint32_t kReplyMsg = 0x11u;
+
+/// Runs `f(v, rng)` for every node. On a multi-shard ShardedNetwork the loop
+/// executes on the engine's shard workers (ForEachShard) with one split RNG
+/// stream per shard; on every other engine — and on a single-shard
+/// ShardedNetwork, to preserve the historical bit-exact stream — it runs
+/// serially on `rng` itself. `shard_rngs` must hold one stream per shard of
+/// `net` (ignored on the serial path); results are deterministic for a fixed
+/// (seed, shard count) because shard s always owns the same node range and
+/// stream.
+template <typename Engine, typename F>
+void DriveNodes(Engine& net, Rng& rng, std::vector<Rng>& shard_rngs, F&& f) {
+  if constexpr (std::is_same_v<Engine, ShardedNetwork>) {
+    if (net.num_shards() > 1) {
+      net.ForEachShard([&](std::size_t s, NodeId lo, NodeId hi) {
+        for (NodeId v = lo; v < hi; ++v) f(v, shard_rngs[s]);
+      });
+      return;
+    }
+  }
+  for (NodeId v = 0; v < net.num_nodes(); ++v) f(v, rng);
+}
+
 }  // namespace
 
 template <NetworkEngine Engine>
@@ -27,37 +50,50 @@ MessagePassingEvolutionResult RunEvolutionMessagePassing(
   Engine net(cfg);
   Rng rng(params.seed ^ 0x70c3ULL);
 
+  // Per-shard walk streams for the sharded drive (unused, and not split,
+  // when the drive is serial — keeping the historical stream untouched).
+  std::vector<Rng> shard_rngs;
+  if constexpr (std::is_same_v<Engine, ShardedNetwork>) {
+    if (net.num_shards() > 1) {
+      shard_rngs.reserve(net.num_shards());
+      for (std::size_t s = 0; s < net.num_shards(); ++s) {
+        shard_rngs.push_back(rng.Split());
+      }
+    }
+  }
+
   MessagePassingEvolutionResult result{Multigraph(n), {}, 0, 0};
   const std::uint64_t tokens_launched = n * params.TokensPerNode();
 
   // Round 1: every node launches Δ/8 tokens (first walk step).
-  for (NodeId v = 0; v < n; ++v) {
+  DriveNodes(net, rng, shard_rngs, [&](NodeId v, Rng& r) {
     for (std::size_t t = 0; t < params.TokensPerNode(); ++t) {
       Message msg;
       msg.kind = kTokenMsg;
       msg.words[0] = v;  // origin travels with the token
-      net.Send(v, g.RandomNeighbor(v, rng), msg);
+      net.Send(v, g.RandomNeighbor(v, r), msg);
     }
-  }
+  });
   net.EndRound();
 
   // Rounds 2..ℓ: forward every held token one more step.
   for (std::size_t step = 1; step < params.walk_length; ++step) {
-    for (NodeId v = 0; v < n; ++v) {
+    DriveNodes(net, rng, shard_rngs, [&](NodeId v, Rng& r) {
       for (const Message& m : net.Inbox(v)) {
         if (m.kind == kTokenMsg) {
-          net.Send(v, g.RandomNeighbor(v, rng), m);
+          net.Send(v, g.RandomNeighbor(v, r), m);
         }
       }
-    }
+    });
     net.EndRound();
   }
 
   // Round ℓ+1: accept up to 3Δ/8 tokens, reply with own id to the origins.
   // The engine's inbox is already capacity-trimmed; the protocol trims to
   // the acceptance bound on top (random subset — inbox order is already
-  // a random permutation of survivors, so a prefix suffices).
-  for (NodeId v = 0; v < n; ++v) {
+  // a random permutation of survivors, so a prefix suffices). No randomness
+  // here: the sharded drive matches the serial one exactly.
+  DriveNodes(net, rng, shard_rngs, [&](NodeId v, Rng&) {
     const auto inbox = net.Inbox(v);
     std::size_t taken = 0;
     for (const Message& m : inbox) {
@@ -71,7 +107,7 @@ MessagePassingEvolutionResult RunEvolutionMessagePassing(
       net.Send(v, origin, reply);
       ++taken;
     }
-  }
+  });
   net.EndRound();
 
   // Edge establishment: endpoint side recorded above; origin side learns

@@ -38,7 +38,10 @@ struct MessagePassingEvolutionResult {
 /// budget at the default parameters — Lemma 3.2 keeps loads below 3Δ/8 < Δ
 /// w.h.p., so drops are rare and the output remains benign). `cfg.num_nodes`
 /// and `cfg.seed` are derived from `g`/`params`; num_shards/max_delay pass
-/// through to engines that use them.
+/// through to engines that use them. On a multi-shard ShardedNetwork the
+/// node loops themselves run on the engine's shard workers (ForEachShard,
+/// one split RNG stream per shard) — deterministic for a fixed
+/// (seed, num_shards); num_shards = 1 keeps the historical serial stream.
 template <NetworkEngine Engine = SyncNetwork>
 MessagePassingEvolutionResult RunEvolutionMessagePassing(
     const Multigraph& g, const ExpanderParams& params, EngineConfig cfg);

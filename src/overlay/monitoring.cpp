@@ -3,32 +3,80 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
+namespace {
+
+/// Monitoring's sharded-compute shape: `f(lo, hi)` over contiguous node
+/// blocks on the persistent pool. All bodies here are randomness-free, so
+/// every outcome is shard-count-invariant.
+void ForRange(std::size_t n, std::size_t shards,
+              const std::function<void(std::size_t, std::size_t)>& f) {
+  RunShardedBlocks(DefaultShardPool(), n, shards,
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     f(lo, hi);
+                   });
+}
+
+}  // namespace
+
 MonitorValue AggregateOverTree(
     const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine) {
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
+    std::size_t num_shards) {
   const std::size_t n = tree.num_nodes();
   OVERLAY_CHECK(per_node.size() == n, "per-node input size mismatch");
   OVERLAY_CHECK(n >= 1, "empty tree");
 
-  // Convergecast: combine children into parents in reverse-BFS order.
+  // BFS order doubles as the level structure: order is grouped by depth,
+  // with level_start[d] marking where depth d begins.
   std::vector<NodeId> order;
   order.reserve(n);
+  std::vector<std::size_t> level_start{0};
   order.push_back(tree.root);
+  std::size_t level_end = 1;
   for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i == level_end) {
+      level_start.push_back(i);
+      level_end = order.size();
+    }
     const NodeId v = order[i];
     for (const NodeId c : {tree.left_child[v], tree.right_child[v]}) {
       if (c != kInvalidNode) order.push_back(c);
     }
   }
   OVERLAY_CHECK(order.size() == n, "tree does not span all nodes");
+  level_start.push_back(n);
+
   std::vector<std::uint64_t> acc = per_node;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodeId v = *it;
-    if (tree.parent[v] != kInvalidNode) {
-      acc[tree.parent[v]] = combine(acc[tree.parent[v]], acc[v]);
+  if (num_shards <= 1) {
+    // Historical serial pass: children fold into parents in reverse-BFS
+    // order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      if (tree.parent[v] != kInvalidNode) {
+        acc[tree.parent[v]] = combine(acc[tree.parent[v]], acc[v]);
+      }
+    }
+  } else {
+    // Level-synchronous sharded convergecast: walking levels deepest-first,
+    // every *parent* at the level folds its (finalized) children — distinct
+    // parents own distinct accumulators, so a level shards freely. Children
+    // fold right-then-left, matching the serial pass; with `combine`
+    // associative + commutative the root value is shard-count-invariant.
+    for (std::size_t d = level_start.size() - 2; d-- > 0;) {
+      const std::size_t lo = level_start[d];
+      const std::size_t hi = level_start[d + 1];
+      ForRange(hi - lo, num_shards, [&](std::size_t a, std::size_t b) {
+        for (std::size_t i = lo + a; i < lo + b; ++i) {
+          const NodeId p = order[i];
+          for (const NodeId c : {tree.right_child[p], tree.left_child[p]}) {
+            if (c != kInvalidNode) acc[p] = combine(acc[p], acc[c]);
+          }
+        }
+      });
     }
   }
   MonitorValue result;
@@ -37,34 +85,49 @@ MonitorValue AggregateOverTree(
   return result;
 }
 
-MonitorValue MonitorNodeCount(const WellFormedTree& tree) {
+MonitorValue MonitorNodeCount(const WellFormedTree& tree,
+                              std::size_t num_shards) {
   const std::vector<std::uint64_t> ones(tree.num_nodes(), 1);
-  return AggregateOverTree(tree, ones,
-                           [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return AggregateOverTree(
+      tree, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      num_shards);
 }
 
-MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g) {
+MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g,
+                              std::size_t num_shards) {
   OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
   std::vector<std::uint64_t> degrees(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.Degree(v);
+  ForRange(g.num_nodes(), num_shards, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      degrees[v] = g.Degree(static_cast<NodeId>(v));
+    }
+  });
   MonitorValue r = AggregateOverTree(
-      tree, degrees, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      tree, degrees, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      num_shards);
   r.value /= 2;  // handshake
   return r;
 }
 
-MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g) {
+MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g,
+                              std::size_t num_shards) {
   OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
   std::vector<std::uint64_t> degrees(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.Degree(v);
-  return AggregateOverTree(tree, degrees, [](std::uint64_t a, std::uint64_t b) {
-    return std::max(a, b);
+  ForRange(g.num_nodes(), num_shards, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      degrees[v] = g.Degree(static_cast<NodeId>(v));
+    }
   });
+  return AggregateOverTree(
+      tree, degrees,
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); },
+      num_shards);
 }
 
-BipartitenessResult MonitorBipartiteness(
-    const WellFormedTree& tree, const Graph& g,
-    const std::vector<NodeId>& st_parent) {
+BipartitenessResult MonitorBipartiteness(const WellFormedTree& tree,
+                                         const Graph& g,
+                                         const std::vector<NodeId>& st_parent,
+                                         std::size_t num_shards) {
   const std::size_t n = g.num_nodes();
   OVERLAY_CHECK(st_parent.size() == n, "spanning-tree parent size mismatch");
   OVERLAY_CHECK(tree.num_nodes() == n, "graph/tree size mismatch");
@@ -98,14 +161,20 @@ BipartitenessResult MonitorBipartiteness(
 
   // One local round: every node compares colors with its G-neighbors;
   // violations (equal colors across an edge) are counted via the overlay.
+  // Each node writes only violations[v] and reads shared color[] — the
+  // ForEachNode shape, sharded over node blocks.
   std::vector<std::uint64_t> violations(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    for (NodeId w : g.Neighbors(v)) {
-      if (v < w && color[v] == color[w]) ++violations[v];
+  ForRange(n, num_shards, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      for (NodeId w : g.Neighbors(v)) {
+        if (v < w && color[v] == color[w]) ++violations[v];
+      }
     }
-  }
+  });
   const MonitorValue total = AggregateOverTree(
-      tree, violations, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      tree, violations,
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, num_shards);
 
   BipartitenessResult result;
   result.violating_edges = total.value;

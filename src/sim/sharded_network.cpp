@@ -1,13 +1,13 @@
 #include "sim/sharded_network.hpp"
 
 #include <algorithm>
-#include <barrier>
 
 namespace overlay {
 
-ShardedNetwork::ShardedNetwork(const Config& config)
+ShardedNetwork::ShardedNetwork(const Config& config, ShardPool* pool)
     : num_nodes_(config.num_nodes),
       capacity_(config.capacity),
+      pool_(pool != nullptr ? pool : &DefaultShardPool()),
       sent_this_round_(config.num_nodes, 0),
       total_sent_(config.num_nodes, 0) {
   OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
@@ -128,40 +128,17 @@ void ShardedNetwork::DeliverInboxes(std::size_t d) {
 }
 
 void ShardedNetwork::EndRound() {
-  const std::size_t s_count = shards_.size();
-  if (s_count == 1) {
-    FlushOutbox(0);
-    DeliverInboxes(0);
-    ++rounds_;
-    return;
-  }
-  // One worker per shard runs both phases, separated by a barrier (phase 2
-  // reads every shard's staging buffers, so all flushes must land first).
-  std::vector<std::exception_ptr> errors(s_count);
-  std::barrier sync(static_cast<std::ptrdiff_t>(s_count));
-  auto work = [&](std::size_t s) {
-    try {
+  // One pool worker per shard runs both phases, separated by the pool's
+  // phase barrier (phase 2 reads every shard's staging buffers, so all
+  // flushes must land first). A shard whose flush throws skips its deliver
+  // phase; the first error rethrows here — RunPhased's contract.
+  pool_->RunPhased(shards_.size(), 2, [this](std::size_t s, std::size_t phase) {
+    if (phase == 0) {
       FlushOutbox(s);
-    } catch (...) {
-      errors[s] = std::current_exception();
-    }
-    sync.arrive_and_wait();
-    if (errors[s] != nullptr) return;
-    try {
+    } else {
       DeliverInboxes(s);
-    } catch (...) {
-      errors[s] = std::current_exception();
     }
-  };
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(s_count - 1);
-    for (std::size_t s = 1; s < s_count; ++s) workers.emplace_back(work, s);
-    work(0);
-  }  // jthreads join
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  });
   ++rounds_;
 }
 

@@ -29,9 +29,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <exception>
 #include <span>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -39,15 +37,26 @@
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
 /// Parallel sharded engine; drop-in for SyncNetwork behind `NetworkEngine`.
+/// All parallel phases execute on a persistent ShardPool (DefaultShardPool
+/// unless one is injected), so repeated EndRound/ForEachNode calls reuse
+/// long-lived worker threads instead of spawning per call.
 class ShardedNetwork {
  public:
   using Config = EngineConfig;
 
-  explicit ShardedNetwork(const Config& config);
+  explicit ShardedNetwork(const Config& config)
+      : ShardedNetwork(config, nullptr) {}
+
+  /// As above with an explicit worker pool (nullptr = DefaultShardPool()).
+  /// The pool may be shared across engines and shard counts; it only
+  /// schedules, so outputs for a fixed (seed, num_shards) are identical
+  /// whichever pool executes them.
+  ShardedNetwork(const Config& config, ShardPool* pool);
 
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t capacity() const { return capacity_; }
@@ -89,10 +98,22 @@ class ShardedNetwork {
   /// `f` may call Inbox(v) and Send(v, ...) for the node it was invoked on.
   template <typename F>
   void ForEachNode(F&& f) {
-    RunOnShards([&](std::size_t s) {
+    pool_->Run(shards_.size(), [&](std::size_t s) {
       const NodeId lo = ShardBase(s);
       const NodeId hi = ShardEnd(s);
       for (NodeId v = lo; v < hi; ++v) f(v);
+    });
+  }
+
+  /// Runs `f(s, lo, hi)` once per shard on that shard's worker, where
+  /// [lo, hi) is the shard's node range. The shape drivers with per-shard
+  /// state (e.g. a private RNG stream per shard) build on: f owns every
+  /// node in its range exactly as under ForEachNode, plus whatever state
+  /// it indexes by s.
+  template <typename F>
+  void ForEachShard(F&& f) {
+    pool_->Run(shards_.size(), [&](std::size_t s) {
+      f(s, ShardBase(s), ShardEnd(s));
     });
   }
 
@@ -119,39 +140,6 @@ class ShardedNetwork {
   }
   NodeId ShardEnd(std::size_t s) const { return ShardBase(s + 1); }
 
-  /// Runs fn(shard) on every shard, one worker thread per shard (inline when
-  /// single-sharded). Worker exceptions are captured and rethrown here.
-  template <typename F>
-  void RunOnShards(F&& fn) {
-    const std::size_t s_count = shards_.size();
-    if (s_count == 1) {
-      fn(std::size_t{0});
-      return;
-    }
-    std::vector<std::exception_ptr> errors(s_count);
-    {
-      std::vector<std::jthread> workers;
-      workers.reserve(s_count - 1);
-      for (std::size_t s = 1; s < s_count; ++s) {
-        workers.emplace_back([&fn, &errors, s] {
-          try {
-            fn(s);
-          } catch (...) {
-            errors[s] = std::current_exception();
-          }
-        });
-      }
-      try {
-        fn(std::size_t{0});
-      } catch (...) {
-        errors[0] = std::current_exception();
-      }
-    }  // jthreads join
-    for (const std::exception_ptr& e : errors) {
-      if (e) std::rethrow_exception(e);
-    }
-  }
-
   void FlushOutbox(std::size_t s);    ///< phase 1 body
   void DeliverInboxes(std::size_t s); ///< phase 2 body
 
@@ -160,6 +148,7 @@ class ShardedNetwork {
   std::size_t base_;  ///< nodes per shard; first `rem_` shards get one more
   std::size_t rem_;
   std::uint64_t rounds_ = 0;
+  ShardPool* pool_;  ///< never null; executes every parallel phase
   std::vector<Shard> shards_;
   std::vector<std::uint32_t> sent_this_round_;  ///< per node
   std::vector<std::uint64_t> total_sent_;       ///< per node

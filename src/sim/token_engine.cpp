@@ -1,10 +1,9 @@
 #include "sim/token_engine.hpp"
 
 #include <algorithm>
-#include <barrier>
-#include <thread>
 
 #include "common/check.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
@@ -54,10 +53,14 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
       result.max_load = std::max<std::uint64_t>(result.max_load, step_max);
     }
   } else {
-    // Sharded path: contiguous token blocks, one worker and one split RNG
-    // stream per shard, hoisted across all steps. The barrier's completion
-    // function merges the Lemma 3.2 load counts between steps on a single
-    // thread, while the workers wait.
+    // Sharded path: contiguous token blocks, one persistent pool worker and
+    // one split RNG stream per shard, hoisted across all steps. The pool's
+    // phase boundary merges the Lemma 3.2 load counts between steps on a
+    // single thread while the workers are parked at the barrier; a shard
+    // that throws (e.g. ContractViolation from RandomNeighbor on a
+    // degenerate graph) skips its remaining steps and rethrows after the
+    // join — RunPhased's contract, matching the serial path's catchable
+    // behavior.
     const std::size_t block = (num_tokens + shards - 1) / shards;
     std::vector<Rng> shard_rng;
     shard_rng.reserve(shards);
@@ -65,56 +68,34 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
     std::vector<std::vector<std::uint32_t>> shard_load(
         shards, std::vector<std::uint32_t>(n, 0));
 
-    auto merge_step = [&]() noexcept {
-      result.token_steps += num_tokens;
-      std::uint64_t step_max = 0;
-      for (NodeId v = 0; v < n; ++v) {
-        std::uint64_t at_v = 0;
-        for (std::size_t s = 0; s < shards; ++s) at_v += shard_load[s][v];
-        step_max = std::max(step_max, at_v);
-      }
-      result.max_load = std::max(result.max_load, step_max);
-    };
-    std::barrier sync(static_cast<std::ptrdiff_t>(shards), merge_step);
-
-    // A worker that throws (e.g. ContractViolation from RandomNeighbor on a
-    // degenerate graph) records the error but keeps arriving at the barrier
-    // so its peers are never left waiting; the first error rethrows after
-    // the join, matching the serial path's catchable behavior.
-    std::vector<std::exception_ptr> errors(shards);
-    auto worker = [&](std::size_t s) {
-      auto& load = shard_load[s];
-      auto& my_rng = shard_rng[s];
-      const std::size_t lo = s * block;
-      const std::size_t hi = std::min(lo + block, num_tokens);
-      for (std::size_t step = 0; step < opts.walk_length; ++step) {
-        if (errors[s] == nullptr) {
-          try {
-            std::fill(load.begin(), load.end(), 0u);
-            for (std::size_t i = lo; i < hi; ++i) {
-              const NodeId next = g.RandomNeighbor(position[i], my_rng);
-              position[i] = next;
-              ++load[next];
-              if (opts.record_paths) {
-                result.paths[i].push_back(next);
-              }
+    ShardPool& pool = opts.pool != nullptr ? *opts.pool : DefaultShardPool();
+    pool.RunPhased(
+        shards, opts.walk_length,
+        [&](std::size_t s, std::size_t /*step*/) {
+          auto& load = shard_load[s];
+          auto& my_rng = shard_rng[s];
+          const std::size_t lo = s * block;
+          const std::size_t hi = std::min(lo + block, num_tokens);
+          std::fill(load.begin(), load.end(), 0u);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const NodeId next = g.RandomNeighbor(position[i], my_rng);
+            position[i] = next;
+            ++load[next];
+            if (opts.record_paths) {
+              result.paths[i].push_back(next);
             }
-          } catch (...) {
-            errors[s] = std::current_exception();
           }
-        }
-        sync.arrive_and_wait();
-      }
-    };
-    {
-      std::vector<std::jthread> workers;
-      workers.reserve(shards - 1);
-      for (std::size_t s = 1; s < shards; ++s) workers.emplace_back(worker, s);
-      worker(0);
-    }  // join
-    for (const std::exception_ptr& e : errors) {
-      if (e) std::rethrow_exception(e);
-    }
+        },
+        [&](std::size_t /*step*/) {
+          result.token_steps += num_tokens;
+          std::uint64_t step_max = 0;
+          for (NodeId v = 0; v < n; ++v) {
+            std::uint64_t at_v = 0;
+            for (std::size_t s = 0; s < shards; ++s) at_v += shard_load[s][v];
+            step_max = std::max(step_max, at_v);
+          }
+          result.max_load = std::max(result.max_load, step_max);
+        });
   }
 
   result.arrivals.assign(n, {});

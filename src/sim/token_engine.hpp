@@ -19,6 +19,8 @@
 
 namespace overlay {
 
+class ShardPool;
+
 /// Result of running all walks of one evolution.
 struct TokenWalkResult {
   /// arrivals[v] = origins of the tokens located at v after the final step.
@@ -47,6 +49,10 @@ struct TokenWalkOptions {
   /// behavior (caller's RNG consumed directly); for a fixed (rng seed,
   /// num_shards) runs are deterministic regardless of scheduling.
   std::size_t num_shards = 1;
+  /// Persistent worker pool executing the sharded path (nullptr =
+  /// DefaultShardPool(), shared with ShardedNetwork). Scheduling only —
+  /// never affects results.
+  ShardPool* pool = nullptr;
 };
 
 /// Runs `tokens_per_node` independent lazy random walks of `walk_length`

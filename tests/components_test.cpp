@@ -116,6 +116,36 @@ TEST(Components, RoundsGrowWithComponentSizeNotN) {
   EXPECT_LT(small_r.total_cost.rounds, big_r.total_cost.rounds);
 }
 
+TEST(Components, ParallelComponentBuildMatchesSerial) {
+  // Building component overlays on the shard pool must produce exactly the
+  // serial loop's result: every component's seed is a function of its
+  // index, so worker count and scheduling cannot show through.
+  const Graph g = gen::DisjointUnion(
+      {gen::Line(80), gen::Cycle(50), gen::ConnectedGnp(120, 0.05, 7),
+       gen::Line(1), gen::Line(1)});
+  const auto serial = BuildComponentOverlays(g, {.seed = 21});
+  for (const std::size_t workers : {2u, 4u}) {
+    const auto parallel = BuildComponentOverlays(
+        g, {.seed = 21, .parallel_components = workers});
+    ASSERT_EQ(parallel.components.size(), serial.components.size());
+    for (std::size_t c = 0; c < serial.components.size(); ++c) {
+      EXPECT_EQ(parallel.components[c].nodes, serial.components[c].nodes);
+      EXPECT_EQ(parallel.components[c].tree.root,
+                serial.components[c].tree.root);
+      EXPECT_EQ(parallel.components[c].tree.parent,
+                serial.components[c].tree.parent);
+      EXPECT_EQ(parallel.components[c].expander.EdgeList(),
+                serial.components[c].expander.EdgeList());
+      EXPECT_EQ(parallel.components[c].cost.rounds,
+                serial.components[c].cost.rounds);
+    }
+    EXPECT_EQ(parallel.component_of, serial.component_of);
+    EXPECT_EQ(parallel.total_cost.rounds, serial.total_cost.rounds);
+    EXPECT_EQ(parallel.total_cost.global_messages,
+              serial.total_cost.global_messages);
+  }
+}
+
 TEST(Components, CostsAccumulated) {
   const Graph g = gen::Cycle(128);
   const auto r = BuildComponentOverlays(g, {.seed = 7});

@@ -8,6 +8,7 @@
 #include "overlay/benign.hpp"
 #include "overlay/evolution.hpp"
 #include "overlay/evolution_mp.hpp"
+#include "sim/sharded_network.hpp"
 
 namespace overlay {
 namespace {
@@ -98,6 +99,47 @@ TEST(EvolutionMp, RepeatedEvolutionsStayBenign) {
     g = std::move(r.next);
     EXPECT_TRUE(g.IsRegular(s.params.delta)) << "evolution " << i;
     EXPECT_TRUE(IsConnected(g.ToSimpleGraph())) << "evolution " << i;
+  }
+}
+
+TEST(EvolutionMp, ShardedDriveIsDeterministicAndBenignShaped) {
+  // Multi-shard ShardedNetwork drive: the node loops run on the engine's
+  // shard workers with split RNG streams. Two runs with the same
+  // (seed, num_shards) must agree exactly; the output stays benign.
+  auto s = MakeSetup(96);
+  EngineConfig cfg{.num_shards = 4};
+  const auto a =
+      RunEvolutionMessagePassing<ShardedNetwork>(s.benign, s.params, cfg);
+  const auto b =
+      RunEvolutionMessagePassing<ShardedNetwork>(s.benign, s.params, cfg);
+  EXPECT_EQ(a.edges_created, b.edges_created);
+  EXPECT_EQ(a.tokens_without_edge, b.tokens_without_edge);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_TRUE(a.next.IsRegular(s.params.delta));
+  EXPECT_TRUE(a.next.IsLazy(s.params.MinSelfLoops()));
+  for (NodeId v = 0; v < 96; ++v) {
+    ASSERT_EQ(a.next.Degree(v), b.next.Degree(v));
+  }
+}
+
+TEST(EvolutionMp, SingleShardShardedEngineMatchesSync) {
+  // With one shard the drive stays serial on the historical stream and the
+  // engine replays SyncNetwork bit for bit, so the whole evolution must
+  // be identical to the SyncNetwork run.
+  auto s = MakeSetup(64);
+  const auto sync =
+      RunEvolutionMessagePassing<SyncNetwork>(s.benign, s.params, {});
+  const auto sharded =
+      RunEvolutionMessagePassing<ShardedNetwork>(s.benign, s.params,
+                                                 {.num_shards = 1});
+  EXPECT_EQ(sync.edges_created, sharded.edges_created);
+  EXPECT_EQ(sync.tokens_without_edge, sharded.tokens_without_edge);
+  EXPECT_EQ(sync.stats, sharded.stats);
+  for (NodeId v = 0; v < 64; ++v) {
+    ASSERT_EQ(sync.next.Degree(v), sharded.next.Degree(v));
+    const auto sa = sync.next.Slots(v);
+    const auto sb = sharded.next.Slots(v);
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
   }
 }
 

@@ -98,6 +98,43 @@ TEST(Evolution, NoProvenanceUnlessRequested) {
   EXPECT_TRUE(evo.provenance.empty());
 }
 
+TEST(Evolution, ShardedFastPathKeepsInvariantsAndDeterminism) {
+  // The sharded evolution (walks + acceptance selection + padding on the
+  // pool) must preserve every structural invariant and be deterministic
+  // for a fixed (seed, num_shards).
+  auto s = MakeSetup(96);
+  s.params.num_shards = 4;
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const auto a = RunEvolution(s.benign, s.params, rng_a);
+  const auto b = RunEvolution(s.benign, s.params, rng_b);
+  EXPECT_TRUE(a.next.IsRegular(s.params.delta));
+  EXPECT_TRUE(a.next.IsLazy(s.params.MinSelfLoops()));
+  EXPECT_EQ(a.telemetry.edges_created, b.telemetry.edges_created);
+  EXPECT_EQ(a.telemetry.tokens_discarded, b.telemetry.tokens_discarded);
+  EXPECT_EQ(a.telemetry.max_token_load, b.telemetry.max_token_load);
+  for (NodeId v = 0; v < 96; ++v) {
+    ASSERT_EQ(a.next.Degree(v), b.next.Degree(v));
+    const auto sa = a.next.Slots(v);
+    const auto sb = b.next.Slots(v);
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(Evolution, ShardedProvenanceMatchesEdges) {
+  auto s = MakeSetup(64);
+  s.params.record_paths = true;
+  s.params.num_shards = 3;
+  Rng rng(7);
+  const auto evo = RunEvolution(s.benign, s.params, rng);
+  EXPECT_EQ(evo.provenance.size(), evo.telemetry.edges_created);
+  for (const auto& p : evo.provenance) {
+    ASSERT_EQ(p.path.size(), s.params.walk_length + 1);
+    EXPECT_EQ(p.path.front(), p.origin);
+    EXPECT_EQ(p.path.back(), p.endpoint);
+  }
+}
+
 TEST(Evolution, DeterministicInRngState) {
   auto s = MakeSetup(32);
   Rng rng1(9), rng2(9);

@@ -107,6 +107,49 @@ TEST(Monitoring, ViolationCountIsExactForKnownGraph) {
   EXPECT_EQ(r.violating_edges, 1u);
 }
 
+TEST(Monitoring, ShardedAggregationMatchesSerial) {
+  // The level-synchronous sharded convergecast must report the serial
+  // pass's value for every shard count — combine is associative and
+  // commutative, so the fold order cannot show through.
+  const auto f = Make(gen::ConnectedGnp(400, 0.02, 9));
+  std::vector<std::uint64_t> values(400);
+  Rng rng(17);
+  for (auto& v : values) v = rng.NextBelow(1 << 20);
+  const auto sum_combine = [](std::uint64_t a, std::uint64_t b) {
+    return a + b;
+  };
+  const auto max_combine = [](std::uint64_t a, std::uint64_t b) {
+    return std::max(a, b);
+  };
+  const auto serial_sum = AggregateOverTree(f.tree, values, sum_combine);
+  const auto serial_max = AggregateOverTree(f.tree, values, max_combine);
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    const auto s = AggregateOverTree(f.tree, values, sum_combine, shards);
+    const auto m = AggregateOverTree(f.tree, values, max_combine, shards);
+    EXPECT_EQ(s.value, serial_sum.value) << "shards " << shards;
+    EXPECT_EQ(s.rounds, serial_sum.rounds);
+    EXPECT_EQ(m.value, serial_max.value) << "shards " << shards;
+  }
+}
+
+TEST(Monitoring, ShardedPrimitivesMatchSerial) {
+  const auto f = Make(gen::ConnectedGnp(300, 0.03, 13));
+  const auto st = BuildSpanningTree(f.g, {.seed = 8});
+  const auto nodes1 = MonitorNodeCount(f.tree);
+  const auto edges1 = MonitorEdgeCount(f.tree, f.g);
+  const auto deg1 = MonitorMaxDegree(f.tree, f.g);
+  const auto bip1 = MonitorBipartiteness(f.tree, f.g, st.parent);
+  for (const std::size_t shards : {2u, 4u}) {
+    EXPECT_EQ(MonitorNodeCount(f.tree, shards).value, nodes1.value);
+    EXPECT_EQ(MonitorEdgeCount(f.tree, f.g, shards).value, edges1.value);
+    EXPECT_EQ(MonitorMaxDegree(f.tree, f.g, shards).value, deg1.value);
+    const auto bip = MonitorBipartiteness(f.tree, f.g, st.parent, shards);
+    EXPECT_EQ(bip.bipartite, bip1.bipartite);
+    EXPECT_EQ(bip.violating_edges, bip1.violating_edges);
+    EXPECT_EQ(bip.rounds, bip1.rounds);
+  }
+}
+
 TEST(Monitoring, RoundBillLogarithmic) {
   const auto small = Make(gen::Cycle(64));
   const auto large = Make(gen::Cycle(4096));

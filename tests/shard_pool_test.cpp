@@ -1,0 +1,219 @@
+// Tests for the persistent shard worker pool: full coverage of the Run /
+// RunPhased contracts (participation, exceptions, reentrancy, phase
+// ordering), worker reuse across calls, and on-demand growth when callers
+// reconfigure their shard count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/shard_pool.hpp"
+
+namespace overlay {
+namespace {
+
+TEST(ShardPool, RunsEveryShardExactlyOnce) {
+  ShardPool pool;
+  std::vector<std::atomic<int>> hits(8);
+  pool.Run(8, [&](std::size_t s) { ++hits[s]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ShardPool, ShardZeroRunsOnCaller) {
+  ShardPool pool;
+  const auto caller = std::this_thread::get_id();
+  std::thread::id shard0;
+  pool.Run(4, [&](std::size_t s) {
+    if (s == 0) shard0 = std::this_thread::get_id();
+  });
+  EXPECT_EQ(shard0, caller);
+}
+
+TEST(ShardPool, SingleShardRunsInlineWithoutWorkers) {
+  ShardPool pool;
+  bool ran = false;
+  pool.Run(1, [&](std::size_t s) {
+    EXPECT_EQ(s, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), std::this_thread::get_id());
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.num_workers(), 0u);
+}
+
+TEST(ShardPool, WorkersPersistAndGrowAcrossReconfiguration) {
+  // The satellite scenario: one pool serving callers whose shard count
+  // changes between calls. Workers are hoisted once per size increase and
+  // reused afterwards.
+  ShardPool pool;
+  pool.Run(2, [](std::size_t) {});
+  EXPECT_EQ(pool.num_workers(), 1u);
+
+  // Distinct worker threads observed across two same-size calls must be
+  // identical (reuse, not respawn).
+  std::mutex m;
+  std::set<std::thread::id> first, second;
+  pool.Run(4, [&](std::size_t s) {
+    if (s == 0) return;  // caller thread
+    std::lock_guard lk(m);
+    first.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(pool.num_workers(), 3u);
+  pool.Run(4, [&](std::size_t s) {
+    if (s == 0) return;
+    std::lock_guard lk(m);
+    second.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(first, second);
+
+  // Shrinking the shard count leaves the extra workers idle, not dead.
+  pool.Run(2, [](std::size_t) {});
+  EXPECT_EQ(pool.num_workers(), 3u);
+  pool.Run(6, [](std::size_t) {});
+  EXPECT_EQ(pool.num_workers(), 5u);
+}
+
+TEST(ShardPool, ManyRepeatedCallsProduceStableResults) {
+  // Round-loop shape: thousands of handoffs onto the same workers.
+  ShardPool pool;
+  std::vector<std::uint64_t> acc(4, 0);
+  for (int round = 0; round < 2000; ++round) {
+    pool.Run(4, [&](std::size_t s) { acc[s] += s + 1; });
+  }
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(acc[s], 2000u * (s + 1));
+}
+
+TEST(ShardPool, LowestIndexExceptionWinsAndAllShardsStillRun) {
+  ShardPool pool;
+  std::vector<std::atomic<int>> hits(4);
+  try {
+    pool.Run(4, [&](std::size_t s) {
+      ++hits[s];
+      if (s == 2) throw std::runtime_error("two");
+      if (s == 1) throw std::runtime_error("one");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "one");
+  }
+  // The error contract: peers are not cancelled by a throwing shard.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool survives a throwing task.
+  pool.Run(4, [&](std::size_t s) { ++hits[s]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ShardPool, ReentrantRunExecutesInline) {
+  ShardPool pool;
+  std::vector<std::atomic<int>> inner_hits(3);
+  std::atomic<int> outer_hits{0};
+  pool.Run(2, [&](std::size_t) {
+    ++outer_hits;
+    // Dispatching onto the pool a task is already running on must not
+    // deadlock: the nested call runs inline on this thread.
+    const auto me = std::this_thread::get_id();
+    pool.Run(3, [&](std::size_t inner) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      ++inner_hits[inner];
+    });
+  });
+  EXPECT_EQ(outer_hits.load(), 2);
+  for (const auto& h : inner_hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ShardPool, RunPhasedSynchronizesPhases) {
+  // No shard may enter phase p+1 before every shard finished phase p.
+  ShardPool pool;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kSteps = 25;
+  std::vector<std::atomic<std::size_t>> done(kShards);
+  for (auto& d : done) d = 0;
+  pool.RunPhased(kShards, kSteps, [&](std::size_t s, std::size_t step) {
+    for (std::size_t peer = 0; peer < kShards; ++peer) {
+      // Peers may be at `step` (not yet counted) or have counted `step`
+      // already, but never a full phase behind or ahead.
+      const std::size_t seen = done[peer].load();
+      EXPECT_GE(seen + 1, step + (peer == s ? 1 : 0));
+      EXPECT_LE(seen, step + 1);
+    }
+    ++done[s];
+  });
+  for (const auto& d : done) EXPECT_EQ(d.load(), kSteps);
+}
+
+TEST(ShardPool, RunPhasedBetweenRunsOncePerBoundaryExclusively) {
+  ShardPool pool;
+  constexpr std::size_t kSteps = 10;
+  std::atomic<int> in_body{0};
+  std::vector<std::size_t> boundary_steps;
+  pool.RunPhased(
+      3, kSteps,
+      [&](std::size_t, std::size_t) {
+        ++in_body;
+        --in_body;
+      },
+      [&](std::size_t step) {
+        // All shards are parked at the barrier during the boundary.
+        EXPECT_EQ(in_body.load(), 0);
+        boundary_steps.push_back(step);
+      });
+  ASSERT_EQ(boundary_steps.size(), kSteps);
+  for (std::size_t i = 0; i < kSteps; ++i) EXPECT_EQ(boundary_steps[i], i);
+}
+
+TEST(ShardPool, RunPhasedShardErrorSkipsItsRemainingPhases) {
+  ShardPool pool;
+  std::vector<std::atomic<int>> phases_run(3);
+  try {
+    pool.RunPhased(3, 4, [&](std::size_t s, std::size_t step) {
+      ++phases_run[s];
+      if (s == 1 && step == 1) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(phases_run[0].load(), 4);
+  EXPECT_EQ(phases_run[1].load(), 2);  // threw in phase 1, skipped 2..3
+  EXPECT_EQ(phases_run[2].load(), 4);
+}
+
+TEST(ShardPool, RunPhasedReentrantExecutesInlineInOrder) {
+  ShardPool pool;
+  std::vector<int> trace;  // safe: the nested call is serial by contract
+  pool.Run(2, [&](std::size_t outer) {
+    if (outer != 0) return;
+    pool.RunPhased(
+        2, 2,
+        [&](std::size_t s, std::size_t step) {
+          trace.push_back(static_cast<int>(step * 10 + s));
+        },
+        [&](std::size_t step) { trace.push_back(100 + static_cast<int>(step)); });
+  });
+  const std::vector<int> want{0, 1, 100, 10, 11, 101};
+  EXPECT_EQ(trace, want);
+}
+
+TEST(ShardPool, DefaultPoolIsASingleton) {
+  ShardPool& a = DefaultShardPool();
+  ShardPool& b = DefaultShardPool();
+  EXPECT_EQ(&a, &b);
+  a.Run(3, [](std::size_t) {});
+  EXPECT_GE(a.num_workers(), 2u);
+}
+
+TEST(ShardPool, ZeroCountIsANoOp) {
+  ShardPool pool;
+  bool ran = false;
+  pool.Run(0, [&](std::size_t) { ran = true; });
+  pool.RunPhased(0, 5, [&](std::size_t, std::size_t) { ran = true; });
+  pool.RunPhased(3, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace overlay

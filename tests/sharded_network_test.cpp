@@ -201,6 +201,67 @@ TEST(ShardedNetwork, ForEachNodeMatchesSerialDrive) {
   EXPECT_EQ(serial.stats(), parallel.stats());
 }
 
+TEST(ShardedNetwork, ReusedPoolReproducesFreshThreadStreams) {
+  // The tentpole acceptance test: repeated EndRound/ForEachNode calls on
+  // one long-lived ShardPool must reproduce the exact message streams of a
+  // fresh-threads execution (modelled by giving each reference network its
+  // own brand-new pool, whose workers have never run a task).
+  ShardPool reused;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const EngineConfig cfg{.num_nodes = 36, .capacity = 3, .seed = 99,
+                           .num_shards = shards};
+    ShardPool fresh;
+    ShardedNetwork a(cfg, &reused);
+    ShardedNetwork b(cfg, &fresh);
+    for (std::size_t round = 0; round < 10; ++round) {
+      const std::size_t sends = 3;
+      a.ForEachNode([&](NodeId v) {
+        for (std::size_t i = 0; i < sends; ++i) {
+          const std::uint64_t h =
+              (v * 0x9e3779b97f4a7c15ULL) ^ (round * 0xbf58476d1ce4e5b9ULL) ^
+              (i * 0x94d049bb133111ebULL);
+          a.Send(v, static_cast<NodeId>(h % 36), Payload(h));
+        }
+      });
+      a.EndRound();
+      DriveRound(b, round, sends);
+      EXPECT_EQ(Snapshot(a), Snapshot(b))
+          << "shards " << shards << " round " << round;
+    }
+    EXPECT_EQ(a.stats(), b.stats()) << "shards " << shards;
+  }
+}
+
+TEST(ShardedNetwork, SharedPoolAcrossShardCountReconfiguration) {
+  // One pool serving interleaved engines of different shard counts — the
+  // "reconfiguration" shape. Every engine must behave exactly as if it had
+  // the pool to itself, including the S=1 bit-identity with SyncNetwork.
+  ShardPool pool;
+  const std::uint64_t seed = 4242;
+  SyncNetwork sync({.num_nodes = 40, .capacity = 4, .seed = seed});
+  ShardedNetwork s1({.num_nodes = 40, .capacity = 4, .seed = seed,
+                     .num_shards = 1},
+                    &pool);
+  ShardedNetwork s4({.num_nodes = 40, .capacity = 4, .seed = seed,
+                     .num_shards = 4},
+                    &pool);
+  ShardedNetwork s4b({.num_nodes = 40, .capacity = 4, .seed = seed,
+                      .num_shards = 4},
+                     &pool);
+  for (std::size_t round = 0; round < 12; ++round) {
+    DriveRound(sync, round, 4);
+    DriveRound(s1, round, 4);
+    DriveRound(s4, round, 4);
+    DriveRound(s4b, round, 4);
+    EXPECT_EQ(Snapshot(sync), Snapshot(s1)) << "round " << round;
+    EXPECT_EQ(Snapshot(s4), Snapshot(s4b)) << "round " << round;
+  }
+  EXPECT_EQ(sync.stats(), s1.stats());
+  EXPECT_EQ(s4.stats(), s4b.stats());
+  EXPECT_EQ(sync.stats(), s4.stats());  // stats are shard-count-invariant
+  EXPECT_GT(sync.stats().messages_dropped, 0u);
+}
+
 TEST(ShardedNetwork, ShardCountClampedToNodes) {
   ShardedNetwork net({.num_nodes = 3, .capacity = 1, .seed = 1,
                       .num_shards = 16});
