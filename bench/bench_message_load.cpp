@@ -3,12 +3,19 @@
 // Shape to verify: max per-node message total divided by log²(n) stays flat
 // (Δ is clamped at 64 below n=2^16, so the small-n rows are dominated by the
 // constant floor — the per-Δ column shows the true Δ·ℓ·L scaling).
+//
+// The second table tracks the arena wire format: bytes the engine's SoA
+// inbox arenas moved per BFS round, against what the 32-byte array-of-structs
+// Message layout would have moved for the same deliveries. The CI bench gate
+// reads `bytes_moved_per_round` / `reduction_pct` to keep layout wins from
+// regressing.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/math_util.hpp"
 #include "graph/generators.hpp"
 #include "overlay/construct.hpp"
+#include "sim/message_soa.hpp"
 
 using namespace overlay;
 
@@ -21,6 +28,8 @@ int main(int argc, char** argv) {
 
   bench::Table t({"n", "log2(n)", "max_node_msgs", "msgs/log2^2", "msgs/(Δ·ℓ·L)",
                   "total_msgs", "bfs_max_node_msgs"});
+  bench::Table bw({"n", "bfs_rounds", "delivered", "bytes_moved_per_round",
+                   "aos_bytes_per_round", "reduction_pct"});
   for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
     const Graph g = gen::Line(n);
     const auto params = ExpanderParams::ForSize(n, g.MaxDegree(), 7);
@@ -34,8 +43,22 @@ int main(int argc, char** argv) {
               (static_cast<double>(log_n) * log_n),
           static_cast<double>(r.report.max_node_messages_total) / denom,
           r.report.total_messages, r.report.max_node_messages_bfs);
+
+    // Arena bandwidth of the measured BFS/election phase. The AoS baseline
+    // is the exact bytes the pre-SoA layout moved for the same deliveries.
+    const double rounds = static_cast<double>(r.report.bfs_rounds);
+    const double soa_bytes =
+        static_cast<double>(r.report.bfs_arena_bytes_moved);
+    const double aos_bytes = static_cast<double>(
+        r.report.bfs_messages_delivered * kAosRowBytes);
+    bw.Row(n, r.report.bfs_rounds, r.report.bfs_messages_delivered,
+           soa_bytes / rounds, aos_bytes / rounds,
+           aos_bytes > 0 ? 100.0 * (1.0 - soa_bytes / aos_bytes) : 0.0);
   }
   t.Print();
+  std::printf("\n");
+  bw.Print();
   json.Add("message_load", t);
+  json.Add("arena_bandwidth", bw);
   return json.Finish();
 }

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "sim/inbox_checksum.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded_network.hpp"
 
@@ -31,26 +32,6 @@ namespace {
 std::uint64_t DestHash(NodeId v, std::size_t round, std::size_t i) {
   return (v * 0x9e3779b97f4a7c15ULL) ^ (round * 0xbf58476d1ce4e5b9ULL) ^
          (i * 0x94d049bb133111ebULL);
-}
-
-std::uint64_t Fnv1a(std::uint64_t h, std::uint64_t x) {
-  for (int b = 0; b < 8; ++b) {
-    h ^= (x >> (8 * b)) & 0xffu;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-template <typename Net>
-std::uint64_t ChecksumInboxes(const Net& net, std::uint64_t h) {
-  for (NodeId v = 0; v < net.num_nodes(); ++v) {
-    for (const Message& m : net.Inbox(v)) {
-      h = Fnv1a(h, m.src);
-      h = Fnv1a(h, m.kind);
-      for (const std::uint64_t w : m.words) h = Fnv1a(h, w);
-    }
-  }
-  return h;
 }
 
 struct RunResult {
@@ -64,7 +45,7 @@ struct RunResult {
 template <typename Net>
 RunResult Run(Net& net, std::size_t rounds, std::size_t sends) {
   const std::size_t n = net.num_nodes();
-  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::uint64_t checksum = kFnvOffsetBasis;
   RunResult r;
   for (std::size_t round = 0; round < rounds; ++round) {
     auto drive = [&](NodeId v) {

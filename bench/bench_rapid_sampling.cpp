@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     std::vector<double> plain_freq(n, 0.0);
     double plain_total = 0;
     for (NodeId v = 0; v < n; ++v) {
-      for (const NodeId origin : plain.arrivals[v]) {
+      for (const NodeId origin : plain.ArrivalsAt(v)) {
         plain_freq[(v + n - origin) % n] += 1;
         ++plain_total;
       }

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
@@ -64,39 +65,76 @@ RapidSamplingResult RunRapidSampling(const Multigraph& g,
     track_load();
   }
 
-  // Phase B: log₂(ℓ) - 1 stitch rounds, each doubling walk length.
+  // Phase B: log₂(ℓ) - 1 stitch rounds, each doubling walk length. The
+  // per-node red/blue shuffle + merge touches only that node's bucket (every
+  // token sits in exactly one bucket — its current `at` node), so the stitch
+  // shards over contiguous node blocks on the persistent pool with one split
+  // RNG stream per shard, the evolution-acceptance-pass idiom: num_shards =
+  // 1 consumes the caller's RNG in the exact historical order; any fixed
+  // (seed, num_shards) is deterministic regardless of scheduling.
   const std::size_t stitch_rounds = FloorLog2(opts.walk_length) - 1;
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min(opts.num_shards, n));
+  std::vector<Rng> shard_rng;
+  if (shards > 1) {
+    shard_rng.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(rng.Split());
+  }
   std::vector<std::vector<std::size_t>> at_node(n);
   for (std::size_t s = 0; s < stitch_rounds; ++s) {
     for (auto& bucket : at_node) bucket.clear();
     for (std::size_t i = 0; i < tokens.size(); ++i) {
       at_node[tokens[i].at].push_back(i);
     }
+    // Stitches all buckets of nodes [lo, hi) with randomness from `r`,
+    // appending merged tokens to `out` in node order.
+    const auto stitch_range = [&](NodeId lo, NodeId hi, Rng& r,
+                                  std::vector<Token>& out) {
+      for (NodeId v = lo; v < hi; ++v) {
+        auto& here = at_node[v];
+        if (here.size() < 2) continue;  // odd singleton is dropped
+        // Random red/blue split: shuffle, pair consecutive (red, blue).
+        std::shuffle(here.begin(), here.end(), r);
+        const std::size_t pairs = here.size() / 2;
+        for (std::size_t p = 0; p < pairs; ++p) {
+          Token& red = tokens[here[2 * p]];
+          Token& blue = tokens[here[2 * p + 1]];
+          // Red walk origin→v extends by the reversed blue walk
+          // v→blue.origin.
+          Token merged{red.origin, blue.origin, {}};
+          if (opts.record_paths) {
+            merged.path = std::move(red.path);
+            // Blue path is blue.origin..v; append reversed, skipping v.
+            for (auto it = blue.path.rbegin() + 1; it != blue.path.rend();
+                 ++it) {
+              merged.path.push_back(*it);
+            }
+          }
+          out.push_back(std::move(merged));
+        }
+      }
+    };
+
     std::vector<Token> next;
     next.reserve(tokens.size() / 2);
-    for (NodeId v = 0; v < n; ++v) {
-      auto& here = at_node[v];
-      if (here.size() < 2) continue;  // odd singleton is dropped
-      // Random red/blue split: shuffle, pair consecutive (red, blue).
-      std::shuffle(here.begin(), here.end(), rng);
-      const std::size_t pairs = here.size() / 2;
-      for (std::size_t p = 0; p < pairs; ++p) {
-        Token& red = tokens[here[2 * p]];
-        Token& blue = tokens[here[2 * p + 1]];
-        // Red walk origin→v extends by the reversed blue walk v→blue.origin.
-        Token merged{red.origin, blue.origin, {}};
-        if (opts.record_paths) {
-          merged.path = std::move(red.path);
-          // Blue path is blue.origin..v; append reversed, skipping v itself.
-          for (auto it = blue.path.rbegin() + 1; it != blue.path.rend(); ++it) {
-            merged.path.push_back(*it);
-          }
-        }
-        next.push_back(std::move(merged));
-        // The red token is sent to the blue origin: one global message.
-        ++result.cost.global_messages;
+    if (shards <= 1) {
+      stitch_range(0, static_cast<NodeId>(n), rng, next);
+    } else {
+      std::vector<std::vector<Token>> shard_next(shards);
+      RunShardedBlocks(DefaultShardPool(), n, shards,
+                       [&](std::size_t sh, std::size_t lo, std::size_t hi) {
+                         stitch_range(static_cast<NodeId>(lo),
+                                      static_cast<NodeId>(hi), shard_rng[sh],
+                                      shard_next[sh]);
+                       });
+      // Concatenate in shard order = node order, the serial ordering.
+      for (auto& part : shard_next) {
+        for (Token& t : part) next.push_back(std::move(t));
       }
     }
+    // One global message per merge (the red token travels to the blue
+    // origin).
+    result.cost.global_messages += next.size();
     tokens = std::move(next);
     ++result.cost.rounds;
     track_load();

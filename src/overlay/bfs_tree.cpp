@@ -12,7 +12,17 @@
 namespace overlay {
 
 namespace {
+
 constexpr std::uint32_t kBfsKind = 0x1u;
+
+// The flood message is one O(log n)-bit word: (root, dist) packed into
+// word0. NodeId is 32-bit and dist <= n, so the pack is always exact — and
+// the whole protocol rides the engines' one-word fast path (no spill-arena
+// traffic, 20 bytes per delivered message instead of 32).
+std::uint64_t PackRootDist(NodeId root, std::uint32_t dist) {
+  return (static_cast<std::uint64_t>(root) << 32) | dist;
+}
+
 }  // namespace
 
 template <NetworkEngine Engine>
@@ -42,24 +52,22 @@ BfsTreeResult BuildBfsTree(const Graph& g, EngineConfig cfg) {
   // so it is exactly the shape ForEachNode/ForEachShard parallelize.
   // Returns whether v flooded this round.
   const auto node_round = [&](NodeId v) -> bool {
-    for (const Message& m : net.Inbox(v)) {
-      const NodeId r = static_cast<NodeId>(m.words[0]);
-      const auto d = static_cast<std::uint32_t>(m.words[1]) + 1;
+    for (const MessageView m : net.Inbox(v)) {
+      const std::uint64_t packed = m.word0();
+      const NodeId r = static_cast<NodeId>(packed >> 32);
+      const auto d = static_cast<std::uint32_t>(packed) + 1;
       if (r < best_root[v] || (r == best_root[v] && d < dist[v])) {
         best_root[v] = r;
         dist[v] = d;
-        parent[v] = m.src;
+        parent[v] = m.src();
         changed[v] = 1;
       }
     }
     if (!changed[v]) return false;
-    Message msg;
-    msg.kind = kBfsKind;
-    msg.words[0] = best_root[v];
-    msg.words[1] = dist[v];
-    for (NodeId w : g.Neighbors(v)) {
-      net.Send(v, w, msg);
-    }
+    // One append for the whole flood: the neighbor span goes straight into
+    // the engine's outbox columns.
+    net.SendFanout(v, g.Neighbors(v), kBfsKind,
+                   PackRootDist(best_root[v], dist[v]));
     changed[v] = 0;
     return true;
   };
@@ -98,6 +106,7 @@ BfsTreeResult BuildBfsTree(const Graph& g, EngineConfig cfg) {
   result.depth = std::move(dist);
   result.height = *std::max_element(result.depth.begin(), result.depth.end());
   result.stats = net.stats();
+  result.arena_bytes_moved = net.arena_bytes_moved();
   return result;
 }
 

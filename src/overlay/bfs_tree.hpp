@@ -28,6 +28,9 @@ struct BfsTreeResult {
   std::vector<std::uint32_t> depth;
   std::uint32_t height = 0;
   NetworkStats stats;
+  /// Bytes the engine wrote into delivered inbox arenas over the build
+  /// (sim/message_soa.hpp layout; the bench's bandwidth column).
+  std::uint64_t arena_bytes_moved = 0;
 };
 
 /// Builds the election+BFS tree over `g` (must be connected) on any engine.

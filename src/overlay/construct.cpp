@@ -43,6 +43,8 @@ ConstructionResult Construct(const Graph& g, const ExpanderParams& params,
                          /*seed=*/params.seed ^ 0xb5f5ULL);
   result.report.bfs_rounds = bfs.stats.rounds;
   result.report.max_node_messages_bfs = bfs.stats.max_send_load * bfs.stats.rounds;
+  result.report.bfs_messages_delivered = bfs.stats.messages_delivered;
+  result.report.bfs_arena_bytes_moved = bfs.arena_bytes_moved;
 
   // Contraction to the well-formed tree.
   result.tree = ContractToWellFormedTree(bfs);

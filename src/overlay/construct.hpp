@@ -36,6 +36,12 @@ struct RoundReport {
   /// Upper bound on per-node message total across the whole construction
   /// (Theorem 1.1 claims O(log² n)).
   std::uint64_t max_node_messages_total = 0;
+
+  /// Measured engine bandwidth of the BFS/election phase: messages the
+  /// engine delivered and the bytes its SoA inbox arenas moved doing so
+  /// (bench_message_load reports bytes/round against the AoS baseline).
+  std::uint64_t bfs_messages_delivered = 0;
+  std::uint64_t bfs_arena_bytes_moved = 0;
 };
 
 struct ConstructionResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/check.hpp"
 #include "sim/shard_pool.hpp"
@@ -27,36 +28,30 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
   result.telemetry.token_steps = walks.token_steps;
   result.telemetry.max_token_load = walks.max_load;
 
-  // Index token paths by (endpoint, origin-slot) when provenance is on:
-  // arrivals[v] lists origins in token order; rebuild the matching path list.
-  std::vector<std::vector<const std::vector<NodeId>*>> arrival_paths;
-  if (params.record_paths) {
-    arrival_paths.assign(n, {});
-    for (std::size_t i = 0; i < walks.paths.size(); ++i) {
-      arrival_paths[walks.paths[i].back()].push_back(&walks.paths[i]);
-    }
-  }
-
   // Acceptance selection: over-subscribed endpoints keep a uniformly random
   // subset without replacement (partial Fisher–Yates); the rest is
-  // discarded. Each node's selection touches only that node's arrival list
-  // (and matching path list), so the selection itself runs sharded —
-  // contiguous node blocks on the persistent pool, one split RNG stream per
-  // shard (same idiom as the token engine: num_shards = 1 consumes the
-  // caller's RNG in the exact historical order; any fixed
-  // (seed, num_shards) is deterministic regardless of scheduling).
+  // discarded. Each node's selection touches only that node's CSR arrival
+  // bucket (origins + the parallel token column when provenance is on), so
+  // the selection itself runs sharded — contiguous node blocks on the
+  // persistent pool, one split RNG stream per shard (same idiom as the
+  // token engine: num_shards = 1 consumes the caller's RNG in the exact
+  // historical order; any fixed (seed, num_shards) is deterministic
+  // regardless of scheduling).
   const std::size_t accept_bound = params.AcceptBound();
   std::vector<std::size_t> keep_count(n);
   const auto select_for = [&](NodeId v, Rng& r) -> std::uint64_t {
-    auto& arrived = walks.arrivals[v];
+    const auto arrived = walks.MutableArrivalsAt(v);
     std::size_t keep = arrived.size();
     if (keep > accept_bound) {
+      const auto tokens = params.record_paths
+                              ? walks.MutableArrivalTokensAt(v)
+                              : std::span<std::uint32_t>{};
       for (std::size_t i = 0; i < accept_bound; ++i) {
         const std::size_t j =
             i + static_cast<std::size_t>(r.NextBelow(arrived.size() - i));
         std::swap(arrived[i], arrived[j]);
         if (params.record_paths) {
-          std::swap(arrival_paths[v][i], arrival_paths[v][j]);
+          std::swap(tokens[i], tokens[j]);
         }
       }
       keep = accept_bound;
@@ -91,7 +86,10 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
   // endpoints' slot lists, so this pass stays serial; it is O(edges) against
   // the walks' O(n·Δ·ℓ).
   for (NodeId v = 0; v < n; ++v) {
-    const auto& arrived = walks.arrivals[v];
+    const auto arrived = walks.ArrivalsAt(v);
+    const auto tokens = params.record_paths
+                            ? walks.ArrivalTokensAt(v)
+                            : std::span<const std::uint32_t>{};
     const std::size_t keep = keep_count[v];
     for (std::size_t i = 0; i < keep; ++i) {
       const NodeId origin = arrived[i];
@@ -104,10 +102,11 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
       ++result.telemetry.reply_messages;
       ++result.telemetry.edges_created;
       if (params.record_paths) {
+        const auto path = walks.PathOf(tokens[i]);
         EdgeProvenance prov;
         prov.origin = origin;
         prov.endpoint = v;
-        prov.path = *arrival_paths[v][i];
+        prov.path.assign(path.begin(), path.end());
         result.provenance.push_back(std::move(prov));
       }
     }

@@ -14,25 +14,35 @@ namespace {
 constexpr std::uint32_t kTokenMsg = 0x10u;
 constexpr std::uint32_t kReplyMsg = 0x11u;
 
-/// Runs `f(v, rng)` for every node. On a multi-shard ShardedNetwork the loop
-/// executes on the engine's shard workers (ForEachShard) with one split RNG
-/// stream per shard; on every other engine — and on a single-shard
-/// ShardedNetwork, to preserve the historical bit-exact stream — it runs
-/// serially on `rng` itself. `shard_rngs` must hold one stream per shard of
-/// `net` (ignored on the serial path); results are deterministic for a fixed
-/// (seed, shard count) because shard s always owns the same node range and
-/// stream.
+/// Per-shard reusable send staging: one node's outgoing batch is built here
+/// and handed to the engine in a single SendBatch/SendFanout append, so the
+/// round loop performs no per-message engine calls and no per-node
+/// allocations.
+struct SendScratch {
+  std::vector<NodeId> targets;
+  std::vector<Envelope> batch;
+};
+
+/// Runs `f(v, rng, scratch)` for every node. On a multi-shard ShardedNetwork
+/// the loop executes on the engine's shard workers (ForEachShard) with one
+/// split RNG stream and one scratch per shard; on every other engine — and
+/// on a single-shard ShardedNetwork, to preserve the historical bit-exact
+/// stream — it runs serially on `rng` itself with scratch 0. `shard_rngs`
+/// must hold one stream per shard of `net` (ignored on the serial path);
+/// results are deterministic for a fixed (seed, shard count) because shard s
+/// always owns the same node range, stream, and scratch.
 template <typename Engine, typename F>
-void DriveNodes(Engine& net, Rng& rng, std::vector<Rng>& shard_rngs, F&& f) {
+void DriveNodes(Engine& net, Rng& rng, std::vector<Rng>& shard_rngs,
+                std::vector<SendScratch>& scratch, F&& f) {
   if constexpr (std::is_same_v<Engine, ShardedNetwork>) {
     if (net.num_shards() > 1) {
       net.ForEachShard([&](std::size_t s, NodeId lo, NodeId hi) {
-        for (NodeId v = lo; v < hi; ++v) f(v, shard_rngs[s]);
+        for (NodeId v = lo; v < hi; ++v) f(v, shard_rngs[s], scratch[s]);
       });
       return;
     }
   }
-  for (NodeId v = 0; v < net.num_nodes(); ++v) f(v, rng);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) f(v, rng, scratch[0]);
 }
 
 }  // namespace
@@ -53,38 +63,47 @@ MessagePassingEvolutionResult RunEvolutionMessagePassing(
   // Per-shard walk streams for the sharded drive (unused, and not split,
   // when the drive is serial — keeping the historical stream untouched).
   std::vector<Rng> shard_rngs;
+  std::size_t drive_lanes = 1;
   if constexpr (std::is_same_v<Engine, ShardedNetwork>) {
     if (net.num_shards() > 1) {
+      drive_lanes = net.num_shards();
       shard_rngs.reserve(net.num_shards());
       for (std::size_t s = 0; s < net.num_shards(); ++s) {
         shard_rngs.push_back(rng.Split());
       }
     }
   }
+  std::vector<SendScratch> scratch(drive_lanes);
 
   MessagePassingEvolutionResult result{Multigraph(n), {}, 0, 0};
   const std::uint64_t tokens_launched = n * params.TokensPerNode();
 
-  // Round 1: every node launches Δ/8 tokens (first walk step).
-  DriveNodes(net, rng, shard_rngs, [&](NodeId v, Rng& r) {
-    for (std::size_t t = 0; t < params.TokensPerNode(); ++t) {
-      Message msg;
-      msg.kind = kTokenMsg;
-      msg.words[0] = v;  // origin travels with the token
-      net.Send(v, g.RandomNeighbor(v, r), msg);
-    }
-  });
+  // Round 1: every node launches Δ/8 tokens (first walk step). Same payload
+  // (the origin id), random destinations — one fanout append per node.
+  DriveNodes(net, rng, shard_rngs, scratch,
+             [&](NodeId v, Rng& r, SendScratch& sc) {
+               sc.targets.clear();
+               for (std::size_t t = 0; t < params.TokensPerNode(); ++t) {
+                 sc.targets.push_back(g.RandomNeighbor(v, r));
+               }
+               net.SendFanout(v, sc.targets, kTokenMsg, v);
+             });
   net.EndRound();
 
-  // Rounds 2..ℓ: forward every held token one more step.
+  // Rounds 2..ℓ: forward every held token one more step. Payloads differ per
+  // token (the origin travels), so this is the heterogeneous batch path.
   for (std::size_t step = 1; step < params.walk_length; ++step) {
-    DriveNodes(net, rng, shard_rngs, [&](NodeId v, Rng& r) {
-      for (const Message& m : net.Inbox(v)) {
-        if (m.kind == kTokenMsg) {
-          net.Send(v, g.RandomNeighbor(v, r), m);
-        }
-      }
-    });
+    DriveNodes(net, rng, shard_rngs, scratch,
+               [&](NodeId v, Rng& r, SendScratch& sc) {
+                 sc.batch.clear();
+                 for (const MessageView m : net.Inbox(v)) {
+                   if (m.kind() == kTokenMsg) {
+                     sc.batch.push_back(
+                         {g.RandomNeighbor(v, r), kTokenMsg, m.word0()});
+                   }
+                 }
+                 net.SendBatch(v, sc.batch);
+               });
     net.EndRound();
   }
 
@@ -92,22 +111,23 @@ MessagePassingEvolutionResult RunEvolutionMessagePassing(
   // The engine's inbox is already capacity-trimmed; the protocol trims to
   // the acceptance bound on top (random subset — inbox order is already
   // a random permutation of survivors, so a prefix suffices). No randomness
-  // here: the sharded drive matches the serial one exactly.
-  DriveNodes(net, rng, shard_rngs, [&](NodeId v, Rng&) {
-    const auto inbox = net.Inbox(v);
-    std::size_t taken = 0;
-    for (const Message& m : inbox) {
-      if (m.kind != kTokenMsg) continue;
-      if (taken >= params.AcceptBound()) break;
-      const NodeId origin = static_cast<NodeId>(m.words[0]);
-      if (origin == v) continue;  // token came home: a loop, padded later
-      Message reply;
-      reply.kind = kReplyMsg;
-      reply.words[0] = v;
-      net.Send(v, origin, reply);
-      ++taken;
-    }
-  });
+  // here: the sharded drive matches the serial one exactly. All replies
+  // carry the same payload (v's id), so they fan out in one append.
+  DriveNodes(net, rng, shard_rngs, scratch,
+             [&](NodeId v, Rng&, SendScratch& sc) {
+               sc.targets.clear();
+               std::size_t taken = 0;
+               for (const MessageView m : net.Inbox(v)) {
+                 if (m.kind() != kTokenMsg) continue;
+                 if (taken >= params.AcceptBound()) break;
+                 const NodeId origin = m.IdPayload();
+                 if (origin == v) continue;  // token came home: a loop,
+                                             // padded later
+                 sc.targets.push_back(origin);
+                 ++taken;
+               }
+               net.SendFanout(v, sc.targets, kReplyMsg, v);
+             });
   net.EndRound();
 
   // Edge establishment: endpoint side recorded above; origin side learns
@@ -115,10 +135,10 @@ MessagePassingEvolutionResult RunEvolutionMessagePassing(
   // multigraph edge (replies can be dropped by the adversary too).
   std::uint64_t replies_received = 0;
   for (NodeId v = 0; v < n; ++v) {
-    for (const Message& m : net.Inbox(v)) {
-      if (m.kind != kReplyMsg) continue;
+    for (const MessageView m : net.Inbox(v)) {
+      if (m.kind() != kReplyMsg) continue;
       ++replies_received;
-      const NodeId endpoint = m.src;
+      const NodeId endpoint = m.src();
       result.next.AddEdge(v, endpoint);
       ++result.edges_created;
     }

@@ -5,32 +5,70 @@
 namespace overlay {
 
 AsyncNetwork::AsyncNetwork(const Config& config)
-    : capacity_(config.capacity),
+    : num_nodes_(config.num_nodes),
+      capacity_(config.capacity),
       max_delay_(config.max_delay),
       rng_(config.seed),
-      inboxes_(config.num_nodes),
+      offsets_(config.num_nodes + 1, 0),
       sent_this_round_(config.num_nodes, 0) {
   OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
   OVERLAY_CHECK(config.capacity >= 1, "capacity must be positive");
   OVERLAY_CHECK(config.max_delay >= 1, "max delay must be positive");
 }
 
-void AsyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
-  OVERLAY_CHECK(from < num_nodes() && to < num_nodes(),
-                "message endpoint out of range");
-  OVERLAY_CHECK(sent_this_round_[from] < capacity_,
+void AsyncNetwork::ReserveSends(NodeId from, std::size_t count) {
+  OVERLAY_CHECK(from < num_nodes_, "message endpoint out of range");
+  OVERLAY_CHECK(sent_this_round_[from] + count <= capacity_,
                 "protocol exceeded its per-round send cap");
-  ++sent_this_round_[from];
-  ++stats_.messages_sent;
-  Message stamped = msg;
-  stamped.src = from;
-  const std::uint64_t delay = 1 + rng_.NextBelow(max_delay_);
-  in_flight_.push_back({stamped, to, time_ + delay});
+  sent_this_round_[from] += static_cast<std::uint32_t>(count);
+  stats_.messages_sent += count;
 }
 
-std::span<const Message> AsyncNetwork::Inbox(NodeId v) const {
-  OVERLAY_CHECK(v < num_nodes(), "node out of range");
-  return inboxes_[v];
+void AsyncNetwork::Route(NodeId to) {
+  // The delay draw is the fabric's adversarial choice; it is in [1, D] by
+  // NextBelow's contract, so every message sent this round arrives within
+  // the round's D time steps and no arrival timestamp needs storing — the
+  // in-flight buffer drains completely at EndRound. The draw itself must
+  // stay (one per message, in send order): it is part of the engine's
+  // deterministic RNG stream.
+  const std::uint64_t delay = 1 + rng_.NextBelow(max_delay_);
+  (void)delay;
+  in_flight_to_.push_back(to);
+}
+
+void AsyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
+  OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+  ReserveSends(from, 1);
+  Route(to);
+  in_flight_.PushMessage(from, msg);
+}
+
+void AsyncNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
+  for (const Envelope& e : batch) {
+    OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
+  }
+  ReserveSends(from, batch.size());
+  for (const Envelope& e : batch) {
+    Route(e.to);
+    in_flight_.PushOneWord(from, e.kind, e.word0);
+  }
+}
+
+void AsyncNetwork::SendFanout(NodeId from, std::span<const NodeId> targets,
+                              std::uint32_t kind, std::uint64_t word0) {
+  for (const NodeId to : targets) {
+    OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+  }
+  ReserveSends(from, targets.size());
+  for (const NodeId to : targets) {
+    Route(to);
+    in_flight_.PushOneWord(from, kind, word0);
+  }
+}
+
+InboxView AsyncNetwork::Inbox(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes_, "node out of range");
+  return {arena_, offsets_[v], offsets_[v + 1]};
 }
 
 void AsyncNetwork::EndRound() {
@@ -45,19 +83,13 @@ void AsyncNetwork::EndRound() {
   // in scrambled order — ordering within a round is unobservable to a
   // synchronous protocol, which is exactly why the synchronizer works.
   time_ += max_delay_;
-  for (auto& inbox : inboxes_) inbox.clear();
-  std::vector<std::vector<Message>> pending(num_nodes());
-  for (const InFlight& f : in_flight_) {
-    OVERLAY_CHECK(f.arrival_time <= time_, "delay exceeded max_delay");
-    pending[f.to].push_back(f.msg);
-  }
+  ScatterByDestination(in_flight_, in_flight_to_, num_nodes_, offsets_,
+                       cursor_, arena_);
   in_flight_.clear();
+  in_flight_to_.clear();
 
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    auto& queue = pending[v];
-    queue.resize(EnforceReceiveCap(queue, capacity_, rng_, stats_));
-    inboxes_[v] = std::move(queue);
-  }
+  bytes_moved_ +=
+      CapAndCompactBuckets(arena_, offsets_, capacity_, rng_, stats_);
   ++stats_.rounds;
 }
 

@@ -13,6 +13,9 @@
 // round has arrived. Protocols written against SyncNetwork's API run
 // unchanged; the wall-clock column (time_steps = rounds · max_delay)
 // quantifies the footnote's "slowest part of the network" tax.
+//
+// Storage mirrors SyncNetwork's SoA layout: the in-flight buffer and the
+// delivered arena are MessageSoA columns with a side routing vector.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,7 @@
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
+#include "sim/message_soa.hpp"
 
 namespace overlay {
 
@@ -34,7 +38,7 @@ class AsyncNetwork {
 
   explicit AsyncNetwork(const Config& config);
 
-  std::size_t num_nodes() const { return inboxes_.size(); }
+  std::size_t num_nodes() const { return num_nodes_; }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t round() const { return stats_.rounds; }
   /// Wall-clock steps consumed so far (= rounds · max_delay).
@@ -43,31 +47,54 @@ class AsyncNetwork {
   /// Queues a message with a random delay in [1, max_delay] steps.
   void Send(NodeId from, NodeId to, const Message& msg);
 
+  /// Batched sends; each envelope draws its own delay, in batch order, so
+  /// the fabric's randomness is consumed exactly as per-envelope Send calls
+  /// would consume it.
+  void SendBatch(NodeId from, std::span<const Envelope> batch);
+
+  /// One (kind, word0) payload to every node of `targets`; per-target delay
+  /// draws in target order.
+  void SendFanout(NodeId from, std::span<const NodeId> targets,
+                  std::uint32_t kind, std::uint64_t word0);
+
   /// Messages whose delay elapsed within the current logical round.
-  std::span<const Message> Inbox(NodeId v) const;
+  InboxView Inbox(NodeId v) const;
 
   /// Closes the logical round: advances max_delay time steps, collecting
-  /// every arrival (all queued messages, by construction) into inboxes,
+  /// every arrival (all queued messages, by construction) into the arena,
   /// enforcing the receive cap exactly like SyncNetwork.
   void EndRound();
 
   const NetworkStats& stats() const { return stats_; }
 
- private:
-  struct InFlight {
-    Message msg;
-    NodeId to;
-    std::uint64_t arrival_time;
-  };
+  /// Bytes written into the delivered arena over the whole execution.
+  std::uint64_t arena_bytes_moved() const { return bytes_moved_; }
 
+ private:
+  /// Shared head of every send path: validates `from` and the cap for
+  /// `count` messages, then folds counters/stats (throws with nothing
+  /// enqueued).
+  void ReserveSends(NodeId from, std::size_t count);
+  /// Draws one fabric delay (part of the deterministic stream) and appends
+  /// the routing column.
+  void Route(NodeId to);
+
+  std::size_t num_nodes_;
   std::size_t capacity_;
   std::size_t max_delay_;
   Rng rng_;
   NetworkStats stats_;
+  std::uint64_t bytes_moved_ = 0;
   std::uint64_t time_ = 0;
-  std::vector<InFlight> in_flight_;
-  std::vector<std::vector<Message>> inboxes_;
+  MessageSoA in_flight_;                    // queued sends, send order
+  std::vector<NodeId> in_flight_to_;        // routing column
+  MessageSoA arena_;                        // delivered inbox storage
+                                            // (compacted in place)
+  std::vector<std::size_t> offsets_;        // per node, +1 slot
+  std::vector<std::size_t> cursor_;         // EndRound scratch
   std::vector<std::uint32_t> sent_this_round_;
 };
+
+static_assert(NetworkEngine<AsyncNetwork>);
 
 }  // namespace overlay

@@ -7,9 +7,14 @@
 //   Engine net(EngineConfig{...});
 //   while (!done) {
 //     for (NodeId v = 0; v < n; ++v)
-//       for (const Message& m : net.Inbox(v)) { ...; net.Send(v, to, msg); }
+//       for (const MessageView m : net.Inbox(v)) { ...; net.Send(v, to, msg); }
 //     net.EndRound();
 //   }
+//
+// Inboxes are structure-of-arrays arenas (sim/message_soa.hpp) read through
+// the zero-copy InboxView/MessageView API; sends go through per-message
+// `Send`, the batched `SendBatch` (heterogeneous one-word payloads), or
+// `SendFanout` (one payload to many destinations — a flood's shape).
 //
 // Drivers are written against the `NetworkEngine` concept, so a protocol is
 // implemented once and can execute on any engine; engine-specific knobs
@@ -20,10 +25,12 @@
 #include <concepts>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/message.hpp"
+#include "sim/message_soa.hpp"
 
 namespace overlay {
 
@@ -61,33 +68,76 @@ struct EngineConfig {
 /// hybrid pipeline options) rather than as a template parameter.
 enum class EngineKind { kSync, kAsync, kSharded };
 
-/// Enforces the per-node receive cap on one offered bucket, in place: when
-/// `bucket.size() > capacity` a uniformly random subset of `capacity`
-/// messages is moved to the front (partial Fisher–Yates) and the excess is
-/// accounted as dropped. Updates max_offered_load / messages_dropped /
-/// messages_delivered and returns how many messages to deliver.
+/// Enforces the per-node receive cap on one offered bucket — the row range
+/// [begin, begin + offered) of `bucket` — in place: when `offered > capacity`
+/// a uniformly random subset of `capacity` rows is moved to the front of the
+/// range (partial Fisher–Yates over SoA rows) and the excess is accounted as
+/// dropped. Updates max_offered_load / messages_dropped / messages_delivered
+/// and returns how many messages to deliver.
 ///
 /// Every engine routes its drop decisions through this single definition —
 /// the sharded engine's S=1 bit-identical-to-SyncNetwork guarantee rests on
-/// all engines consuming `rng` in exactly this pattern.
-std::size_t EnforceReceiveCap(std::span<Message> bucket, std::size_t capacity,
+/// all engines consuming `rng` in exactly this pattern (one NextBelow per
+/// kept slot, only when the bucket overflows).
+std::size_t EnforceReceiveCap(MessageSoA& bucket, std::size_t begin,
+                              std::size_t offered, std::size_t capacity,
                               Rng& rng, NetworkStats& stats);
+
+/// Stable counting sort of `src`'s rows by destination: row i goes to node
+/// to[i]'s bucket, buckets laid out contiguously in `incoming` with `starts`
+/// rebuilt as the n+1 bucket offsets. Stability is load-bearing — per-node
+/// delivery order must equal send order for the cross-engine bit-identity
+/// contract — so both single-source engines route through this one
+/// definition (`cursor` is caller-owned scratch). The sharded engine's
+/// per-shard gather walks multiple staged sources and keeps its own cursor
+/// loop in DeliverInboxes.
+void ScatterByDestination(const MessageSoA& src, std::span<const NodeId> to,
+                          std::size_t num_nodes,
+                          std::vector<std::size_t>& starts,
+                          std::vector<std::size_t>& cursor,
+                          MessageSoA& incoming);
+
+/// The shared tail of every engine's delivery pipeline. `arena` holds the
+/// round's messages bucketed per receiving node (a ScatterByDestination
+/// result), bucket b spanning rows [starts[b], starts[b+1]). Walks the
+/// buckets in index order, enforces the receive cap on each (consuming `rng`
+/// exactly as EnforceReceiveCap documents), compacts the survivors leftward
+/// *in place* — on a drop-free round every row is already in its final slot
+/// and no bytes move — rewrites `starts` to the compacted per-node offsets,
+/// and returns the delivered-row byte count (kSoaRowBytes per kept row +
+/// kSpillBytes per kept spill: the arena-bandwidth metric). Sync/Async call
+/// this over global node ids and the sharded engine per destination shard
+/// over local ids — one definition, so the engines' RNG-consumption and
+/// accounting cannot drift apart.
+std::uint64_t CapAndCompactBuckets(MessageSoA& arena,
+                                   std::vector<std::size_t>& starts,
+                                   std::size_t capacity, Rng& rng,
+                                   NetworkStats& stats);
 
 /// The engine concept protocol drivers are templated over.
 template <typename E>
 concept NetworkEngine =
     std::constructible_from<E, const EngineConfig&> &&
-    requires(E e, const E ce, NodeId v, const Message& m) {
+    requires(E e, const E ce, NodeId v, const Message& m,
+             std::span<const Envelope> batch, std::span<const NodeId> fanout) {
       { ce.num_nodes() } -> std::convertible_to<std::size_t>;
       { ce.capacity() } -> std::convertible_to<std::size_t>;
       { ce.round() } -> std::convertible_to<std::uint64_t>;
       e.Send(v, v, m);
-      { ce.Inbox(v) } -> std::convertible_to<std::span<const Message>>;
+      e.SendBatch(v, batch);
+      e.SendFanout(v, fanout, std::uint32_t{}, std::uint64_t{});
+      { ce.Inbox(v) } -> std::convertible_to<InboxView>;
       e.EndRound();
       // By const reference (Sync/Async) or by value (ShardedNetwork, whose
       // merged stats are computed on demand and must not be cached through a
       // const method shared across reader threads).
       { ce.stats() } -> std::convertible_to<NetworkStats>;
+      // Bytes written into delivered inbox arenas over the whole execution
+      // (kSoaRowBytes per delivered message + kSpillBytes per spilled one).
+      // Deliberately outside NetworkStats: the stats counters are part of
+      // the cross-engine bit-identity contract and stay byte-for-byte
+      // unchanged by layout work.
+      { ce.arena_bytes_moved() } -> std::convertible_to<std::uint64_t>;
     };
 
 }  // namespace overlay

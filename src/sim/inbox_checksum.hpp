@@ -1,0 +1,44 @@
+// FNV-1a checksums over delivered inboxes — the cross-engine equivalence
+// certificate shared by bench_parallel_scaling (the CI checksum gate, whose
+// values are recorded in BENCH_parallel_scaling.json) and the differential
+// harness (tests/engine_equivalence_test.cpp). One definition: both gates
+// must certify the same thing, byte for byte, or a wire-format change could
+// pass one and silently narrow the other.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "sim/message.hpp"
+#include "sim/message_soa.hpp"
+
+namespace overlay {
+
+/// Folds the 8 bytes of `x` into the running FNV-1a hash `h`.
+inline std::uint64_t Fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Seed for a fresh checksum chain (the FNV-1a offset basis).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Checksums every inbox of an engine in (node, delivery order): src, kind,
+/// and all payload words of every delivered message. Two engines agree here
+/// iff they delivered the identical messages in the identical per-node order.
+template <typename Net>
+std::uint64_t ChecksumInboxes(const Net& net, std::uint64_t h) {
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (const MessageView m : net.Inbox(v)) {
+      h = Fnv1a(h, m.src());
+      h = Fnv1a(h, m.kind());
+      for (std::size_t w = 0; w < kMessageWords; ++w) h = Fnv1a(h, m.word(w));
+    }
+  }
+  return h;
+}
+
+}  // namespace overlay

@@ -13,19 +13,21 @@ void NetworkStats::MergeFrom(const NetworkStats& other) {
   max_send_load = std::max(max_send_load, other.max_send_load);
 }
 
-std::size_t EnforceReceiveCap(std::span<Message> bucket, std::size_t capacity,
+std::size_t EnforceReceiveCap(MessageSoA& bucket, std::size_t begin,
+                              std::size_t offered, std::size_t capacity,
                               Rng& rng, NetworkStats& stats) {
-  const std::size_t offered = bucket.size();
   stats.max_offered_load =
       std::max<std::uint64_t>(stats.max_offered_load, offered);
   std::size_t keep = offered;
   if (offered > capacity) {
     // The network delivers an arbitrary subset of size `capacity`; we pick a
-    // uniformly random one (partial Fisher–Yates, then truncate).
+    // uniformly random one (partial Fisher–Yates, then truncate). Swapping
+    // SoA rows consumes `rng` in exactly the pattern the AoS layout did, so
+    // drop choices are byte-for-byte unchanged for a fixed seed.
     for (std::size_t i = 0; i < capacity; ++i) {
       const std::size_t j =
           i + static_cast<std::size_t>(rng.NextBelow(offered - i));
-      std::swap(bucket[i], bucket[j]);
+      bucket.SwapRows(begin + i, begin + j);
     }
     stats.messages_dropped += offered - capacity;
     keep = capacity;
@@ -34,33 +36,107 @@ std::size_t EnforceReceiveCap(std::span<Message> bucket, std::size_t capacity,
   return keep;
 }
 
+void ScatterByDestination(const MessageSoA& src, std::span<const NodeId> to,
+                          std::size_t num_nodes,
+                          std::vector<std::size_t>& starts,
+                          std::vector<std::size_t>& cursor,
+                          MessageSoA& incoming) {
+  const std::size_t total = src.size();
+  cursor.assign(num_nodes + 1, 0);
+  for (const NodeId t : to) ++cursor[t];
+  starts.resize(num_nodes + 1);
+  starts[0] = 0;
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    starts[v + 1] = starts[v] + cursor[v];
+  }
+  incoming.ResizeForScatter(total);
+  std::copy(starts.begin(), starts.end() - 1, cursor.begin());
+  for (std::size_t i = 0; i < total; ++i) {
+    incoming.AssignRowFrom(cursor[to[i]]++, src, i);
+  }
+}
+
+std::uint64_t CapAndCompactBuckets(MessageSoA& arena,
+                                   std::vector<std::size_t>& starts,
+                                   std::size_t capacity, Rng& rng,
+                                   NetworkStats& stats) {
+  const std::size_t buckets = starts.size() - 1;
+  std::uint64_t bytes = 0;
+  std::size_t write_start = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = starts[b];
+    const std::size_t offered = starts[b + 1] - begin;
+    const std::size_t keep =
+        EnforceReceiveCap(arena, begin, offered, capacity, rng, stats);
+    for (std::size_t i = 0; i < keep; ++i) {
+      // Dest is always <= source and earlier buckets are fully consumed, so
+      // an ascending walk is overlap-safe; without drops it is a no-op.
+      if (write_start + i != begin + i) {
+        arena.MoveRowWithin(begin + i, write_start + i);
+      }
+      bytes += kSoaRowBytes + (arena.has_spill(write_start + i) ? kSpillBytes
+                                                                : 0);
+    }
+    starts[b] = write_start;
+    write_start += keep;
+  }
+  starts[buckets] = write_start;
+  return bytes;
+}
+
 SyncNetwork::SyncNetwork(const Config& config)
-    : capacity_(config.capacity),
+    : num_nodes_(config.num_nodes),
+      capacity_(config.capacity),
       rng_(config.seed),
-      inboxes_(config.num_nodes),
-      pending_(config.num_nodes),
+      offsets_(config.num_nodes + 1, 0),
       sent_this_round_(config.num_nodes, 0),
       total_sent_(config.num_nodes, 0) {
   OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
   OVERLAY_CHECK(config.capacity >= 1, "capacity must be positive");
 }
 
-void SyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
-  OVERLAY_CHECK(from < num_nodes() && to < num_nodes(),
-                "message endpoint out of range");
-  OVERLAY_CHECK(sent_this_round_[from] < capacity_,
+void SyncNetwork::ReserveSends(NodeId from, std::size_t count) {
+  OVERLAY_CHECK(from < num_nodes_, "message endpoint out of range");
+  OVERLAY_CHECK(sent_this_round_[from] + count <= capacity_,
                 "protocol exceeded its per-round send cap");
-  ++sent_this_round_[from];
-  ++total_sent_[from];
-  ++stats_.messages_sent;
-  Message stamped = msg;
-  stamped.src = from;
-  pending_[to].push_back(stamped);
+  sent_this_round_[from] += static_cast<std::uint32_t>(count);
+  total_sent_[from] += count;
+  stats_.messages_sent += count;
 }
 
-std::span<const Message> SyncNetwork::Inbox(NodeId v) const {
-  OVERLAY_CHECK(v < num_nodes(), "node out of range");
-  return inboxes_[v];
+void SyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
+  OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+  ReserveSends(from, 1);
+  outbox_to_.push_back(to);
+  outbox_.PushMessage(from, msg);
+}
+
+void SyncNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
+  for (const Envelope& e : batch) {
+    OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
+  }
+  ReserveSends(from, batch.size());
+  for (const Envelope& e : batch) {
+    outbox_to_.push_back(e.to);
+    outbox_.PushOneWord(from, e.kind, e.word0);
+  }
+}
+
+void SyncNetwork::SendFanout(NodeId from, std::span<const NodeId> targets,
+                             std::uint32_t kind, std::uint64_t word0) {
+  for (const NodeId to : targets) {
+    OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+  }
+  ReserveSends(from, targets.size());
+  for (const NodeId to : targets) {
+    outbox_to_.push_back(to);
+    outbox_.PushOneWord(from, kind, word0);
+  }
+}
+
+InboxView SyncNetwork::Inbox(NodeId v) const {
+  OVERLAY_CHECK(v < num_nodes_, "node out of range");
+  return {arena_, offsets_[v], offsets_[v + 1]};
 }
 
 void SyncNetwork::EndRound() {
@@ -71,12 +147,16 @@ void SyncNetwork::EndRound() {
   stats_.max_send_load = std::max(stats_.max_send_load, round_max_send);
   std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0u);
 
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    auto& queue = pending_[v];
-    queue.resize(EnforceReceiveCap(queue, capacity_, rng_, stats_));
-    inboxes_[v].swap(queue);
-    queue.clear();
-  }
+  // Stable counting sort of the outbox straight into the arena: per-node
+  // bucket order equals send order, exactly the order per-node pending
+  // queues had. Capacity enforcement then compacts in place, consuming rng_
+  // in node order — the reference pattern every engine replicates.
+  ScatterByDestination(outbox_, outbox_to_, num_nodes_, offsets_, cursor_,
+                       arena_);
+  outbox_.clear();
+  outbox_to_.clear();
+  bytes_moved_ +=
+      CapAndCompactBuckets(arena_, offsets_, capacity_, rng_, stats_);
   ++stats_.rounds;
 }
 

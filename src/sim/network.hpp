@@ -9,6 +9,12 @@
 //
 // Send-cap violations are *algorithm* bugs, not adversary behaviour, so the
 // engine raises ContractViolation when a protocol tries to over-send.
+//
+// Storage is structure-of-arrays (sim/message_soa.hpp): one flat outbox and
+// one flat delivered arena with per-node offsets, no per-node vectors.
+// EndRound counting-sorts the outbox by destination (stable, so per-node
+// arrival order is exactly historical send order) and compacts the capacity
+// survivors into the arena.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
+#include "sim/message_soa.hpp"
 
 namespace overlay {
 
@@ -27,7 +34,7 @@ namespace overlay {
 ///   SyncNetwork net(cfg);
 ///   while (!done) {
 ///     for (NodeId v = 0; v < n; ++v) {
-///       for (const Message& m : net.Inbox(v)) { ...; net.Send(v, to, msg); }
+///       for (const MessageView m : net.Inbox(v)) { ...; net.Send(v, to, msg); }
 ///     }
 ///     net.EndRound();
 ///   }
@@ -37,7 +44,7 @@ class SyncNetwork {
 
   explicit SyncNetwork(const Config& config);
 
-  std::size_t num_nodes() const { return inboxes_.size(); }
+  std::size_t num_nodes() const { return num_nodes_; }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t round() const { return stats_.rounds; }
 
@@ -45,11 +52,22 @@ class SyncNetwork {
   /// Raises ContractViolation if `from` exceeds its send cap this round.
   void Send(NodeId from, NodeId to, const Message& msg);
 
+  /// Queues every envelope of `batch` in one append — semantically identical
+  /// to per-envelope Send calls with one-word payloads, but the cap check and
+  /// stats accounting run once per batch. Raises ContractViolation (with no
+  /// messages enqueued) if the batch would exceed `from`'s send cap.
+  void SendBatch(NodeId from, std::span<const Envelope> batch);
+
+  /// Queues one (kind, word0) payload to every node of `targets` — the shape
+  /// of a flood. Same cap/stats semantics as SendBatch.
+  void SendFanout(NodeId from, std::span<const NodeId> targets,
+                  std::uint32_t kind, std::uint64_t word0);
+
   /// Messages delivered to `v` at the beginning of the current round.
-  std::span<const Message> Inbox(NodeId v) const;
+  InboxView Inbox(NodeId v) const;
 
   /// Closes the round: enforces receive caps (random drop of the excess),
-  /// moves queued messages into inboxes, advances the round counter.
+  /// moves queued messages into the arena, advances the round counter.
   void EndRound();
 
   /// Advances the round counter by `k` without message activity. Used by
@@ -59,19 +77,35 @@ class SyncNetwork {
 
   const NetworkStats& stats() const { return stats_; }
 
+  /// Bytes written into the delivered arena over the whole execution.
+  std::uint64_t arena_bytes_moved() const { return bytes_moved_; }
+
   /// Total messages node `v` has sent over the whole execution (for the
   /// Theorem 1.1 per-node O(log² n) message bound).
   std::uint64_t TotalSentBy(NodeId v) const { return total_sent_[v]; }
   std::uint64_t MaxTotalSentPerNode() const;
 
  private:
+  /// Shared head of every send path: validates `from` and the send cap for
+  /// `count` messages, then folds the counters/stats. Throws with nothing
+  /// enqueued, so a failed Send/SendBatch/SendFanout leaves no partial rows.
+  void ReserveSends(NodeId from, std::size_t count);
+
+  std::size_t num_nodes_;
   std::size_t capacity_;
   Rng rng_;
   NetworkStats stats_;
-  std::vector<std::vector<Message>> inboxes_;   // delivered this round
-  std::vector<std::vector<Message>> pending_;   // queued for next round
+  std::uint64_t bytes_moved_ = 0;
+  MessageSoA outbox_;                 // this round's sends, append order
+  std::vector<NodeId> outbox_to_;     // routing column, parallel to outbox_
+  MessageSoA arena_;                  // delivered inbox storage (scatter
+                                      // destination, compacted in place)
+  std::vector<std::size_t> offsets_;  // per node, +1 slot
+  std::vector<std::size_t> cursor_;   // EndRound scratch: counts, then writes
   std::vector<std::uint32_t> sent_this_round_;  // per-node send counters
   std::vector<std::uint64_t> total_sent_;
 };
+
+static_assert(NetworkEngine<SyncNetwork>);
 
 }  // namespace overlay

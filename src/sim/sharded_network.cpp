@@ -25,33 +25,61 @@ ShardedNetwork::ShardedNetwork(const Config& config, ShardPool* pool)
   shards_.reserve(s_count);
   for (std::size_t s = 0; s < s_count; ++s) {
     const std::uint64_t shard_seed = s == 0 ? config.seed : SplitMix64(chain);
-    Shard shard{.rng = Rng(shard_seed)};
+    Shard shard;
+    shard.rng = Rng(shard_seed);
     shard.staging.resize(s_count);
     shard.offsets.assign(ShardEnd(s) - ShardBase(s) + 1, 0);
     shards_.push_back(std::move(shard));
   }
 }
 
-void ShardedNetwork::Send(NodeId from, NodeId to, const Message& msg) {
-  OVERLAY_CHECK(from < num_nodes_ && to < num_nodes_,
-                "message endpoint out of range");
-  OVERLAY_CHECK(sent_this_round_[from] < capacity_,
+ShardedNetwork::Shard& ShardedNetwork::ReserveSends(NodeId from,
+                                                    std::size_t count) {
+  OVERLAY_CHECK(from < num_nodes_, "message endpoint out of range");
+  OVERLAY_CHECK(sent_this_round_[from] + count <= capacity_,
                 "protocol exceeded its per-round send cap");
-  ++sent_this_round_[from];
-  ++total_sent_[from];
+  sent_this_round_[from] += static_cast<std::uint32_t>(count);
+  total_sent_[from] += count;
   Shard& shard = shards_[ShardOf(from)];
-  ++shard.partial.messages_sent;
-  Message stamped = msg;
-  stamped.src = from;
-  shard.outbox.push_back({to, stamped});
+  shard.partial.messages_sent += count;
+  return shard;
 }
 
-std::span<const Message> ShardedNetwork::Inbox(NodeId v) const {
+void ShardedNetwork::Send(NodeId from, NodeId to, const Message& msg) {
+  OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+  Shard& shard = ReserveSends(from, 1);
+  shard.outbox_to.push_back(to);
+  shard.outbox.PushMessage(from, msg);
+}
+
+void ShardedNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
+  for (const Envelope& e : batch) {
+    OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
+  }
+  Shard& shard = ReserveSends(from, batch.size());
+  for (const Envelope& e : batch) {
+    shard.outbox_to.push_back(e.to);
+    shard.outbox.PushOneWord(from, e.kind, e.word0);
+  }
+}
+
+void ShardedNetwork::SendFanout(NodeId from, std::span<const NodeId> targets,
+                                std::uint32_t kind, std::uint64_t word0) {
+  for (const NodeId to : targets) {
+    OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+  }
+  Shard& shard = ReserveSends(from, targets.size());
+  for (const NodeId to : targets) {
+    shard.outbox_to.push_back(to);
+    shard.outbox.PushOneWord(from, kind, word0);
+  }
+}
+
+InboxView ShardedNetwork::Inbox(NodeId v) const {
   OVERLAY_CHECK(v < num_nodes_, "node out of range");
   const Shard& shard = shards_[ShardOf(v)];
   const std::size_t lv = v - ShardBase(ShardOf(v));
-  return {shard.arena.data() + shard.offsets[lv],
-          shard.offsets[lv + 1] - shard.offsets[lv]};
+  return {shard.arena, shard.offsets[lv], shard.offsets[lv + 1]};
 }
 
 void ShardedNetwork::FlushOutbox(std::size_t s) {
@@ -67,10 +95,33 @@ void ShardedNetwork::FlushOutbox(std::size_t s) {
   shard.partial.max_send_load =
       std::max(shard.partial.max_send_load, round_max_send);
 
-  for (const Outgoing& out : shard.outbox) {
-    shard.staging[ShardOf(out.to)].push_back(out);
+  const std::size_t s_count = shards_.size();
+  if (s_count == 1) {
+    // Single shard: the exchange is the serial engine. DeliverInboxes
+    // scatters straight from the outbox — no staging hop.
+    return;
+  }
+
+  // Partition this shard's sends by destination shard: count (touching only
+  // the 4-byte `to` column), size each staging buffer exactly, then scatter
+  // rows with direct stores — no per-row push_back branches.
+  auto& fill = shard.cursor;  // reused scratch: per-dst-shard write cursors
+  fill.assign(s_count, 0);
+  for (const NodeId to : shard.outbox_to) ++fill[ShardOf(to)];
+  for (std::size_t d = 0; d < s_count; ++d) {
+    shard.staging[d].to.resize(fill[d]);
+    shard.staging[d].msgs.ResizeForScatter(fill[d]);
+    fill[d] = 0;
+  }
+  for (std::size_t i = 0; i < shard.outbox.size(); ++i) {
+    const NodeId to = shard.outbox_to[i];
+    const std::size_t d = ShardOf(to);
+    Staging& st = shard.staging[d];
+    st.to[fill[d]] = to;
+    st.msgs.AssignRowFrom(fill[d]++, shard.outbox, i);
   }
   shard.outbox.clear();
+  shard.outbox_to.clear();
 }
 
 void ShardedNetwork::DeliverInboxes(std::size_t d) {
@@ -79,52 +130,53 @@ void ShardedNetwork::DeliverInboxes(std::size_t d) {
   const std::size_t local_n = ShardEnd(d) - base;
   const std::size_t s_count = shards_.size();
 
+  if (s_count == 1) {
+    // SyncNetwork's exact delivery pipeline on shard 0's state: one stable
+    // scatter outbox -> arena, then in-place cap enforcement. Same row
+    // order, same RNG pattern — the S=1 bit-identity made structural.
+    ScatterByDestination(dst.outbox, dst.outbox_to, num_nodes_, dst.offsets,
+                         dst.cursor, dst.arena);
+    dst.outbox.clear();
+    dst.outbox_to.clear();
+    dst.bytes_moved += CapAndCompactBuckets(dst.arena, dst.offsets, capacity_,
+                                            dst.rng, dst.partial);
+    return;
+  }
+
   // Stable per-node bucketing of everything staged for this shard, in fixed
   // (source shard, send order) order — counting sort into `incoming`.
   auto& counts = dst.cursor;  // reused scratch: counts, then write cursors
   counts.assign(local_n + 1, 0);
   std::size_t total = 0;
   for (std::size_t s = 0; s < s_count; ++s) {
-    for (const Outgoing& out : shards_[s].staging[d]) {
-      ++counts[out.to - base];
+    for (const NodeId to : shards_[s].staging[d].to) {
+      ++counts[to - base];
       ++total;
     }
   }
-  // counts -> start offsets (exclusive prefix sum), kept in dst.offsets shape
-  // via a parallel pass below; cursor walks while filling.
+  // counts -> start offsets (exclusive prefix sum), kept in dst.offsets
+  // shape; cursor walks while filling.
   std::vector<std::size_t>& starts = dst.offsets;  // rebuilt this round
   starts.assign(local_n + 1, 0);
   for (std::size_t lv = 0; lv < local_n; ++lv) {
     starts[lv + 1] = starts[lv] + counts[lv];
   }
-  dst.incoming.resize(total);
+  dst.arena.ResizeForScatter(total);
   std::copy(starts.begin(), starts.end(), counts.begin());  // write cursors
   for (std::size_t s = 0; s < s_count; ++s) {
-    auto& staged = shards_[s].staging[d];
-    for (const Outgoing& out : staged) {
-      dst.incoming[counts[out.to - base]++] = out.msg;
+    Staging& staged = shards_[s].staging[d];
+    for (std::size_t i = 0; i < staged.msgs.size(); ++i) {
+      dst.arena.AssignRowFrom(counts[staged.to[i] - base]++, staged.msgs, i);
     }
-    staged.clear();
+    staged.to.clear();
+    staged.msgs.clear();
   }
 
-  // Capacity enforcement + compaction into the arena. The shared helper
-  // consumes this shard's stream in local node order — the same pattern
-  // SyncNetwork uses, which is what makes S=1 runs bit-identical.
-  dst.arena.clear();
-  dst.arena.reserve(total);
-  std::size_t write_start = 0;
-  for (std::size_t lv = 0; lv < local_n; ++lv) {
-    const std::size_t begin = starts[lv];
-    const std::size_t offered = starts[lv + 1] - begin;
-    const std::size_t keep = EnforceReceiveCap(
-        std::span<Message>(dst.incoming.data() + begin, offered), capacity_,
-        dst.rng, dst.partial);
-    dst.arena.insert(dst.arena.end(), dst.incoming.begin() + begin,
-                     dst.incoming.begin() + begin + keep);
-    starts[lv] = write_start;
-    write_start += keep;
-  }
-  starts[local_n] = write_start;
+  // Capacity enforcement + in-place compaction. The shared helper consumes
+  // this shard's stream in local node order — the same pattern SyncNetwork
+  // uses, which is what makes S=1 runs bit-identical.
+  dst.bytes_moved += CapAndCompactBuckets(dst.arena, starts, capacity_,
+                                          dst.rng, dst.partial);
 }
 
 void ShardedNetwork::EndRound() {
@@ -147,6 +199,12 @@ NetworkStats ShardedNetwork::stats() const {
   merged.rounds = rounds_;
   for (const Shard& shard : shards_) merged.MergeFrom(shard.partial);
   return merged;
+}
+
+std::uint64_t ShardedNetwork::arena_bytes_moved() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.bytes_moved;
+  return total;
 }
 
 std::uint64_t ShardedNetwork::MaxTotalSentPerNode() const {

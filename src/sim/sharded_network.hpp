@@ -1,9 +1,11 @@
 // Sharded parallel round engine (NCC0 semantics, multi-core EndRound).
 //
 // Nodes are partitioned into S contiguous shards. Each shard owns
-//   - a flat inbox arena (one std::vector<Message> + per-node offsets,
-//     replacing SyncNetwork's per-node vectors),
-//   - an outbox of this round's sends from the shard's nodes,
+//   - a flat SoA inbox arena (parallel src/kind/word0/ext columns plus a
+//     spill arena for the rare multi-word payloads — sim/message_soa.hpp —
+//     with per-node offsets, replacing per-node vectors),
+//   - an SoA outbox of this round's sends from the shard's nodes (routing
+//     `to` column kept separate so partitioning touches 4 bytes/message),
 //   - a private RNG stream that drives its capacity-drop choices.
 //
 // EndRound is a two-phase exchange executed by one worker thread per shard:
@@ -20,7 +22,8 @@
 // (source shard, send order) and each drop decision uses the destination
 // shard's private stream. With num_shards = 1 the engine consumes randomness
 // in exactly SyncNetwork's order, so delivered inboxes, drops, and stats are
-// bit-identical to the reference engine on the same seed (tested).
+// bit-identical to the reference engine on the same seed (tested, and gated
+// by tests/engine_equivalence_test.cpp).
 //
 // Protocol compute can also be sharded: ForEachNode(f) runs f(v) for every
 // node on the owning shard's worker. Within f, a node may freely read its
@@ -37,6 +40,7 @@
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
+#include "sim/message_soa.hpp"
 #include "sim/shard_pool.hpp"
 
 namespace overlay {
@@ -66,11 +70,20 @@ class ShardedNetwork {
   /// Queues a message from `from` to `to` for delivery next round. Raises
   /// ContractViolation if `from` exceeds its send cap this round. Thread-safe
   /// across shards: may be called concurrently for `from` nodes owned by
-  /// different shards (ForEachNode guarantees exactly that).
+  /// different shards (ForEachNode guarantees exactly that). The same holds
+  /// for SendBatch and SendFanout.
   void Send(NodeId from, NodeId to, const Message& msg);
 
+  /// Queues every envelope of `batch` in one append onto `from`'s shard
+  /// outbox — one cap check and one stats update for the whole batch.
+  void SendBatch(NodeId from, std::span<const Envelope> batch);
+
+  /// Queues one (kind, word0) payload to every node of `targets`.
+  void SendFanout(NodeId from, std::span<const NodeId> targets,
+                  std::uint32_t kind, std::uint64_t word0);
+
   /// Messages delivered to `v` at the beginning of the current round.
-  std::span<const Message> Inbox(NodeId v) const;
+  InboxView Inbox(NodeId v) const;
 
   /// Closes the round with the two-phase parallel exchange described above.
   void EndRound();
@@ -82,6 +95,11 @@ class ShardedNetwork {
   /// Merged engine statistics, recomputed from the per-shard partials. By
   /// value: concurrent const readers must not share a cache slot.
   NetworkStats stats() const;
+
+  /// Bytes written into delivered inbox arenas across all shards. With
+  /// S = 1 this replays SyncNetwork's accounting exactly; above S = 1 it may
+  /// differ only by which *spilled* messages the drop choices kept.
+  std::uint64_t arena_bytes_moved() const;
 
   std::uint64_t TotalSentBy(NodeId v) const { return total_sent_[v]; }
   std::uint64_t MaxTotalSentPerNode() const;
@@ -118,27 +136,35 @@ class ShardedNetwork {
   }
 
  private:
-  struct Outgoing {
-    NodeId to;
-    Message msg;
+  /// Messages staged from one source shard for one destination shard.
+  struct Staging {
+    std::vector<NodeId> to;  ///< routing column, parallel to msgs
+    MessageSoA msgs;
   };
 
   /// All mutable state a worker touches in a phase is shard-private.
   struct Shard {
     Rng rng;
-    std::vector<Outgoing> outbox;                 ///< this round's sends
-    std::vector<std::vector<Outgoing>> staging;   ///< [dst shard], phase 1 out
-    std::vector<Message> arena;                   ///< delivered inbox storage
-    std::vector<std::size_t> offsets;             ///< per local node, +1 slot
-    std::vector<Message> incoming;                ///< phase 2 gather scratch
-    std::vector<std::size_t> cursor;              ///< phase 2 bucket scratch
-    NetworkStats partial;                         ///< rounds field unused
+    std::vector<NodeId> outbox_to;               ///< this round's routing
+    MessageSoA outbox;                           ///< this round's sends
+    std::vector<Staging> staging;                ///< [dst shard], phase 1 out
+    MessageSoA arena;                            ///< delivered inbox storage
+                                                 ///< (compacted in place)
+    std::vector<std::size_t> offsets;            ///< per local node, +1 slot
+    std::vector<std::size_t> cursor;             ///< phase 2 bucket scratch
+    NetworkStats partial;                        ///< rounds field unused
+    std::uint64_t bytes_moved = 0;               ///< arena bytes delivered
   };
 
   NodeId ShardBase(std::size_t s) const {
     return static_cast<NodeId>(s * base_ + std::min(s, rem_));
   }
   NodeId ShardEnd(std::size_t s) const { return ShardBase(s + 1); }
+
+  /// Shared head of every send path: validates `from` and the cap for
+  /// `count` messages, folds the counters/stats (throws with nothing
+  /// enqueued), and returns `from`'s shard for the enqueue loop.
+  Shard& ReserveSends(NodeId from, std::size_t count);
 
   void FlushOutbox(std::size_t s);    ///< phase 1 body
   void DeliverInboxes(std::size_t s); ///< phase 2 body

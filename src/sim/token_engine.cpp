@@ -25,11 +25,14 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
       result.token_origin.push_back(v);
     }
   }
+  const std::size_t stride = opts.walk_length + 1;
   if (opts.record_paths) {
-    result.paths.assign(num_tokens, {});
+    // One flat matrix instead of num_tokens vectors: row i is token i's
+    // sequence; column 0 is the origin.
+    result.path_stride = stride;
+    result.path_nodes.assign(num_tokens * stride, kInvalidNode);
     for (std::size_t i = 0; i < num_tokens; ++i) {
-      result.paths[i].reserve(opts.walk_length + 1);
-      result.paths[i].push_back(position[i]);
+      result.path_nodes[i * stride] = position[i];
     }
   }
 
@@ -45,7 +48,7 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
         position[i] = next;
         ++load[next];
         if (opts.record_paths) {
-          result.paths[i].push_back(next);
+          result.path_nodes[i * stride + step + 1] = next;
         }
       }
       result.token_steps += num_tokens;
@@ -71,7 +74,7 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
     ShardPool& pool = opts.pool != nullptr ? *opts.pool : DefaultShardPool();
     pool.RunPhased(
         shards, opts.walk_length,
-        [&](std::size_t s, std::size_t /*step*/) {
+        [&](std::size_t s, std::size_t step) {
           auto& load = shard_load[s];
           auto& my_rng = shard_rng[s];
           const std::size_t lo = s * block;
@@ -82,7 +85,7 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
             position[i] = next;
             ++load[next];
             if (opts.record_paths) {
-              result.paths[i].push_back(next);
+              result.path_nodes[i * stride + step + 1] = next;
             }
           }
         },
@@ -98,9 +101,22 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
         });
   }
 
-  result.arrivals.assign(n, {});
+  // Arrivals as a CSR in (node, token-index) order — a stable counting sort
+  // by final position, matching the per-node push_back order the per-node
+  // vectors used to accumulate.
+  std::vector<std::size_t>& offsets = result.arrival_offsets;
+  offsets.assign(n + 1, 0);
+  for (const NodeId at : position) ++offsets[at + 1];
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  result.arrival_origins.resize(num_tokens);
+  if (opts.record_paths) result.arrival_token.resize(num_tokens);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
   for (std::size_t i = 0; i < num_tokens; ++i) {
-    result.arrivals[position[i]].push_back(result.token_origin[i]);
+    const std::size_t slot = cursor[position[i]]++;
+    result.arrival_origins[slot] = result.token_origin[i];
+    if (opts.record_paths) {
+      result.arrival_token[slot] = static_cast<std::uint32_t>(i);
+    }
   }
   return result;
 }

@@ -6,13 +6,20 @@
 // arrays with *identical* semantics: one uniform incident slot per token per
 // round, per-node offered-load accounting per round, drop-free (Lemma 3.2:
 // loads stay below 3Δ/8 w.h.p., which the caller checks via max_offered_load).
-// tests/sim_equivalence_test.cpp verifies the endpoint distribution matches
+// tests/token_engine_test.cpp verifies the endpoint distribution matches
 // the generic message-passing engine statistically.
+//
+// Results are structure-of-arrays like the network arenas: arrivals are one
+// CSR (origins + offsets, no per-node vectors) and recorded paths are one
+// flat (tokens × (ℓ+1)) matrix — at Δ/8 tokens per node the per-token-vector
+// layout used to cost one allocation per token.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "graph/multigraph.hpp"
@@ -23,17 +30,60 @@ class ShardPool;
 
 /// Result of running all walks of one evolution.
 struct TokenWalkResult {
-  /// arrivals[v] = origins of the tokens located at v after the final step.
-  std::vector<std::vector<NodeId>> arrivals;
+  /// CSR arrivals: ArrivalsAt(v) lists the origins of the tokens located at
+  /// v after the final step, in token-index order.
+  std::vector<NodeId> arrival_origins;
+  std::vector<std::size_t> arrival_offsets;  ///< per node, +1 slot
+  /// Token index per arrival, parallel to arrival_origins; filled only when
+  /// paths are recorded (it is the arrival→path join key).
+  std::vector<std::uint32_t> arrival_token;
+
+  std::span<const NodeId> ArrivalsAt(NodeId v) const {
+    return {arrival_origins.data() + arrival_offsets[v],
+            arrival_offsets[v + 1] - arrival_offsets[v]};
+  }
+  std::size_t ArrivalCountAt(NodeId v) const {
+    return arrival_offsets[v + 1] - arrival_offsets[v];
+  }
+  std::span<const std::uint32_t> ArrivalTokensAt(NodeId v) const {
+    OVERLAY_CHECK(!arrival_token.empty(),
+                  "arrival->path join requires record_paths");
+    return {arrival_token.data() + arrival_offsets[v],
+            arrival_offsets[v + 1] - arrival_offsets[v]};
+  }
+  /// Mutable forms (acceptance selection permutes a node's arrival bucket in
+  /// place, exactly as it permuted the per-node vectors).
+  std::span<NodeId> MutableArrivalsAt(NodeId v) {
+    return {arrival_origins.data() + arrival_offsets[v],
+            arrival_offsets[v + 1] - arrival_offsets[v]};
+  }
+  std::span<std::uint32_t> MutableArrivalTokensAt(NodeId v) {
+    OVERLAY_CHECK(!arrival_token.empty(),
+                  "arrival->path join requires record_paths");
+    return {arrival_token.data() + arrival_offsets[v],
+            arrival_offsets[v + 1] - arrival_offsets[v]};
+  }
+
   /// Maximum number of tokens co-located at any node after any single step
   /// (the Lemma 3.2 load; compare against 3Δ/8).
   std::uint64_t max_load = 0;
   /// Token-step count (= messages the walks would cost in SyncNetwork).
   std::uint64_t token_steps = 0;
-  /// When paths are recorded: paths[i] is token i's node sequence, length
-  /// ℓ+1, paths[i].front() = origin. Token order matches `token_origin`.
-  std::vector<std::vector<NodeId>> paths;
-  /// Origin of token i (parallel to `paths` when recorded).
+
+  /// When paths are recorded: flat row-major matrix, row i = token i's node
+  /// sequence of length ℓ+1 with PathOf(i).front() = origin. Token order
+  /// matches `token_origin`.
+  std::vector<NodeId> path_nodes;
+  std::size_t path_stride = 0;  ///< ℓ+1 when recorded, else 0
+
+  std::size_t num_paths() const {
+    return path_stride == 0 ? 0 : path_nodes.size() / path_stride;
+  }
+  std::span<const NodeId> PathOf(std::size_t i) const {
+    return {path_nodes.data() + i * path_stride, path_stride};
+  }
+
+  /// Origin of token i (parallel to the path rows when recorded).
   std::vector<NodeId> token_origin;
 };
 

@@ -27,8 +27,8 @@ std::pair<std::vector<NodeId>, std::uint64_t> FloodMinId(const Graph& g,
   while (active) {
     active = false;
     for (NodeId v = 0; v < n; ++v) {
-      for (const Message& m : net.Inbox(v)) {
-        const NodeId r = static_cast<NodeId>(m.words[0]);
+      for (const MessageView m : net.Inbox(v)) {
+        const NodeId r = m.IdPayload();
         if (r < best[v]) {
           best[v] = r;
           changed[v] = 1;
@@ -60,7 +60,7 @@ TEST(AsyncNetwork, DeliversWithinTheRound) {
   EXPECT_TRUE(net.Inbox(1).empty());
   net.EndRound();
   ASSERT_EQ(net.Inbox(1).size(), 1u);
-  EXPECT_EQ(net.Inbox(1)[0].words[0], 42u);
+  EXPECT_EQ(net.Inbox(1)[0].word0(), 42u);
   EXPECT_EQ(net.time_steps(), 5u);  // one round = max_delay steps
 }
 

@@ -87,7 +87,7 @@ TEST(RapidSampling, EndpointDistributionMatchesPlainWalks) {
   std::vector<double> plain_freq(n, 0);
   double plain_total = 0;
   for (NodeId v = 0; v < n; ++v) {
-    for (const NodeId origin : plain.arrivals[v]) {
+    for (const NodeId origin : plain.ArrivalsAt(v)) {
       if (origin == 0) {
         plain_freq[v] += 1;
         ++plain_total;
@@ -124,6 +124,59 @@ TEST(RapidSampling, RejectsBadWalkLength) {
   EXPECT_THROW(
       RunRapidSampling(m, {.walk_length = 2, .tokens_per_node = 4}, rng),
       ContractViolation);
+}
+
+TEST(RapidSampling, ShardedStitchDeterministicAtS1AndS4) {
+  // The phase B stitch on split per-shard streams (ROADMAP rapid-sampling
+  // item): for each S in {1, 4}, two runs with the same seed must agree bit
+  // for bit — survivors in the same order with the same paths — and the
+  // shard-count-invariant quantities (rounds, message count, survivor
+  // count) must match across shard counts. S = 1 is the historical serial
+  // path; S = 4 exercises the pooled workers.
+  const Multigraph m = LazyCycle(64, 8);
+  const std::size_t ell = 16;
+  std::vector<RapidSamplingResult> per_shards;
+  for (const std::size_t s : {1u, 4u}) {
+    const RapidSamplingOptions opts{.walk_length = ell,
+                                    .tokens_per_node = 32,
+                                    .record_paths = true,
+                                    .num_shards = s};
+    Rng rng_a(21);
+    Rng rng_b(21);
+    const auto a = RunRapidSampling(m, opts, rng_a);
+    const auto b = RunRapidSampling(m, opts, rng_b);
+    ASSERT_EQ(a.tokens.size(), b.tokens.size()) << "S=" << s;
+    for (std::size_t i = 0; i < a.tokens.size(); ++i) {
+      EXPECT_EQ(a.tokens[i].origin, b.tokens[i].origin) << "S=" << s;
+      EXPECT_EQ(a.tokens[i].endpoint, b.tokens[i].endpoint) << "S=" << s;
+      EXPECT_EQ(a.tokens[i].path, b.tokens[i].path) << "S=" << s;
+    }
+    EXPECT_EQ(a.cost.rounds, b.cost.rounds);
+    EXPECT_EQ(a.cost.global_messages, b.cost.global_messages);
+    EXPECT_EQ(a.max_load, b.max_load);
+    per_shards.push_back(a);
+  }
+  // The round count is fixed by ℓ alone. Which tokens pair up (and hence
+  // where survivors sit in later rounds) depends on the streams, so message
+  // and survivor totals are only distributionally equal: both shard counts
+  // must land near the expected 2k/ℓ survivor mass.
+  EXPECT_EQ(per_shards[0].cost.rounds, per_shards[1].cost.rounds);
+  const double expected = 64.0 * 32.0 * 2.0 / static_cast<double>(ell);
+  for (const auto& r : per_shards) {
+    EXPECT_NEAR(static_cast<double>(r.tokens.size()), expected,
+                expected * 0.25);
+  }
+  // Every surviving stitched path is still a valid length-ℓ walk.
+  const Graph simple = m.ToSimpleGraph();
+  for (const StitchedToken& t : per_shards[1].tokens) {
+    ASSERT_EQ(t.path.size(), ell + 1);
+    EXPECT_EQ(t.path.front(), t.origin);
+    EXPECT_EQ(t.path.back(), t.endpoint);
+    for (std::size_t i = 0; i + 1 < t.path.size(); ++i) {
+      EXPECT_TRUE(t.path[i] == t.path[i + 1] ||
+                  simple.HasEdge(t.path[i], t.path[i + 1]));
+    }
+  }
 }
 
 TEST(RapidSampling, GlobalMessagesAccounted) {

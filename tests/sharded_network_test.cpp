@@ -25,8 +25,8 @@ Message Payload(std::uint64_t w0) {
 using Flat = std::tuple<NodeId, std::uint32_t, std::uint64_t, std::uint64_t,
                         std::uint64_t>;
 
-Flat Flatten(const Message& m) {
-  return {m.src, m.kind, m.words[0], m.words[1], m.words[2]};
+Flat Flatten(const MessageView& m) {
+  return {m.src(), m.kind(), m.word0(), m.word(1), m.word(2)};
 }
 
 /// All inboxes of an engine, per node, in delivery order.
@@ -34,7 +34,7 @@ template <typename Net>
 std::vector<std::vector<Flat>> Snapshot(const Net& net) {
   std::vector<std::vector<Flat>> out(net.num_nodes());
   for (NodeId v = 0; v < net.num_nodes(); ++v) {
-    for (const Message& m : net.Inbox(v)) out[v].push_back(Flatten(m));
+    for (const MessageView m : net.Inbox(v)) out[v].push_back(Flatten(m));
   }
   return out;
 }
@@ -65,12 +65,12 @@ TEST(ShardedNetwork, MessagesArriveNextRoundAcrossShards) {
   EXPECT_TRUE(net.Inbox(7).empty());
   net.EndRound();
   ASSERT_EQ(net.Inbox(7).size(), 1u);
-  EXPECT_EQ(net.Inbox(7)[0].words[0], 11u);
-  EXPECT_EQ(net.Inbox(7)[0].src, 0u);
+  EXPECT_EQ(net.Inbox(7)[0].word0(), 11u);
+  EXPECT_EQ(net.Inbox(7)[0].src(), 0u);
   ASSERT_EQ(net.Inbox(0).size(), 1u);
-  EXPECT_EQ(net.Inbox(0)[0].src, 7u);
+  EXPECT_EQ(net.Inbox(0)[0].src(), 7u);
   ASSERT_EQ(net.Inbox(3).size(), 1u);
-  EXPECT_EQ(net.Inbox(3)[0].words[0], 33u);
+  EXPECT_EQ(net.Inbox(3)[0].word0(), 33u);
   net.EndRound();
   EXPECT_TRUE(net.Inbox(7).empty());  // consumed, not redelivered
 }
@@ -99,8 +99,8 @@ TEST(ShardedNetwork, OverCapacityDropsUnderFourShards) {
   EXPECT_EQ(net.stats().max_offered_load, 24u);
   EXPECT_EQ(net.stats().max_send_load, 3u);
   // Survivors are a subset of what was offered.
-  for (const Message& m : net.Inbox(5)) {
-    EXPECT_EQ(m.words[0], m.src * 10 + (m.words[0] % 10));
+  for (const MessageView m : net.Inbox(5)) {
+    EXPECT_EQ(m.word0(), m.src() * 10 + (m.word0() % 10));
   }
 }
 
@@ -260,6 +260,33 @@ TEST(ShardedNetwork, SharedPoolAcrossShardCountReconfiguration) {
   EXPECT_EQ(s4.stats(), s4b.stats());
   EXPECT_EQ(sync.stats(), s4.stats());  // stats are shard-count-invariant
   EXPECT_GT(sync.stats().messages_dropped, 0u);
+}
+
+TEST(ShardedNetwork, BatchedSendsMatchPerMessageAcrossShards) {
+  // SendBatch from the shard workers must replay per-message Send exactly:
+  // same outbox order per shard, so same delivery order and same drops.
+  const EngineConfig cfg{.num_nodes = 24, .capacity = 3, .seed = 5,
+                         .num_shards = 4};
+  ShardedNetwork per_msg(cfg);
+  ShardedNetwork batched(cfg);
+  for (std::size_t round = 0; round < 8; ++round) {
+    DriveRound(per_msg, round, 3);
+    batched.ForEachNode([&](NodeId v) {
+      std::vector<Envelope> batch;
+      for (std::size_t i = 0; i < 3; ++i) {
+        const std::uint64_t h =
+            (v * 0x9e3779b97f4a7c15ULL) ^ (round * 0xbf58476d1ce4e5b9ULL) ^
+            (i * 0x94d049bb133111ebULL);
+        batch.push_back({static_cast<NodeId>(h % 24), 1, h});
+      }
+      batched.SendBatch(v, batch);
+    });
+    batched.EndRound();
+    EXPECT_EQ(Snapshot(per_msg), Snapshot(batched)) << "round " << round;
+  }
+  EXPECT_EQ(per_msg.stats(), batched.stats());
+  EXPECT_EQ(per_msg.arena_bytes_moved(), batched.arena_bytes_moved());
+  EXPECT_GT(per_msg.stats().messages_dropped, 0u);
 }
 
 TEST(ShardedNetwork, ShardCountClampedToNodes) {

@@ -1,5 +1,7 @@
 // Tests for the NCC0 synchronous round engine: delivery semantics, capacity
-// enforcement, drop accounting, statistics.
+// enforcement, drop accounting, statistics — plus the SoA wire format
+// (sim/message_soa.hpp): arena element sizes, per-kind encode/decode
+// round-trips, and the multi-word spill path.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -23,8 +25,8 @@ TEST(SyncNetwork, MessagesArriveNextRound) {
   EXPECT_TRUE(net.Inbox(1).empty());  // not yet delivered
   net.EndRound();
   ASSERT_EQ(net.Inbox(1).size(), 1u);
-  EXPECT_EQ(net.Inbox(1)[0].words[0], 7u);
-  EXPECT_EQ(net.Inbox(1)[0].src, 0u);
+  EXPECT_EQ(net.Inbox(1)[0].word0(), 7u);
+  EXPECT_EQ(net.Inbox(1)[0].src(), 0u);
   net.EndRound();
   EXPECT_TRUE(net.Inbox(1).empty());  // consumed, not redelivered
 }
@@ -35,7 +37,7 @@ TEST(SyncNetwork, SourceIsStampedByEngine) {
   m.src = 2;  // lying about the source must not matter
   net.Send(0, 1, m);
   net.EndRound();
-  EXPECT_EQ(net.Inbox(1)[0].src, 0u);
+  EXPECT_EQ(net.Inbox(1)[0].src(), 0u);
 }
 
 TEST(SyncNetwork, SendCapViolationThrows) {
@@ -53,6 +55,51 @@ TEST(SyncNetwork, SendCapResetsEachRound) {
   EXPECT_NO_THROW(net.Send(0, 1, Payload(3)));
 }
 
+TEST(SyncNetwork, BatchedSendMatchesPerMessageSemantics) {
+  SyncNetwork per_msg({6, 4, 11});
+  SyncNetwork batched({6, 4, 11});
+  // Same logical sends: per-message on one engine, one SendBatch + one
+  // SendFanout on the other.
+  for (NodeId to : {1u, 2u, 3u}) per_msg.Send(0, to, Payload(40 + to));
+  const Envelope batch[] = {{1, 1, 41}, {2, 1, 42}, {3, 1, 43}};
+  batched.SendBatch(0, batch);
+  for (NodeId to : {4u, 5u}) {
+    Message m;
+    m.kind = 9;
+    m.words[0] = 99;
+    per_msg.Send(2, to, m);
+  }
+  const NodeId fan[] = {4, 5};
+  batched.SendFanout(2, fan, 9, 99);
+  per_msg.EndRound();
+  batched.EndRound();
+  EXPECT_EQ(per_msg.stats(), batched.stats());
+  for (NodeId v = 0; v < 6; ++v) {
+    ASSERT_EQ(per_msg.Inbox(v).size(), batched.Inbox(v).size()) << v;
+    for (std::size_t i = 0; i < per_msg.Inbox(v).size(); ++i) {
+      EXPECT_EQ(per_msg.Inbox(v)[i].src(), batched.Inbox(v)[i].src());
+      EXPECT_EQ(per_msg.Inbox(v)[i].kind(), batched.Inbox(v)[i].kind());
+      EXPECT_EQ(per_msg.Inbox(v)[i].word0(), batched.Inbox(v)[i].word0());
+    }
+  }
+  EXPECT_EQ(per_msg.TotalSentBy(0), 3u);
+  EXPECT_EQ(batched.TotalSentBy(0), 3u);
+}
+
+TEST(SyncNetwork, BatchedSendCapViolationEnqueuesNothing) {
+  SyncNetwork net({4, 2, 1});
+  net.Send(0, 1, Payload(1));
+  const Envelope batch[] = {{1, 1, 2}, {2, 1, 3}};
+  EXPECT_THROW(net.SendBatch(0, batch), ContractViolation);
+  const NodeId fan[] = {1, 2};
+  EXPECT_THROW(net.SendFanout(0, fan, 1, 9), ContractViolation);
+  net.EndRound();
+  // Only the pre-violation send was delivered.
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.Inbox(1).size(), 1u);
+  EXPECT_TRUE(net.Inbox(2).empty());
+}
+
 TEST(SyncNetwork, ReceiveOverloadDropsToCapacity) {
   // 8 senders, capacity 3: node 9 receives exactly 3, the rest dropped.
   SyncNetwork net({10, 3, 7});
@@ -63,7 +110,7 @@ TEST(SyncNetwork, ReceiveOverloadDropsToCapacity) {
   EXPECT_EQ(net.stats().max_offered_load, 8u);
   // The delivered subset contains distinct original messages.
   std::set<std::uint64_t> seen;
-  for (const Message& m : net.Inbox(9)) seen.insert(m.words[0]);
+  for (const MessageView m : net.Inbox(9)) seen.insert(m.word0());
   EXPECT_EQ(seen.size(), 3u);
 }
 
@@ -75,7 +122,7 @@ TEST(SyncNetwork, DropSubsetIsRandomAcrossSeeds) {
     for (NodeId v = 0; v < 8; ++v) net.Send(v, 9, Payload(v));
     net.EndRound();
     std::set<std::uint64_t> kept;
-    for (const Message& m : net.Inbox(9)) kept.insert(m.words[0]);
+    for (const MessageView m : net.Inbox(9)) kept.insert(m.word0());
     outcomes.insert(kept);
   }
   EXPECT_GE(outcomes.size(), 2u);
@@ -129,6 +176,129 @@ TEST(NetworkStats, MergeTakesMaximaAndSums) {
   EXPECT_EQ(a.rounds, 5u);
   EXPECT_EQ(a.messages_sent, 17u);
   EXPECT_EQ(a.max_offered_load, 9u);
+}
+
+// ---- SoA wire format -------------------------------------------------------
+
+// The layout constants are compile-time contracts (see message_soa.hpp for
+// the full set); re-assert the ones the bandwidth accounting depends on next
+// to the behavioral round-trip coverage.
+static_assert(kSoaRowBytes == 20);
+static_assert(kSpillBytes == 16);
+static_assert(kAosRowBytes == sizeof(Message));
+static_assert(sizeof(Envelope) == 16);
+
+TEST(MessageSoA, OneWordRoundTrip) {
+  MessageSoA soa;
+  soa.PushOneWord(3, 0x10u, 0xdeadbeefULL);
+  ASSERT_EQ(soa.size(), 1u);
+  EXPECT_FALSE(soa.has_spill(0));
+  const Message m = soa.MessageAt(0);
+  EXPECT_EQ(m.src, 3u);
+  EXPECT_EQ(m.kind, 0x10u);
+  EXPECT_EQ(m.words[0], 0xdeadbeefULL);
+  EXPECT_EQ(m.words[1], 0u);
+  EXPECT_EQ(m.words[2], 0u);
+}
+
+TEST(MessageSoA, MultiWordPayloadSpills) {
+  Message m;
+  m.kind = 7;
+  m.words = {1, 2, 3};
+  MessageSoA soa;
+  soa.PushMessage(9, m);
+  ASSERT_EQ(soa.size(), 1u);
+  EXPECT_TRUE(soa.has_spill(0));
+  EXPECT_EQ(soa.word(0, 0), 1u);
+  EXPECT_EQ(soa.word(0, 1), 2u);
+  EXPECT_EQ(soa.word(0, 2), 3u);
+  const Message back = soa.MessageAt(0);
+  EXPECT_EQ(back.src, 9u);
+  EXPECT_EQ(back.kind, 7u);
+  EXPECT_EQ(back.words, m.words);
+}
+
+TEST(MessageSoA, ZeroTailWordsStayOnTheFastPath) {
+  // words[1] == words[2] == 0 must not allocate a spill entry — that is the
+  // one-word protocols' bandwidth guarantee.
+  Message m;
+  m.kind = 2;
+  m.words = {42, 0, 0};
+  MessageSoA soa;
+  soa.PushMessage(1, m);
+  EXPECT_FALSE(soa.has_spill(0));
+  EXPECT_EQ(soa.MessageAt(0).words, m.words);
+}
+
+TEST(MessageSoA, SwapRowsCarriesSpillReferences) {
+  Message multi;
+  multi.kind = 5;
+  multi.words = {10, 20, 30};
+  MessageSoA soa;
+  soa.PushOneWord(0, 1, 100);
+  soa.PushMessage(1, multi);
+  soa.SwapRows(0, 1);
+  EXPECT_EQ(soa.word(0, 1), 20u);  // spilled words travel with the row
+  EXPECT_EQ(soa.word(1, 1), 0u);
+  EXPECT_EQ(soa.word(1, 0), 100u);
+}
+
+TEST(MessageSoA, AppendAndScatterPreserveSpills) {
+  Message multi;
+  multi.kind = 6;
+  multi.words = {7, 8, 9};
+  MessageSoA a;
+  a.PushOneWord(0, 1, 1);
+  a.PushMessage(2, multi);
+
+  MessageSoA appended;
+  EXPECT_EQ(appended.AppendRowsFrom(a, 0, 2),
+            2 * kSoaRowBytes + kSpillBytes);
+  EXPECT_EQ(appended.MessageAt(1).words, multi.words);
+
+  MessageSoA scattered;
+  scattered.ResizeForScatter(2);
+  scattered.AssignRowFrom(0, a, 1);  // reversed order
+  scattered.AssignRowFrom(1, a, 0);
+  EXPECT_EQ(scattered.MessageAt(0).words, multi.words);
+  EXPECT_EQ(scattered.MessageAt(1).words[0], 1u);
+}
+
+TEST(SyncNetwork, MultiWordMessagesSurviveDeliveryAndDrops) {
+  // The spill path through a real engine, including capacity enforcement:
+  // every delivered message must carry its full payload.
+  SyncNetwork net({6, 2, 19});
+  for (NodeId v = 0; v < 5; ++v) {
+    Message m;
+    m.kind = 0x30u + v;
+    m.words = {v, 100ull + v, 200ull + v};
+    net.Send(v, 5, m);
+  }
+  net.EndRound();
+  ASSERT_EQ(net.Inbox(5).size(), 2u);  // cap 2, three dropped
+  EXPECT_EQ(net.stats().messages_dropped, 3u);
+  for (const MessageView m : net.Inbox(5)) {
+    const std::uint64_t v = m.word0();
+    EXPECT_EQ(m.kind(), 0x30u + v);
+    EXPECT_EQ(m.src(), v);
+    EXPECT_EQ(m.word(1), 100 + v);
+    EXPECT_EQ(m.word(2), 200 + v);
+    const Message back = m.ToMessage();
+    EXPECT_EQ(back.words[2], 200 + v);
+  }
+}
+
+TEST(SyncNetwork, ArenaBytesAccounting) {
+  SyncNetwork net({4, 8, 1});
+  net.Send(0, 1, Payload(1));  // one-word row
+  Message multi;
+  multi.kind = 1;
+  multi.words = {1, 2, 3};
+  net.Send(0, 2, multi);  // spilled row
+  net.EndRound();
+  EXPECT_EQ(net.arena_bytes_moved(), 2 * kSoaRowBytes + kSpillBytes);
+  // The AoS layout would have moved sizeof(Message) per delivered message.
+  EXPECT_LT(net.arena_bytes_moved(), 2 * kAosRowBytes);
 }
 
 }  // namespace

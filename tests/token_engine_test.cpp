@@ -1,5 +1,7 @@
 // Tests for the vectorized token-walk engine, including the statistical
-// equivalence check against a message-passing walk on SyncNetwork.
+// equivalence check against a message-passing walk on SyncNetwork. Results
+// use the SoA layout: CSR arrivals (ArrivalsAt) and a flat path matrix
+// (PathOf), mirroring the network engines' arena format.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -28,9 +30,8 @@ TEST(TokenEngine, TokenConservation) {
   const Multigraph m = LazyCycle(16, 4);
   Rng rng(1);
   const auto result = RunTokenWalks(m, {.tokens_per_node = 3, .walk_length = 5}, rng);
-  std::size_t total = 0;
-  for (const auto& arrivals : result.arrivals) total += arrivals.size();
-  EXPECT_EQ(total, 16u * 3u);
+  EXPECT_EQ(result.arrival_origins.size(), 16u * 3u);
+  EXPECT_EQ(result.arrival_offsets.back(), 16u * 3u);
   EXPECT_EQ(result.token_steps, 16u * 3u * 5u);
 }
 
@@ -39,8 +40,8 @@ TEST(TokenEngine, OriginsAreCorrect) {
   Rng rng(2);
   const auto result = RunTokenWalks(m, {.tokens_per_node = 2, .walk_length = 3}, rng);
   std::vector<std::size_t> origin_count(8, 0);
-  for (const auto& arrivals : result.arrivals) {
-    for (const NodeId origin : arrivals) ++origin_count[origin];
+  for (NodeId v = 0; v < 8; ++v) {
+    for (const NodeId origin : result.ArrivalsAt(v)) ++origin_count[origin];
   }
   for (const auto c : origin_count) EXPECT_EQ(c, 2u);
 }
@@ -50,10 +51,11 @@ TEST(TokenEngine, PathsAreValidWalks) {
   Rng rng(3);
   const auto result = RunTokenWalks(
       m, {.tokens_per_node = 2, .walk_length = 6, .record_paths = true}, rng);
-  ASSERT_EQ(result.paths.size(), 24u);
+  ASSERT_EQ(result.num_paths(), 24u);
+  ASSERT_EQ(result.path_stride, 7u);
   const Graph simple = m.ToSimpleGraph();
-  for (std::size_t i = 0; i < result.paths.size(); ++i) {
-    const auto& path = result.paths[i];
+  for (std::size_t i = 0; i < result.num_paths(); ++i) {
+    const auto path = result.PathOf(i);
     ASSERT_EQ(path.size(), 7u);
     EXPECT_EQ(path.front(), result.token_origin[i]);
     for (std::size_t s = 0; s + 1 < path.size(); ++s) {
@@ -69,9 +71,31 @@ TEST(TokenEngine, PathEndpointsMatchArrivals) {
   const auto result = RunTokenWalks(
       m, {.tokens_per_node = 1, .walk_length = 4, .record_paths = true}, rng);
   std::vector<std::size_t> ends(10, 0), arr(10, 0);
-  for (const auto& p : result.paths) ++ends[p.back()];
-  for (NodeId v = 0; v < 10; ++v) arr[v] = result.arrivals[v].size();
+  for (std::size_t i = 0; i < result.num_paths(); ++i) {
+    ++ends[result.PathOf(i).back()];
+  }
+  for (NodeId v = 0; v < 10; ++v) arr[v] = result.ArrivalCountAt(v);
   EXPECT_EQ(ends, arr);
+}
+
+TEST(TokenEngine, ArrivalTokensJoinArrivalsToPaths) {
+  // The arrival→path join column: arrival k at node v must reference the
+  // path whose endpoint is v and whose origin matches arrival_origins[k].
+  const Multigraph m = LazyCycle(10, 4);
+  Rng rng(9);
+  auto result = RunTokenWalks(
+      m, {.tokens_per_node = 2, .walk_length = 4, .record_paths = true}, rng);
+  ASSERT_EQ(result.arrival_token.size(), result.arrival_origins.size());
+  for (NodeId v = 0; v < 10; ++v) {
+    const auto origins = result.ArrivalsAt(v);
+    const auto tokens = result.ArrivalTokensAt(v);
+    for (std::size_t i = 0; i < origins.size(); ++i) {
+      const auto path = result.PathOf(tokens[i]);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_EQ(path.front(), origins[i]);
+      EXPECT_EQ(result.token_origin[tokens[i]], origins[i]);
+    }
+  }
 }
 
 TEST(TokenEngine, MaxLoadBoundedByTotalTokens) {
@@ -94,20 +118,21 @@ TEST(TokenEngine, ShardedWalksDeterministicAndConserving) {
   Rng rng_b(11);
   const auto a = RunTokenWalks(m, opts, rng_a);
   const auto b = RunTokenWalks(m, opts, rng_b);
-  EXPECT_EQ(a.arrivals, b.arrivals);
-  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_EQ(a.arrival_origins, b.arrival_origins);
+  EXPECT_EQ(a.arrival_offsets, b.arrival_offsets);
+  EXPECT_EQ(a.arrival_token, b.arrival_token);
+  EXPECT_EQ(a.path_nodes, b.path_nodes);
   EXPECT_EQ(a.max_load, b.max_load);
-  std::size_t total = 0;
-  for (const auto& arrivals : a.arrivals) total += arrivals.size();
-  EXPECT_EQ(total, 24u * 3u);
+  EXPECT_EQ(a.arrival_origins.size(), 24u * 3u);
   EXPECT_EQ(a.token_steps, 24u * 3u * 6u);
   // Every recorded path is a valid walk of the advertised length.
   const Graph simple = m.ToSimpleGraph();
-  for (const auto& path : a.paths) {
+  for (std::size_t i = 0; i < a.num_paths(); ++i) {
+    const auto path = a.PathOf(i);
     ASSERT_EQ(path.size(), 7u);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      EXPECT_TRUE(path[i] == path[i + 1] ||
-                  simple.HasEdge(path[i], path[i + 1]));
+    for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+      EXPECT_TRUE(path[s] == path[s + 1] ||
+                  simple.HasEdge(path[s], path[s + 1]));
     }
   }
 }
@@ -136,7 +161,7 @@ TEST(TokenEngine, MixedWalkIsNearUniformOnExpander) {
   const auto result = RunTokenWalks(m, {.tokens_per_node = 500, .walk_length = 12}, rng);
   const double expected = 500.0;
   for (NodeId v = 0; v < n; ++v) {
-    EXPECT_NEAR(static_cast<double>(result.arrivals[v].size()), expected,
+    EXPECT_NEAR(static_cast<double>(result.ArrivalCountAt(v)), expected,
                 expected * 0.2);
   }
 }
@@ -173,8 +198,8 @@ TEST(TokenEngine, MatchesMessagePassingWalkDistribution) {
   net.EndRound();
   for (std::size_t step = 1; step < kSteps; ++step) {
     for (NodeId v = 0; v < n; ++v) {
-      for (const Message& msg : net.Inbox(v)) {
-        net.Send(v, m.RandomNeighbor(v, rng_b), msg);
+      for (const MessageView msg : net.Inbox(v)) {
+        net.Send(v, m.RandomNeighbor(v, rng_b), msg.ToMessage());
       }
     }
     net.EndRound();
@@ -186,7 +211,7 @@ TEST(TokenEngine, MatchesMessagePassingWalkDistribution) {
   const double mean = static_cast<double>(kTokens);
   const double sigma = std::sqrt(mean);
   for (NodeId v = 0; v < n; ++v) {
-    EXPECT_NEAR(static_cast<double>(fast.arrivals[v].size()),
+    EXPECT_NEAR(static_cast<double>(fast.ArrivalCountAt(v)),
                 static_cast<double>(arrivals_b[v]), 10 * sigma)
         << "node " << v;
   }
