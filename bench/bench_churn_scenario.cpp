@@ -1,0 +1,133 @@
+// Million-node churn scenario on the sharded engine (Section 1.4 at scale).
+//
+// The paper's robustness loop — strike, keep the connected wreckage, rebuild
+// from scratch — exercised end to end at 1M+ nodes: every epoch kills a
+// random fraction of the current overlay (the work-stealing sharded kill +
+// edge-filter passes of overlay/churn.hpp), extracts the largest surviving
+// component, and rebuilds a BFS tree over it by flooding on ShardedNetwork —
+// the run-packed multi-shard exchange carrying every message. This is the
+// scenario config behind BENCH_churn_1m.json: it certifies that the sharded
+// stack holds together at the target scale, and records where the time goes.
+//
+// Input topology: a ring plus `chords` hash-picked chords per node — an
+// expander-like bounded-degree overlay built in O(n) (the generator-library
+// random-regular builders are set-backed and too slow at 1M nodes). The
+// ring guarantees the intact graph is connected; the chords keep the
+// post-strike largest component near the survivor count (cohesion ~ 1).
+//
+// Defaults: 1M nodes, 3 chords, 15% failures, 2 epochs, 8 shards. Override
+// with --nodes/--n, --chords, --failpct, --epochs, --shards, --seed; emit
+// JSON with --json out.json (recorded at the repo root as
+// BENCH_churn_1m.json).
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "overlay/bfs_tree.hpp"
+#include "overlay/churn.hpp"
+#include "sim/sharded_network.hpp"
+
+using namespace overlay;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Ring + `chords` hash-picked chords per node: connected, bounded-degree,
+/// expander-like, O(n) to build. Deterministic in `seed`.
+Graph RingWithChords(std::size_t n, std::size_t chords, std::uint64_t seed) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+    for (std::size_t j = 0; j < chords; ++j) {
+      std::uint64_t state = seed ^ (v * 0x9e3779b97f4a7c15ULL) ^
+                            (j * 0xbf58476d1ce4e5b9ULL);
+      const NodeId w = static_cast<NodeId>(SplitMix64(state) % n);
+      if (w != v) b.AddEdge(v, w);  // GraphBuilder dedupes parallel edges
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::SizeFlag;
+  const std::size_t n =
+      SizeFlag(argc, argv, "--nodes", SizeFlag(argc, argv, "--n", 1000000));
+  const std::size_t chords = SizeFlag(argc, argv, "--chords", 3);
+  const std::size_t fail_pct = SizeFlag(argc, argv, "--failpct", 15);
+  const std::size_t epochs = SizeFlag(argc, argv, "--epochs", 2);
+  const std::size_t shards = SizeFlag(argc, argv, "--shards", 8);
+  const std::uint64_t seed = SizeFlag(argc, argv, "--seed", 42);
+  if (fail_pct >= 100) {
+    std::fprintf(stderr, "--failpct must be < 100\n");
+    return 2;
+  }
+
+  bench::Banner(
+      "Million-node churn scenario (sharded engine)",
+      "claim: strike -> largest component -> BFS rebuild runs to completion "
+      "at 1M nodes on the sharded stack; cohesion stays ~1 on the "
+      "expander-like overlay and the rebuilt tree validates");
+
+  const auto t_build0 = std::chrono::steady_clock::now();
+  Graph g = RingWithChords(n, chords, seed);
+  const auto t_build1 = std::chrono::steady_clock::now();
+  std::printf("graph: n=%zu m=%zu max_deg=%zu build_sec=%.3f shards=%zu\n\n",
+              g.num_nodes(), g.num_edges(), g.MaxDegree(),
+              Seconds(t_build0, t_build1), shards);
+
+  bench::JsonReport json(argc, argv, "bench_churn_scenario");
+  bench::Table t({"epoch", "nodes", "edges", "survivors", "cohesion",
+                  "components", "churn_sec", "rebuild_sec", "bfs_rounds",
+                  "bfs_height", "bfs_valid", "messages_sent", "delivered",
+                  "dropped", "arena_bytes_moved"});
+
+  Rng rng(seed);
+  const double fail = static_cast<double>(fail_pct) / 100.0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const std::size_t nodes = g.num_nodes();
+    const std::size_t edges = g.num_edges();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ChurnResult churn =
+        ApplyChurn(g, {.failure_prob = fail, .num_shards = shards}, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (churn.component_global.size() < 2) {
+      std::fprintf(stderr, "FAIL: epoch %zu left no component to rebuild\n",
+                   epoch);
+      return 1;
+    }
+
+    const BfsTreeResult tree = BuildBfsTree<ShardedNetwork>(
+        churn.largest_component,
+        EngineConfig{.seed = seed + epoch, .num_shards = shards});
+    const auto t2 = std::chrono::steady_clock::now();
+    const bool valid = ValidateBfsTree(churn.largest_component, tree);
+
+    t.Row(epoch, nodes, edges, churn.survivors, churn.Cohesion(),
+          churn.num_components, Seconds(t0, t1), Seconds(t1, t2),
+          tree.stats.rounds, tree.height, valid, tree.stats.messages_sent,
+          tree.stats.messages_delivered, tree.stats.messages_dropped,
+          tree.arena_bytes_moved);
+    if (!valid) {
+      std::fprintf(stderr, "FAIL: epoch %zu rebuilt an invalid BFS tree\n",
+                   epoch);
+      return 1;
+    }
+
+    // Next epoch strikes the rebuilt overlay (the surviving component).
+    g = std::move(churn.largest_component);
+  }
+
+  t.Print();
+  json.Add("churn_scenario", t);
+  return json.Finish();
+}

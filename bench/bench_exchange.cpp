@@ -1,0 +1,96 @@
+// Run-packed multi-shard exchange: isolated phase timings + staged bytes/row.
+//
+// The S>1 exchange is the transport bottleneck of the sharded engine: every
+// message crosses from its source shard's outbox to its destination shard's
+// arena through a staging hop. This bench isolates that hop. The workload is
+// bench_parallel_scaling's hash-driven drive (every node sends `cap` one-word
+// messages per round to hash-picked destinations), but the table splits each
+// round into its phases:
+//
+//   send_sec    — the drive loop (ForEachNode enqueue onto shard outboxes)
+//   flush_sec   — phase 1: outbox -> 24-byte PackedRow staging runs
+//   deliver_sec — phase 2: gather runs -> column unpack -> receive cap
+//   exchange_sec— the whole EndRound (flush + barrier handoff + deliver)
+//
+// plus the wire-format accounting the CI gate pins: staged_bytes_per_row
+// must stay at kPackedRowBytes (24) for this spill-free workload — a
+// regression back toward per-column scatters or a fatter row shows up here
+// before it shows up as lost rounds/sec. On multicore hosts the companion
+// gate requires S=4 rounds/sec >= 1.1x S=1.
+//
+// Defaults: 100k nodes, cap 8, 25 rounds. Override with --nodes (or --n) /
+// --cap / --rounds / --seed; restrict the sweep with --shards S; emit JSON
+// with --json out.json (recorded at the repo root as BENCH_exchange.json).
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "exchange_workload.hpp"
+#include "sim/network.hpp"
+#include "sim/sharded_network.hpp"
+
+using namespace overlay;
+using bench::RunHashedWorkload;
+using bench::RunResult;
+using bench::SizeFlag;
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      SizeFlag(argc, argv, "--nodes", SizeFlag(argc, argv, "--n", 100000));
+  const std::size_t cap = SizeFlag(argc, argv, "--cap", 8);
+  const std::size_t rounds = SizeFlag(argc, argv, "--rounds", 25);
+  const std::uint64_t seed = SizeFlag(argc, argv, "--seed", 7);
+  const std::size_t only_shards = SizeFlag(argc, argv, "--shards", 0);
+
+  bench::Banner(
+      "Run-packed multi-shard exchange",
+      "claim: the staging hop moves exactly 24 bytes per one-word row "
+      "(PackedRow), and the per-phase split localizes exchange regressions; "
+      "S=1 stays bit-identical to SyncNetwork");
+  std::printf("n=%zu cap=%zu rounds=%zu seed=%llu hw_threads=%u\n\n", n, cap,
+              rounds, static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency());
+
+  bench::JsonReport json(argc, argv, "bench_exchange");
+  bench::Table t({"shards", "rounds_per_sec", "speedup", "send_sec",
+                  "flush_sec", "deliver_sec", "exchange_sec", "staged_rows",
+                  "staged_bytes", "staged_bytes_per_row", "arena_bytes_moved",
+                  "checksum", "matches_sync"});
+
+  SyncNetwork sync({.num_nodes = n, .capacity = cap, .seed = seed});
+  const RunResult base = RunHashedWorkload(sync, rounds, cap);
+
+  std::vector<std::size_t> sweep{1, 2, 4, 8};
+  if (only_shards != 0) sweep.assign(1, only_shards);
+  double s1_seconds = base.seconds;
+  bool ok = true;
+  for (const std::size_t shards : sweep) {
+    ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
+                        .num_shards = shards});
+    const RunResult r = RunHashedWorkload(net, rounds, cap);
+    if (shards == 1) s1_seconds = r.seconds;
+    const bool matches =
+        shards == 1
+            ? r.checksum == base.checksum
+            : r.stats.messages_delivered == base.stats.messages_delivered &&
+                  r.stats.messages_dropped == base.stats.messages_dropped;
+    ok = ok && matches;
+    const double per_row =
+        net.staged_rows() == 0
+            ? 0.0
+            : static_cast<double>(net.staged_bytes()) /
+                  static_cast<double>(net.staged_rows());
+    t.Row(shards, rounds / r.seconds, s1_seconds / r.seconds,
+          r.seconds - r.exchange_sec, r.flush_sec, r.deliver_sec,
+          r.exchange_sec, net.staged_rows(), net.staged_bytes(), per_row,
+          net.arena_bytes_moved(), r.checksum, matches);
+  }
+
+  t.Print();
+  json.Add("exchange_phases", t);
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: a shard count diverged from SyncNetwork\n");
+    return 1;
+  }
+  return json.Finish();
+}

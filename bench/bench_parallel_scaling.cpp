@@ -15,84 +15,23 @@
 // restricts the sweep to the single shard count S (plus the SyncNetwork
 // baseline) — the TSan thread-count smoke matrix runs S in {1, 2, 4} that
 // way, exercising pool reuse under the race detector.
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <thread>
 
 #include "bench_util.hpp"
-#include "sim/inbox_checksum.hpp"
+#include "exchange_workload.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded_network.hpp"
 
 using namespace overlay;
-
-namespace {
-
-std::uint64_t DestHash(NodeId v, std::size_t round, std::size_t i) {
-  return (v * 0x9e3779b97f4a7c15ULL) ^ (round * 0xbf58476d1ce4e5b9ULL) ^
-         (i * 0x94d049bb133111ebULL);
-}
-
-struct RunResult {
-  double seconds = 0;
-  std::uint64_t checksum = 0;
-  NetworkStats stats;
-};
-
-/// Drives `rounds` rounds of the workload. The sharded engine processes the
-/// send loop on its shard workers via ForEachNode; SyncNetwork serially.
-template <typename Net>
-RunResult Run(Net& net, std::size_t rounds, std::size_t sends) {
-  const std::size_t n = net.num_nodes();
-  std::uint64_t checksum = kFnvOffsetBasis;
-  RunResult r;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    auto drive = [&](NodeId v) {
-      for (std::size_t i = 0; i < sends; ++i) {
-        Message m;
-        m.kind = 1;
-        m.words[0] = DestHash(v, round, i);
-        net.Send(v, static_cast<NodeId>(m.words[0] % n), m);
-      }
-    };
-    // Only the engine work (sends + EndRound) is timed; the serial checksum
-    // walk below is verification overhead and would otherwise Amdahl-cap
-    // the measurable speedup.
-    const auto start = std::chrono::steady_clock::now();
-    if constexpr (std::is_same_v<Net, ShardedNetwork>) {
-      net.ForEachNode(drive);
-    } else {
-      for (NodeId v = 0; v < n; ++v) drive(v);
-    }
-    net.EndRound();
-    const auto stop = std::chrono::steady_clock::now();
-    r.seconds += std::chrono::duration<double>(stop - start).count();
-    checksum = ChecksumInboxes(net, checksum);
-  }
-  r.checksum = checksum;
-  r.stats = net.stats();
-  return r;
-}
-
-std::size_t SizeFlag(int argc, char** argv, const char* flag,
-                     std::size_t fallback) {
-  const char* v = bench::FlagValue(argc, argv, flag);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  const std::size_t parsed =
-      static_cast<std::size_t>(std::strtoull(v, &end, 10));
-  if (end == v || *end != '\0' || parsed == 0) {
-    std::fprintf(stderr, "%s needs a positive integer, got '%s'\n", flag, v);
-    std::exit(2);
-  }
-  return parsed;
-}
-
-}  // namespace
+using bench::RunHashedWorkload;
+using bench::RunResult;
+using bench::SizeFlag;
 
 int main(int argc, char** argv) {
-  const std::size_t n = SizeFlag(argc, argv, "--n", 100000);
+  // --nodes is the spelled-out alias of --n (the scenario configs use it).
+  const std::size_t n =
+      SizeFlag(argc, argv, "--nodes", SizeFlag(argc, argv, "--n", 100000));
   const std::size_t cap = SizeFlag(argc, argv, "--cap", 8);
   const std::size_t rounds = SizeFlag(argc, argv, "--rounds", 25);
   const std::uint64_t seed = SizeFlag(argc, argv, "--seed", 7);
@@ -109,9 +48,14 @@ int main(int argc, char** argv) {
   bench::JsonReport json(argc, argv, "bench_parallel_scaling");
   bench::Table t({"engine", "shards", "seconds", "rounds_per_sec", "speedup",
                   "delivered", "dropped", "checksum", "matches_sync"});
+  // Per-phase breakdown of the sharded rows: where inside a round the time
+  // goes (drive loop vs the two exchange phases), so a BENCH regression
+  // localizes to pack, transport, or delivery instead of "rounds/sec fell".
+  bench::Table pb({"engine", "shards", "send_sec", "flush_sec", "deliver_sec",
+                   "exchange_sec"});
 
   SyncNetwork sync({.num_nodes = n, .capacity = cap, .seed = seed});
-  const RunResult base = Run(sync, rounds, cap);
+  const RunResult base = RunHashedWorkload(sync, rounds, cap);
   t.Row("sync", 1, base.seconds, rounds / base.seconds, 1.0,
         base.stats.messages_delivered, base.stats.messages_dropped,
         base.checksum, true);
@@ -124,7 +68,7 @@ int main(int argc, char** argv) {
   for (const std::size_t shards : sweep) {
     ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
                         .num_shards = shards});
-    const RunResult r = Run(net, rounds, cap);
+    const RunResult r = RunHashedWorkload(net, rounds, cap);
     if (shards == 1) s1_seconds = r.seconds;
     const bool matches =
         shards == 1 ? r.checksum == base.checksum
@@ -135,6 +79,8 @@ int main(int argc, char** argv) {
     t.Row("sharded", shards, r.seconds, rounds / r.seconds,
           s1_seconds / r.seconds, r.stats.messages_delivered,
           r.stats.messages_dropped, r.checksum, matches);
+    pb.Row("sharded", shards, r.seconds - r.exchange_sec, r.flush_sec,
+           r.deliver_sec, r.exchange_sec);
     if (!matches) {
       std::fprintf(stderr, "FAIL: shard count %zu diverged from SyncNetwork\n",
                    shards);
@@ -143,6 +89,9 @@ int main(int argc, char** argv) {
   }
 
   t.Print();
+  std::printf("\nper-phase breakdown (sharded rows):\n");
+  pb.Print();
   json.Add("parallel_scaling", t);
+  json.Add("phase_breakdown", pb);
   return json.Finish();
 }

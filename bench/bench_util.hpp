@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <type_traits>
@@ -173,6 +174,23 @@ inline const char* FlagValue(int argc, char** argv, const char* flag) {
     }
   }
   return nullptr;
+}
+
+/// Parses `--flag <v>` as a positive integer, exiting with a usage error on
+/// malformed input; returns `fallback` when the flag is absent. Nest calls
+/// to express flag aliases: SizeFlag(..., "--nodes", SizeFlag(..., "--n", d)).
+inline std::size_t SizeFlag(int argc, char** argv, const char* flag,
+                            std::size_t fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const std::size_t parsed =
+      static_cast<std::size_t>(std::strtoull(v, &end, 10));
+  if (end == v || *end != '\0' || parsed == 0) {
+    std::fprintf(stderr, "%s needs a positive integer, got '%s'\n", flag, v);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 /// Collects named tables and writes them as one JSON document when the bench

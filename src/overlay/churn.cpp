@@ -20,18 +20,21 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
   result.alive.assign(n, 1);
 
   // Kill pass. Serial consumes `rng` in node order (the historical stream);
-  // sharded gives every contiguous node block its own split stream.
+  // sharded gives every contiguous node block its own split stream, blocks
+  // claimed work-stealing (the block→stream map is fixed by (seed, shards),
+  // so outcomes are scheduling-independent; stealing only rebalances which
+  // worker draws them).
   if (shards <= 1) {
     for (NodeId v = 0; v < n; ++v) {
       result.alive[v] = !rng.NextBool(opts.failure_prob);
     }
   } else {
-    std::vector<Rng> shard_rng;
-    shard_rng.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(rng.Split());
-    RunShardedBlocks(DefaultShardPool(), n, shards,
-                     [&](std::size_t s, std::size_t lo, std::size_t hi) {
-                       Rng& r = shard_rng[s];
+    std::vector<Rng> block_rng;
+    block_rng.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) block_rng.push_back(rng.Split());
+    RunDynamicBlocks(DefaultShardPool(), n, shards, shards,
+                     [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                       Rng& r = block_rng[c];
                        for (std::size_t v = lo; v < hi; ++v) {
                          result.alive[v] = !r.NextBool(opts.failure_prob);
                        }
@@ -47,14 +50,18 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
     }
   }
 
-  // Surviving-edge filter: shards scan contiguous edge ranges and collect
-  // locally; the builder merge stays serial (GraphBuilder is not
-  // thread-safe). No randomness — the edge set is shard-count-invariant.
+  // Surviving-edge filter: contiguous edge blocks scanned work-stealing
+  // (survivor density — and with it per-block cost — is skewed after a
+  // strike, so blocks are oversubscribed ~4x per worker); the builder merge
+  // stays serial (GraphBuilder is not thread-safe) and walks chunks in
+  // index order, so the kept-edge order equals the serial scan's for every
+  // (worker, chunk) shape. No randomness — the edge set is invariant.
   const auto edges = g.EdgeList();
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> kept(shards);
-  RunShardedBlocks(DefaultShardPool(), edges.size(), shards,
-                   [&](std::size_t s, std::size_t lo, std::size_t hi) {
-                     auto& mine = kept[s];
+  const std::size_t chunks = shards * kStealChunksPerWorker;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> kept(chunks);
+  RunDynamicBlocks(DefaultShardPool(), edges.size(), shards, chunks,
+                   [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                     auto& mine = kept[c];
                      for (std::size_t i = lo; i < hi; ++i) {
                        const auto& [u, v] = edges[i];
                        if (result.alive[u] && result.alive[v]) {

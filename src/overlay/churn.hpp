@@ -9,8 +9,10 @@
 // 1M-node churn scenarios.
 //
 // Sharded compute: the kill pass and the surviving-edge filter run in
-// contiguous blocks on the persistent shard pool (sim/shard_pool.hpp), one
-// split RNG stream per shard — the token-engine idiom. num_shards = 1
+// contiguous blocks on the persistent shard pool (sim/shard_pool.hpp),
+// claimed work-stealing (ShardPool::RunDynamic) because a strike leaves
+// per-block costs skewed; the kill pass keeps one split RNG stream per
+// block so outcomes never depend on which worker draws them. num_shards = 1
 // consumes the caller's RNG serially (the exact historical stream of the
 // pre-module example code); any fixed (rng state, num_shards) pair is
 // deterministic regardless of thread scheduling.

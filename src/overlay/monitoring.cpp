@@ -10,11 +10,16 @@ namespace overlay {
 namespace {
 
 /// Monitoring's sharded-compute shape: `f(lo, hi)` over contiguous node
-/// blocks on the persistent pool. All bodies here are randomness-free, so
-/// every outcome is shard-count-invariant.
+/// blocks claimed work-stealing on the persistent pool — convergecast
+/// levels and degree scans have skewed per-block costs (subtree and degree
+/// distributions are not uniform), so blocks are oversubscribed ~4x per
+/// worker and a fast worker steals the stragglers' leftovers. All bodies
+/// here are randomness-free, so every outcome is shard- and
+/// chunk-count-invariant.
 void ForRange(std::size_t n, std::size_t shards,
               const std::function<void(std::size_t, std::size_t)>& f) {
-  RunShardedBlocks(DefaultShardPool(), n, shards,
+  RunDynamicBlocks(DefaultShardPool(), n, shards,
+                   shards * kStealChunksPerWorker,
                    [&](std::size_t, std::size_t lo, std::size_t hi) {
                      f(lo, hi);
                    });

@@ -132,11 +132,13 @@ concept NetworkEngine =
       // merged stats are computed on demand and must not be cached through a
       // const method shared across reader threads).
       { ce.stats() } -> std::convertible_to<NetworkStats>;
-      // Bytes written into delivered inbox arenas over the whole execution
-      // (kSoaRowBytes per delivered message + kSpillBytes per spilled one).
-      // Deliberately outside NetworkStats: the stats counters are part of
-      // the cross-engine bit-identity contract and stay byte-for-byte
-      // unchanged by layout work.
+      // Bytes moved through message arenas over the whole execution:
+      // kSoaRowBytes per delivered message + kSpillBytes per spilled one,
+      // plus — on the sharded engine above S = 1 — kPackedRowBytes per
+      // message crossing the staging hop. Deliberately outside
+      // NetworkStats: the stats counters are part of the cross-engine
+      // bit-identity contract and stay byte-for-byte unchanged by layout
+      // and transport work.
       { ce.arena_bytes_moved() } -> std::convertible_to<std::uint64_t>;
     };
 

@@ -20,6 +20,8 @@
 #include <array>
 #include <cstdint>
 #include <iterator>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -68,6 +70,31 @@ struct Envelope {
 };
 
 static_assert(sizeof(Envelope) == 16, "Envelope packs to two words");
+
+/// One staged message row of the multi-shard exchange, packed for the wire:
+/// routing plus the full one-word payload in 24 contiguous bytes. Row ops
+/// (the staging scatter/gather hop) want AoS — one store moves the whole
+/// row and touches one cache line — while arena scans stay SoA; PackedRow is
+/// the AoS side of that split. `ext` indexes the side spill buffer the row
+/// was packed against (kNoExt = one-word message). This layout is also the
+/// natural wire format for a future rank-partitioned (MPI/socket) exchange:
+/// a staging run per destination is already one contiguous send buffer.
+struct PackedRow {
+  NodeId to = kInvalidNode;
+  NodeId src = kInvalidNode;
+  std::uint32_t kind = 0;
+  std::uint32_t ext = kNoExt;
+  std::uint64_t word0 = 0;
+};
+
+/// Bytes one staged row occupies on the inter-shard hop.
+inline constexpr std::size_t kPackedRowBytes = sizeof(PackedRow);
+
+static_assert(kPackedRowBytes == 24,
+              "PackedRow is to|src|kind|ext|word0 with no padding");
+static_assert(alignof(PackedRow) == 8, "word0 keeps the row 8-byte aligned");
+static_assert(std::is_trivially_copyable_v<PackedRow>,
+              "staging runs must be bulk-copyable");
 
 /// Column-major message buffer: outboxes, staging buffers, and delivered
 /// inbox arenas are all instances. Routing (`to`) and arrival metadata live
@@ -171,6 +198,55 @@ class MessageSoA {
       ext_[i] = static_cast<std::uint32_t>(spill_.size());
       spill_.push_back(other.spill_[e]);
     }
+  }
+
+  /// Packs row `i` for the inter-shard hop: routing (`to`) plus the whole
+  /// one-word payload in one 24-byte row. A spill payload is appended to
+  /// `spill_out` and re-referenced through the packed `ext`, so the packed
+  /// rows plus the `spill_out` they were packed against are independent of
+  /// this buffer (it may be cleared or reused while they are in flight).
+  /// Note the caller typically shares one `spill_out` across all of a
+  /// shard's destination runs, interleaved in pack order — a consumer of a
+  /// single run needs that whole buffer (or a per-destination re-index) to
+  /// resolve `ext`.
+  PackedRow PackRow(NodeId to, std::size_t i,
+                    std::vector<ExtWords>& spill_out) const {
+    PackedRow row{to, src_[i], kind_[i], kNoExt, word0_[i]};
+    const std::uint32_t e = ext_[i];
+    if (e != kNoExt) {
+      row.ext = static_cast<std::uint32_t>(spill_out.size());
+      spill_out.push_back(spill_[e]);
+    }
+    return row;
+  }
+
+  /// Column-wise unpack of a packed run into rows [0, rows.size()): each
+  /// column is written in one sequential pass (the arena-side inverse of
+  /// PackRow; `spill` is the side buffer the runs were packed against, and
+  /// the packed `ext` indices must already be positional into it). Replaces
+  /// the buffer's contents.
+  void UnpackColumns(std::span<const PackedRow> rows,
+                     std::span<const ExtWords> spill) {
+    ResizeForScatter(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) src_[i] = rows[i].src;
+    for (std::size_t i = 0; i < rows.size(); ++i) kind_[i] = rows[i].kind;
+    for (std::size_t i = 0; i < rows.size(); ++i) word0_[i] = rows[i].word0;
+    for (std::size_t i = 0; i < rows.size(); ++i) ext_[i] = rows[i].ext;
+    spill_.assign(spill.begin(), spill.end());
+  }
+
+  /// Rows currently spilled (the send paths' rollback mark).
+  std::size_t spill_size() const { return spill_.size(); }
+
+  /// Drops every row past `rows` (and every spill entry past `spill_rows`) —
+  /// the send paths' rollback after a mid-batch validation failure, keeping
+  /// the throws-with-nothing-enqueued contract without a pre-validation pass.
+  void TruncateTo(std::size_t rows, std::size_t spill_rows) {
+    src_.resize(rows);
+    kind_.resize(rows);
+    word0_.resize(rows);
+    ext_.resize(rows);
+    spill_.resize(spill_rows);
   }
 
   /// Swaps rows `i` and `j`. Spill payloads stay put — their `ext` indices

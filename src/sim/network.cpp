@@ -111,12 +111,28 @@ void SyncNetwork::Send(NodeId from, NodeId to, const Message& msg) {
   outbox_.PushMessage(from, msg);
 }
 
+void SyncNetwork::RollbackSends(NodeId from, std::size_t count,
+                                std::size_t rows, std::size_t spill) {
+  sent_this_round_[from] -= static_cast<std::uint32_t>(count);
+  total_sent_[from] -= count;
+  stats_.messages_sent -= count;
+  outbox_to_.resize(rows);
+  outbox_.TruncateTo(rows, spill);
+}
+
 void SyncNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
-  for (const Envelope& e : batch) {
-    OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
-  }
   ReserveSends(from, batch.size());
+  // Single pass: each target is validated as it is enqueued; a bad one
+  // rolls the whole batch back before throwing (same idiom as the sharded
+  // engine), keeping throws-with-nothing-enqueued without a second
+  // iteration over `batch`.
+  const std::size_t rows = outbox_to_.size();
+  const std::size_t spill = outbox_.spill_size();
   for (const Envelope& e : batch) {
+    if (e.to >= num_nodes_) {
+      RollbackSends(from, batch.size(), rows, spill);
+      OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
+    }
     outbox_to_.push_back(e.to);
     outbox_.PushOneWord(from, e.kind, e.word0);
   }
@@ -124,11 +140,14 @@ void SyncNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
 
 void SyncNetwork::SendFanout(NodeId from, std::span<const NodeId> targets,
                              std::uint32_t kind, std::uint64_t word0) {
-  for (const NodeId to : targets) {
-    OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
-  }
   ReserveSends(from, targets.size());
+  const std::size_t rows = outbox_to_.size();
+  const std::size_t spill = outbox_.spill_size();
   for (const NodeId to : targets) {
+    if (to >= num_nodes_) {
+      RollbackSends(from, targets.size(), rows, spill);
+      OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+    }
     outbox_to_.push_back(to);
     outbox_.PushOneWord(from, kind, word0);
   }

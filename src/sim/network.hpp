@@ -91,6 +91,12 @@ class SyncNetwork {
   /// enqueued, so a failed Send/SendBatch/SendFanout leaves no partial rows.
   void ReserveSends(NodeId from, std::size_t count);
 
+  /// Undoes ReserveSends plus any rows the single-pass batch loops already
+  /// enqueued (outbox restored to `rows`/`spill`), so batch sends keep the
+  /// throws-with-nothing-enqueued contract on a single target pass.
+  void RollbackSends(NodeId from, std::size_t count, std::size_t rows,
+                     std::size_t spill);
+
   std::size_t num_nodes_;
   std::size_t capacity_;
   Rng rng_;

@@ -1,6 +1,7 @@
 #include "sim/shard_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <barrier>
 #include <cstddef>
 
@@ -145,6 +146,48 @@ void ShardPool::Run(std::size_t count,
   RethrowFirst(errors_);
 }
 
+void ShardPool::RunDynamic(
+    std::size_t workers, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (workers == 0 || chunks == 0) return;
+  if (chunks == 1) {
+    // Allocation-free fast path, mirroring Run's count == 1 contract: a
+    // single chunk has no peers, so direct propagation equals the pooled
+    // error contract.
+    fn(0, 0);
+    return;
+  }
+  workers = std::min(workers, chunks);
+  if (workers == 1 || tl_active_pool == this) {
+    // One participant (or reentrant dispatch): claiming order degenerates
+    // to chunk order — run inline with the pooled error contract.
+    std::vector<std::exception_ptr> errors(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      try {
+        fn(c, 0);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    }
+    RethrowFirst(errors);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(chunks);
+  Run(workers, [&](std::size_t w) {
+    for (std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+         c < chunks; c = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        fn(c, w);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    }
+  });
+  RethrowFirst(errors);
+}
+
 namespace {
 
 /// Barrier completion step of RunPhased: runs `between` exactly once per
@@ -245,6 +288,20 @@ void RunShardedBlocks(
   const std::size_t block = (n + s_count - 1) / s_count;
   pool.Run(s_count, [&](std::size_t s) {
     f(s, s * block, std::min(n, (s + 1) * block));
+  });
+}
+
+void RunDynamicBlocks(
+    ShardPool& pool, std::size_t n, std::size_t workers, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& f) {
+  const std::size_t c_count = std::max<std::size_t>(1, std::min(chunks, n));
+  if (c_count <= 1) {
+    f(0, 0, n);
+    return;
+  }
+  const std::size_t block = (n + c_count - 1) / c_count;
+  pool.RunDynamic(workers, c_count, [&](std::size_t c, std::size_t) {
+    f(c, c * block, std::min(n, (c + 1) * block));
   });
 }
 

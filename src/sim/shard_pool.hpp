@@ -63,6 +63,28 @@ class ShardPool {
   /// through RunPhased, whose barrier the pool manages.
   void Run(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Work-stealing variant of Run for skewed workloads: executes
+  /// fn(chunk, worker) for every chunk in [0, chunks), claimed dynamically
+  /// by `workers` participants (clamped to chunks) off a shared atomic
+  /// counter — a worker that finishes its chunk early immediately claims
+  /// the next unclaimed one instead of idling behind a slow peer. `worker`
+  /// is the claiming participant's index in [0, workers): the hook for
+  /// per-worker accumulators (e.g. load counts), which are safe because a
+  /// worker runs one chunk at a time.
+  ///
+  /// Determinism: claiming order is scheduling-dependent, so fn must be
+  /// deterministic per chunk index and chunks must own disjoint state (the
+  /// Run contract); per-worker accumulators must be merge-order-invariant
+  /// (e.g. sums). Under those rules results are bit-identical however the
+  /// chunks land on workers.
+  ///
+  /// Error contract mirrors Run: every chunk executes (a throwing chunk
+  /// never cancels claimed peers), the lowest-chunk-index exception is
+  /// rethrown. chunks == 1 is an allocation-free direct call; reentrant
+  /// dispatch (and workers == 1) executes inline, chunks in order.
+  void RunDynamic(std::size_t workers, std::size_t chunks,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Runs `steps` barrier-synchronized phases over `count` shards: within a
   /// phase, body(s, step) runs once per shard on the same threads as Run;
   /// every shard finishes phase p before any shard enters p+1
@@ -116,6 +138,24 @@ ShardPool& DefaultShardPool();
 /// is deterministic for a fixed (seed, shards).
 void RunShardedBlocks(
     ShardPool& pool, std::size_t n, std::size_t shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
+
+/// Chunk oversubscription the work-stealing drivers default to: carving a
+/// range into ~4 chunks per worker keeps every worker busy until the tail
+/// even when per-chunk costs are skewed 4:1, while chunk-claim overhead
+/// (one relaxed fetch_add per chunk) stays negligible.
+inline constexpr std::size_t kStealChunksPerWorker = 4;
+
+/// Work-stealing analogue of RunShardedBlocks: splits [0, n) into `chunks`
+/// contiguous blocks and runs f(c, lo, hi) once per block, blocks claimed
+/// dynamically by up to `workers` pool participants (RunDynamic). Block
+/// boundaries depend only on (n, chunks) — never on scheduling — so a
+/// randomness-free f is deterministic, and one that indexes per-chunk state
+/// (e.g. a split RNG stream per chunk) is deterministic for fixed
+/// (seed, chunks). chunks is clamped to n; chunks <= 1 runs f(0, 0, n)
+/// inline.
+void RunDynamicBlocks(
+    ShardPool& pool, std::size_t n, std::size_t workers, std::size_t chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
 
 }  // namespace overlay

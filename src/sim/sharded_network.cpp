@@ -1,6 +1,7 @@
 #include "sim/sharded_network.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace overlay {
 
@@ -20,15 +21,19 @@ ShardedNetwork::ShardedNetwork(const Config& config, ShardPool* pool)
 
   // Shard 0 uses the config seed verbatim so that a single-sharded engine
   // consumes the exact RNG stream SyncNetwork would (bit-identical runs);
-  // further shards get independent SplitMix64-derived streams.
+  // further shards get independent SplitMix64-derived streams. All phase
+  // scratch is sized here once — the round loop reuses capacity and never
+  // allocates in steady state.
   std::uint64_t chain = config.seed;
   shards_.reserve(s_count);
   for (std::size_t s = 0; s < s_count; ++s) {
     const std::uint64_t shard_seed = s == 0 ? config.seed : SplitMix64(chain);
+    const std::size_t local_n = ShardEnd(s) - ShardBase(s);
     Shard shard;
     shard.rng = Rng(shard_seed);
-    shard.staging.resize(s_count);
-    shard.offsets.assign(ShardEnd(s) - ShardBase(s) + 1, 0);
+    shard.staged_offsets.assign(s_count + 1, 0);
+    shard.offsets.assign(local_n + 1, 0);
+    shard.cursor.assign(std::max(local_n, s_count), 0);
     shards_.push_back(std::move(shard));
   }
 }
@@ -45,6 +50,15 @@ ShardedNetwork::Shard& ShardedNetwork::ReserveSends(NodeId from,
   return shard;
 }
 
+void ShardedNetwork::RollbackSends(Shard& shard, NodeId from, std::size_t count,
+                                   std::size_t rows, std::size_t spill) {
+  sent_this_round_[from] -= static_cast<std::uint32_t>(count);
+  total_sent_[from] -= count;
+  shard.partial.messages_sent -= count;
+  shard.outbox_to.resize(rows);
+  shard.outbox.TruncateTo(rows, spill);
+}
+
 void ShardedNetwork::Send(NodeId from, NodeId to, const Message& msg) {
   OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
   Shard& shard = ReserveSends(from, 1);
@@ -53,11 +67,17 @@ void ShardedNetwork::Send(NodeId from, NodeId to, const Message& msg) {
 }
 
 void ShardedNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
-  for (const Envelope& e : batch) {
-    OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
-  }
   Shard& shard = ReserveSends(from, batch.size());
+  // Single pass: validate each target as it is enqueued. A bad target rolls
+  // the whole batch back before throwing, so the contract stays
+  // throws-with-nothing-enqueued without a second iteration over `batch`.
+  const std::size_t rows = shard.outbox_to.size();
+  const std::size_t spill = shard.outbox.spill_size();
   for (const Envelope& e : batch) {
+    if (e.to >= num_nodes_) {
+      RollbackSends(shard, from, batch.size(), rows, spill);
+      OVERLAY_CHECK(e.to < num_nodes_, "message endpoint out of range");
+    }
     shard.outbox_to.push_back(e.to);
     shard.outbox.PushOneWord(from, e.kind, e.word0);
   }
@@ -65,11 +85,14 @@ void ShardedNetwork::SendBatch(NodeId from, std::span<const Envelope> batch) {
 
 void ShardedNetwork::SendFanout(NodeId from, std::span<const NodeId> targets,
                                 std::uint32_t kind, std::uint64_t word0) {
-  for (const NodeId to : targets) {
-    OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
-  }
   Shard& shard = ReserveSends(from, targets.size());
+  const std::size_t rows = shard.outbox_to.size();
+  const std::size_t spill = shard.outbox.spill_size();
   for (const NodeId to : targets) {
+    if (to >= num_nodes_) {
+      RollbackSends(shard, from, targets.size(), rows, spill);
+      OVERLAY_CHECK(to < num_nodes_, "message endpoint out of range");
+    }
     shard.outbox_to.push_back(to);
     shard.outbox.PushOneWord(from, kind, word0);
   }
@@ -102,26 +125,34 @@ void ShardedNetwork::FlushOutbox(std::size_t s) {
     return;
   }
 
-  // Partition this shard's sends by destination shard: count (touching only
-  // the 4-byte `to` column), size each staging buffer exactly, then scatter
-  // rows with direct stores — no per-row push_back branches.
-  auto& fill = shard.cursor;  // reused scratch: per-dst-shard write cursors
-  fill.assign(s_count, 0);
+  // Run-pack this shard's sends for the hop: count per destination shard
+  // (touching only the 4-byte `to` column), prefix-sum into per-destination
+  // run offsets, then pack each row exactly once with one 24-byte store
+  // into its destination's contiguous run — no per-row push_back branches,
+  // no per-destination buffers.
+  auto& fill = shard.cursor;  // hoisted scratch: per-dst-shard write cursors
+  std::fill_n(fill.begin(), s_count, std::size_t{0});
   for (const NodeId to : shard.outbox_to) ++fill[ShardOf(to)];
-  for (std::size_t d = 0; d < s_count; ++d) {
-    shard.staging[d].to.resize(fill[d]);
-    shard.staging[d].msgs.ResizeForScatter(fill[d]);
-    fill[d] = 0;
-  }
-  for (std::size_t i = 0; i < shard.outbox.size(); ++i) {
+  auto& offs = shard.staged_offsets;
+  offs[0] = 0;
+  for (std::size_t d = 0; d < s_count; ++d) offs[d + 1] = offs[d] + fill[d];
+  const std::size_t total = offs[s_count];
+  shard.staged.resize(total);  // capacity-reusing across rounds
+  shard.staged_spill.clear();
+  std::copy_n(offs.begin(), s_count, fill.begin());
+  for (std::size_t i = 0; i < total; ++i) {
     const NodeId to = shard.outbox_to[i];
-    const std::size_t d = ShardOf(to);
-    Staging& st = shard.staging[d];
-    st.to[fill[d]] = to;
-    st.msgs.AssignRowFrom(fill[d]++, shard.outbox, i);
+    shard.staged[fill[ShardOf(to)]++] =
+        shard.outbox.PackRow(to, i, shard.staged_spill);
   }
   shard.outbox.clear();
   shard.outbox_to.clear();
+
+  const std::uint64_t hop_bytes = total * kPackedRowBytes +
+                                  shard.staged_spill.size() * kSpillBytes;
+  shard.staged_rows += total;
+  shard.staged_bytes += hop_bytes;
+  shard.bytes_moved += hop_bytes;  // the staging hop is arena traffic too
 }
 
 void ShardedNetwork::DeliverInboxes(std::size_t d) {
@@ -143,54 +174,82 @@ void ShardedNetwork::DeliverInboxes(std::size_t d) {
     return;
   }
 
-  // Stable per-node bucketing of everything staged for this shard, in fixed
-  // (source shard, send order) order — counting sort into `incoming`.
-  auto& counts = dst.cursor;  // reused scratch: counts, then write cursors
-  counts.assign(local_n + 1, 0);
+  // Count per local node across every source's staging run addressed to
+  // this shard (reading only the packed `to` field), then prefix-sum into
+  // the per-node bucket offsets.
+  auto& counts = dst.cursor;  // hoisted scratch: counts, then write cursors
+  std::fill_n(counts.begin(), local_n, std::size_t{0});
   std::size_t total = 0;
   for (std::size_t s = 0; s < s_count; ++s) {
-    for (const NodeId to : shards_[s].staging[d].to) {
-      ++counts[to - base];
-      ++total;
+    const Shard& src = shards_[s];
+    const std::size_t run_end = src.staged_offsets[d + 1];
+    for (std::size_t i = src.staged_offsets[d]; i < run_end; ++i) {
+      ++counts[src.staged[i].to - base];
     }
+    total += run_end - src.staged_offsets[d];
   }
-  // counts -> start offsets (exclusive prefix sum), kept in dst.offsets
-  // shape; cursor walks while filling.
   std::vector<std::size_t>& starts = dst.offsets;  // rebuilt this round
-  starts.assign(local_n + 1, 0);
+  starts[0] = 0;
   for (std::size_t lv = 0; lv < local_n; ++lv) {
     starts[lv + 1] = starts[lv] + counts[lv];
   }
-  dst.arena.ResizeForScatter(total);
-  std::copy(starts.begin(), starts.end(), counts.begin());  // write cursors
+
+  // Stable gather into per-node bucket order, walking the runs in fixed
+  // (source shard, send order): one 24-byte row move per message instead of
+  // a 4-column scatter. Spill payloads (rare) are pulled into this shard's
+  // side buffer as their rows pass through.
+  dst.gather.resize(total);  // capacity-reusing across rounds
+  dst.gather_spill.clear();
+  std::copy_n(starts.begin(), local_n, counts.begin());  // write cursors
   for (std::size_t s = 0; s < s_count; ++s) {
-    Staging& staged = shards_[s].staging[d];
-    for (std::size_t i = 0; i < staged.msgs.size(); ++i) {
-      dst.arena.AssignRowFrom(counts[staged.to[i] - base]++, staged.msgs, i);
+    const Shard& src = shards_[s];
+    const std::size_t run_end = src.staged_offsets[d + 1];
+    for (std::size_t i = src.staged_offsets[d]; i < run_end; ++i) {
+      PackedRow row = src.staged[i];
+      if (row.ext != kNoExt) {
+        const std::uint32_t e = row.ext;
+        row.ext = static_cast<std::uint32_t>(dst.gather_spill.size());
+        dst.gather_spill.push_back(src.staged_spill[e]);
+      }
+      dst.gather[counts[row.to - base]++] = row;
     }
-    staged.to.clear();
-    staged.msgs.clear();
   }
 
-  // Capacity enforcement + in-place compaction. The shared helper consumes
-  // this shard's stream in local node order — the same pattern SyncNetwork
-  // uses, which is what makes S=1 runs bit-identical.
+  // Column-wise unpack into the arena, then capacity enforcement + in-place
+  // compaction. The shared helper consumes this shard's stream in local
+  // node order — the same pattern SyncNetwork uses, which is what makes
+  // S=1 runs bit-identical.
+  dst.arena.UnpackColumns(dst.gather, dst.gather_spill);
   dst.bytes_moved += CapAndCompactBuckets(dst.arena, starts, capacity_,
                                           dst.rng, dst.partial);
 }
 
 void ShardedNetwork::EndRound() {
   // One pool worker per shard runs both phases, separated by the pool's
-  // phase barrier (phase 2 reads every shard's staging buffers, so all
-  // flushes must land first). A shard whose flush throws skips its deliver
-  // phase; the first error rethrows here — RunPhased's contract.
-  pool_->RunPhased(shards_.size(), 2, [this](std::size_t s, std::size_t phase) {
-    if (phase == 0) {
-      FlushOutbox(s);
-    } else {
-      DeliverInboxes(s);
-    }
-  });
+  // phase barrier (phase 2 reads every shard's staging runs, so all flushes
+  // must land first). A shard whose flush throws skips its deliver phase;
+  // the first error rethrows here — RunPhased's contract. The boundary
+  // callback timestamps the barrier while all shards are parked, splitting
+  // the exchange wall time into its flush/deliver phases.
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto t1 = t0;
+  pool_->RunPhased(
+      shards_.size(), 2,
+      [this](std::size_t s, std::size_t phase) {
+        if (phase == 0) {
+          FlushOutbox(s);
+        } else {
+          DeliverInboxes(s);
+        }
+      },
+      [&t1](std::size_t step) {
+        if (step == 0) t1 = Clock::now();
+      });
+  const auto t2 = Clock::now();
+  flush_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+  deliver_seconds_ += std::chrono::duration<double>(t2 - t1).count();
+  exchange_seconds_ += std::chrono::duration<double>(t2 - t0).count();
   ++rounds_;
 }
 
@@ -207,10 +266,33 @@ std::uint64_t ShardedNetwork::arena_bytes_moved() const {
   return total;
 }
 
+std::uint64_t ShardedNetwork::staged_rows() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.staged_rows;
+  return total;
+}
+
+std::uint64_t ShardedNetwork::staged_bytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.staged_bytes;
+  return total;
+}
+
 std::uint64_t ShardedNetwork::MaxTotalSentPerNode() const {
-  std::uint64_t best = 0;
-  for (const std::uint64_t t : total_sent_) best = std::max(best, t);
-  return best;
+  // Shard-parallel reduction: each shard folds its own node range on its
+  // pool worker, the caller folds the per-shard maxima. Scheduling only —
+  // the result is the same max whichever thread computes each block.
+  const std::size_t s_count = shards_.size();
+  std::vector<std::uint64_t> best(s_count, 0);
+  pool_->Run(s_count, [&](std::size_t s) {
+    std::uint64_t m = 0;
+    const NodeId hi = ShardEnd(s);
+    for (NodeId v = ShardBase(s); v < hi; ++v) {
+      m = std::max(m, total_sent_[v]);
+    }
+    best[s] = m;
+  });
+  return *std::max_element(best.begin(), best.end());
 }
 
 }  // namespace overlay

@@ -9,13 +9,17 @@
 //   - a private RNG stream that drives its capacity-drop choices.
 //
 // EndRound is a two-phase exchange executed by one worker thread per shard:
-//   phase 1 (parallel over *source* shards): each shard flushes its outbox
-//     into per-destination-shard staging buffers and folds its nodes' send
-//     counters into the send-load stats;
-//   phase 2 (parallel over *destination* shards): each shard gathers the
-//     staging buffers addressed to it (in fixed source-shard order), buckets
-//     messages per node, enforces the receive cap with a uniformly random
-//     drop from its own RNG stream, and compacts survivors into the arena.
+//   phase 1 (parallel over *source* shards): each shard packs its outbox
+//     once into 24-byte PackedRow staging runs laid out contiguously per
+//     destination shard (row ops want AoS — one store per staged row — while
+//     arena scans stay SoA) and folds its nodes' send counters into the
+//     send-load stats;
+//   phase 2 (parallel over *destination* shards): each shard walks the
+//     staging runs addressed to it (in fixed source-shard order), gathers
+//     the packed rows into per-node bucket order — one 24-byte row move per
+//     message instead of a 4-column scatter — unpacks them column-wise into
+//     its arena, enforces the receive cap with a uniformly random drop from
+//     its own RNG stream, and compacts survivors in place.
 //
 // Determinism: for a fixed (seed, num_shards) the execution is bit-identical
 // regardless of thread scheduling — message order per node is fixed by
@@ -96,10 +100,27 @@ class ShardedNetwork {
   /// value: concurrent const readers must not share a cache slot.
   NetworkStats stats() const;
 
-  /// Bytes written into delivered inbox arenas across all shards. With
-  /// S = 1 this replays SyncNetwork's accounting exactly; above S = 1 it may
-  /// differ only by which *spilled* messages the drop choices kept.
+  /// Bytes moved through message arenas across all shards: delivered inbox
+  /// rows plus the inter-shard staging hop (staged_bytes). With S = 1 there
+  /// is no staging hop and this replays SyncNetwork's accounting exactly;
+  /// above S = 1 every sent message additionally pays kPackedRowBytes on
+  /// the hop (plus kSpillBytes when it spills).
   std::uint64_t arena_bytes_moved() const;
+
+  /// Rows / bytes the multi-shard staging hop moved over the whole
+  /// execution (0 when S = 1 — the hop is skipped). bytes/rows is the
+  /// staged bytes-per-row metric the bench gate pins at kPackedRowBytes
+  /// for spill-free workloads.
+  std::uint64_t staged_rows() const;
+  std::uint64_t staged_bytes() const;
+
+  /// Cumulative wall-clock seconds inside EndRound, split at the phase
+  /// barrier: flush = outbox→staging pack (phase 1), deliver =
+  /// gather/unpack/cap (phase 2), exchange = the whole EndRound (flush +
+  /// barrier handoff + deliver). Telemetry only — never affects results.
+  double exchange_flush_seconds() const { return flush_seconds_; }
+  double exchange_deliver_seconds() const { return deliver_seconds_; }
+  double exchange_seconds() const { return exchange_seconds_; }
 
   std::uint64_t TotalSentBy(NodeId v) const { return total_sent_[v]; }
   std::uint64_t MaxTotalSentPerNode() const;
@@ -136,24 +157,32 @@ class ShardedNetwork {
   }
 
  private:
-  /// Messages staged from one source shard for one destination shard.
-  struct Staging {
-    std::vector<NodeId> to;  ///< routing column, parallel to msgs
-    MessageSoA msgs;
-  };
-
-  /// All mutable state a worker touches in a phase is shard-private.
+  /// All mutable state a worker touches in a phase is shard-private. Every
+  /// scratch buffer is hoisted here and reused capacity-preserving across
+  /// rounds — the round loop allocates nothing in steady state. The staged
+  /// run of the previous round is only overwritten by the next FlushOutbox
+  /// (phase 2 of *other* shards reads it, so its owner must not touch it
+  /// after the phase barrier).
   struct Shard {
     Rng rng;
     std::vector<NodeId> outbox_to;               ///< this round's routing
     MessageSoA outbox;                           ///< this round's sends
-    std::vector<Staging> staging;                ///< [dst shard], phase 1 out
+    std::vector<PackedRow> staged;               ///< phase 1 out: packed rows,
+                                                 ///< contiguous per dst shard
+    std::vector<ExtWords> staged_spill;          ///< side buffer of `staged`
+    std::vector<std::size_t> staged_offsets;     ///< [dst shard], +1 slot
+    std::vector<PackedRow> gather;               ///< phase 2 scratch: my rows
+                                                 ///< in per-node bucket order
+    std::vector<ExtWords> gather_spill;          ///< side buffer of `gather`
     MessageSoA arena;                            ///< delivered inbox storage
                                                  ///< (compacted in place)
     std::vector<std::size_t> offsets;            ///< per local node, +1 slot
-    std::vector<std::size_t> cursor;             ///< phase 2 bucket scratch
+    std::vector<std::size_t> cursor;             ///< count/cursor scratch,
+                                                 ///< >= max(S, local_n) slots
     NetworkStats partial;                        ///< rounds field unused
-    std::uint64_t bytes_moved = 0;               ///< arena bytes delivered
+    std::uint64_t bytes_moved = 0;               ///< delivered + staged bytes
+    std::uint64_t staged_rows = 0;               ///< rows through the hop
+    std::uint64_t staged_bytes = 0;              ///< bytes through the hop
   };
 
   NodeId ShardBase(std::size_t s) const {
@@ -166,6 +195,13 @@ class ShardedNetwork {
   /// enqueued), and returns `from`'s shard for the enqueue loop.
   Shard& ReserveSends(NodeId from, std::size_t count);
 
+  /// Undoes ReserveSends plus any rows the single-pass batch loops already
+  /// enqueued, restoring the outbox to (`rows`, `spill`) — the batch send
+  /// paths' throws-with-nothing-enqueued contract without a pre-validation
+  /// pass over the targets.
+  void RollbackSends(Shard& shard, NodeId from, std::size_t count,
+                     std::size_t rows, std::size_t spill);
+
   void FlushOutbox(std::size_t s);    ///< phase 1 body
   void DeliverInboxes(std::size_t s); ///< phase 2 body
 
@@ -174,6 +210,9 @@ class ShardedNetwork {
   std::size_t base_;  ///< nodes per shard; first `rem_` shards get one more
   std::size_t rem_;
   std::uint64_t rounds_ = 0;
+  double flush_seconds_ = 0;     ///< cumulative phase-1 wall time
+  double deliver_seconds_ = 0;   ///< cumulative phase-2 wall time
+  double exchange_seconds_ = 0;  ///< cumulative EndRound wall time
   ShardPool* pool_;  ///< never null; executes every parallel phase
   std::vector<Shard> shards_;
   std::vector<std::uint32_t> sent_this_round_;  ///< per node

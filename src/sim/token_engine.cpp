@@ -56,49 +56,69 @@ TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
       result.max_load = std::max<std::uint64_t>(result.max_load, step_max);
     }
   } else {
-    // Sharded path: contiguous token blocks, one persistent pool worker and
-    // one split RNG stream per shard, hoisted across all steps. The pool's
-    // phase boundary merges the Lemma 3.2 load counts between steps on a
-    // single thread while the workers are parked at the barrier; a shard
+    // Sharded path with work stealing: tokens are carved into contiguous
+    // chunks — ~4 per worker, so a worker that drew cheap chunks (low-degree
+    // positions, dense self-loop runs) steals the stragglers' leftovers —
+    // each chunk owning a split RNG stream hoisted across all steps. The
+    // chunk→stream map depends only on (num_tokens, num_shards), never on
+    // scheduling, so a fixed (seed, num_shards) replays bit-identically
+    // however the chunks land on workers. Lemma 3.2 load counts accumulate
+    // per *worker* (a worker runs one chunk at a time; sums are
+    // claim-order-invariant) and merge on the caller between steps. A chunk
     // that throws (e.g. ContractViolation from RandomNeighbor on a
-    // degenerate graph) skips its remaining steps and rethrows after the
-    // join — RunPhased's contract, matching the serial path's catchable
-    // behavior.
-    const std::size_t block = (num_tokens + shards - 1) / shards;
-    std::vector<Rng> shard_rng;
-    shard_rng.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(rng.Split());
-    std::vector<std::vector<std::uint32_t>> shard_load(
+    // degenerate graph) never cancels its peers; the lowest-chunk error
+    // rethrows after the step joins — RunDynamic's contract, matching the
+    // serial path's catchable behavior.
+    const std::size_t chunks =
+        std::min(num_tokens, shards * kStealChunksPerWorker);
+    const std::size_t block = (num_tokens + chunks - 1) / chunks;
+    std::vector<Rng> chunk_rng;
+    chunk_rng.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) chunk_rng.push_back(rng.Split());
+    std::vector<std::vector<std::uint32_t>> worker_load(
         shards, std::vector<std::uint32_t>(n, 0));
+    // Step whose loads worker w currently holds; lets workers lazily zero
+    // their own array on first claim (parallel) instead of the caller
+    // zeroing every array between steps (serial), and lets the merge skip
+    // workers that claimed nothing this step.
+    constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> load_step(shards, kNever);
 
     ShardPool& pool = opts.pool != nullptr ? *opts.pool : DefaultShardPool();
-    pool.RunPhased(
-        shards, opts.walk_length,
-        [&](std::size_t s, std::size_t step) {
-          auto& load = shard_load[s];
-          auto& my_rng = shard_rng[s];
-          const std::size_t lo = s * block;
-          const std::size_t hi = std::min(lo + block, num_tokens);
+    std::vector<std::size_t> active;  // workers that claimed chunks this step
+    active.reserve(shards);
+    for (std::size_t step = 0; step < opts.walk_length; ++step) {
+      pool.RunDynamic(shards, chunks, [&](std::size_t c, std::size_t w) {
+        auto& load = worker_load[w];
+        if (load_step[w] != step) {
           std::fill(load.begin(), load.end(), 0u);
-          for (std::size_t i = lo; i < hi; ++i) {
-            const NodeId next = g.RandomNeighbor(position[i], my_rng);
-            position[i] = next;
-            ++load[next];
-            if (opts.record_paths) {
-              result.path_nodes[i * stride + step + 1] = next;
-            }
+          load_step[w] = step;
+        }
+        auto& my_rng = chunk_rng[c];
+        const std::size_t lo = c * block;
+        const std::size_t hi = std::min(lo + block, num_tokens);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeId next = g.RandomNeighbor(position[i], my_rng);
+          position[i] = next;
+          ++load[next];
+          if (opts.record_paths) {
+            result.path_nodes[i * stride + step + 1] = next;
           }
-        },
-        [&](std::size_t /*step*/) {
-          result.token_steps += num_tokens;
-          std::uint64_t step_max = 0;
-          for (NodeId v = 0; v < n; ++v) {
-            std::uint64_t at_v = 0;
-            for (std::size_t s = 0; s < shards; ++s) at_v += shard_load[s][v];
-            step_max = std::max(step_max, at_v);
-          }
-          result.max_load = std::max(result.max_load, step_max);
-        });
+        }
+      });
+      result.token_steps += num_tokens;
+      active.clear();
+      for (std::size_t w = 0; w < shards; ++w) {
+        if (load_step[w] == step) active.push_back(w);
+      }
+      std::uint64_t step_max = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        std::uint64_t at_v = 0;
+        for (const std::size_t w : active) at_v += worker_load[w][v];
+        step_max = std::max(step_max, at_v);
+      }
+      result.max_load = std::max(result.max_load, step_max);
+    }
   }
 
   // Arrivals as a CSR in (node, token-index) order — a stable counting sort

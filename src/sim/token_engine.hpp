@@ -93,11 +93,14 @@ struct TokenWalkOptions {
   /// Record full node sequences (needed by the Theorem 1.3 spanning-tree
   /// unwinding); costs O(tokens · ℓ) memory.
   bool record_paths = false;
-  /// Worker shards (same idiom as ShardedNetwork): tokens are partitioned
-  /// into contiguous blocks, each advanced by its own thread with a private
-  /// RNG stream split off the caller's. 1 = the exact historical serial
-  /// behavior (caller's RNG consumed directly); for a fixed (rng seed,
-  /// num_shards) runs are deterministic regardless of scheduling.
+  /// Worker count (same idiom as ShardedNetwork). Tokens are carved into
+  /// contiguous chunks — ~4 per worker, each with a private RNG stream
+  /// split off the caller's — claimed work-stealing on the pool, so skewed
+  /// per-chunk costs (degree-dependent RandomNeighbor) rebalance instead of
+  /// serializing on the slowest block. 1 = the exact historical serial
+  /// behavior (caller's RNG consumed directly); the chunk→stream map is
+  /// fixed by (num_tokens, num_shards), so a fixed (rng seed, num_shards)
+  /// is deterministic regardless of scheduling.
   std::size_t num_shards = 1;
   /// Persistent worker pool executing the sharded path (nullptr =
   /// DefaultShardPool(), shared with ShardedNetwork). Scheduling only —

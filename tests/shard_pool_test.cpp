@@ -198,6 +198,149 @@ TEST(ShardPool, RunPhasedReentrantExecutesInlineInOrder) {
   EXPECT_EQ(trace, want);
 }
 
+TEST(ShardPool, RunDynamicRunsEveryChunkExactlyOnce) {
+  ShardPool pool;
+  std::vector<std::atomic<int>> hits(23);
+  pool.RunDynamic(4, 23, [&](std::size_t c, std::size_t w) {
+    EXPECT_LT(w, 4u);
+    ++hits[c];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ShardPool, RunDynamicDeterministicUnderStealing) {
+  // Chunks own disjoint output slots and per-worker accumulators are sums,
+  // so results must be bit-identical across repeated runs no matter which
+  // worker claims which chunk.
+  ShardPool pool;
+  constexpr std::size_t kChunks = 64;
+  std::vector<std::uint64_t> want;
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    std::vector<std::uint64_t> out(kChunks, 0);
+    std::vector<std::uint64_t> per_worker(4, 0);
+    pool.RunDynamic(4, kChunks, [&](std::size_t c, std::size_t w) {
+      out[c] = c * 0x9e3779b97f4a7c15ULL;
+      per_worker[w] += c;  // worker runs one chunk at a time
+    });
+    std::uint64_t claimed = 0;
+    for (const std::uint64_t p : per_worker) claimed += p;
+    EXPECT_EQ(claimed, kChunks * (kChunks - 1) / 2);  // every chunk once
+    if (repeat == 0) {
+      want = out;
+    } else {
+      EXPECT_EQ(out, want) << "repeat " << repeat;
+    }
+  }
+}
+
+TEST(ShardPool, RunDynamicRebalancesSkewedChunkCosts) {
+  // One pathological chunk busy-works while the rest are trivial: with
+  // stealing, the other workers drain every cheap chunk. Correctness (every
+  // chunk exactly once) is the assertion; the rebalancing itself shows as
+  // the cheap chunks not waiting behind the expensive one's worker.
+  ShardPool pool;
+  constexpr std::size_t kChunks = 32;
+  std::vector<std::atomic<int>> hits(kChunks);
+  std::atomic<std::uint64_t> sink{0};
+  pool.RunDynamic(4, kChunks, [&](std::size_t c, std::size_t) {
+    ++hits[c];
+    if (c == 0) {
+      std::uint64_t acc = 1;
+      for (int i = 0; i < 2000000; ++i) acc = acc * 6364136223846793005ULL + c;
+      sink += acc;  // keep the busy-work observable
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ShardPool, RunDynamicSingleChunkFastPathRunsOnCaller) {
+  ShardPool pool;
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.RunDynamic(8, 1, [&](std::size_t c, std::size_t w) {
+    EXPECT_EQ(c, 0u);
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.num_workers(), 0u);  // no handoff for a single chunk
+}
+
+TEST(ShardPool, RunDynamicReentrantExecutesInlineInOrder) {
+  ShardPool pool;
+  std::mutex m;
+  std::vector<std::vector<std::size_t>> orders;
+  pool.Run(2, [&](std::size_t) {
+    std::vector<std::size_t> order;  // nested call is serial by contract
+    pool.RunDynamic(3, 5, [&](std::size_t c, std::size_t w) {
+      EXPECT_EQ(w, 0u);
+      order.push_back(c);
+    });
+    std::lock_guard lk(m);
+    orders.push_back(std::move(order));
+  });
+  const std::vector<std::size_t> want{0, 1, 2, 3, 4};
+  ASSERT_EQ(orders.size(), 2u);
+  EXPECT_EQ(orders[0], want);
+  EXPECT_EQ(orders[1], want);
+}
+
+TEST(ShardPool, RunDynamicLowestChunkExceptionWinsAndAllChunksRun) {
+  ShardPool pool;
+  std::vector<std::atomic<int>> hits(12);
+  try {
+    pool.RunDynamic(3, 12, [&](std::size_t c, std::size_t) {
+      ++hits[c];
+      if (c == 7) throw std::runtime_error("seven");
+      if (c == 4) throw std::runtime_error("four");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "four");
+  }
+  // A throwing chunk cancels nothing — every chunk still executes once.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool survives a throwing dynamic task.
+  pool.RunDynamic(3, 12, [&](std::size_t c, std::size_t) { ++hits[c]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ShardPool, RunDynamicZeroIsANoOp) {
+  ShardPool pool;
+  bool ran = false;
+  pool.RunDynamic(0, 5, [&](std::size_t, std::size_t) { ran = true; });
+  pool.RunDynamic(5, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ShardPool, RunDynamicBlocksCoverTheRangeInChunkOrder) {
+  ShardPool pool;
+  // workers == 1 keeps the claim order deterministic, so the block layout
+  // itself can be asserted: contiguous, ascending, covering [0, n).
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  RunDynamicBlocks(pool, 103, 1, 8,
+                   [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                     EXPECT_EQ(c, blocks.size());
+                     blocks.emplace_back(lo, hi);
+                   });
+  ASSERT_EQ(blocks.size(), 8u);
+  EXPECT_EQ(blocks.front().first, 0u);
+  EXPECT_EQ(blocks.back().second, 103u);
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].first, blocks[i - 1].second);
+  }
+  // Chunk count is clamped to the range; a tiny range degenerates inline.
+  std::size_t calls = 0;
+  RunDynamicBlocks(pool, 1, 4, 8, [&](std::size_t, std::size_t lo,
+                                      std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
 TEST(ShardPool, DefaultPoolIsASingleton) {
   ShardPool& a = DefaultShardPool();
   ShardPool& b = DefaultShardPool();

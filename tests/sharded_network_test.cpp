@@ -298,6 +298,116 @@ TEST(ShardedNetwork, ShardCountClampedToNodes) {
   EXPECT_EQ(net.Inbox(2).size(), 1u);
 }
 
+TEST(MessageSoAPacked, PackRowRoundTripsThroughUnpackColumns) {
+  // The staging hop's wire format: PackRow -> (PackedRow run + side spill
+  // buffer) -> UnpackColumns must reproduce every row bit for bit, spill
+  // included.
+  MessageSoA out;
+  out.PushOneWord(3, 7, 0xabcdefULL);
+  Message multi;
+  multi.kind = 9;
+  multi.words[0] = 11;
+  multi.words[1] = 22;
+  multi.words[2] = 33;
+  out.PushMessage(5, multi);
+  out.PushOneWord(8, 1, 42);
+
+  std::vector<PackedRow> run;
+  std::vector<ExtWords> spill;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    run.push_back(out.PackRow(static_cast<NodeId>(100 + i), i, spill));
+  }
+  EXPECT_EQ(spill.size(), 1u);  // only the multi-word row spilled
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    EXPECT_EQ(run[i].to, static_cast<NodeId>(100 + i));
+  }
+
+  MessageSoA in;
+  in.UnpackColumns(run, spill);
+  ASSERT_EQ(in.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Message got = in.MessageAt(i);
+    const Message want = out.MessageAt(i);
+    EXPECT_EQ(got.src, want.src) << "row " << i;
+    EXPECT_EQ(got.kind, want.kind) << "row " << i;
+    EXPECT_EQ(got.words, want.words) << "row " << i;
+  }
+}
+
+TEST(MessageSoAPacked, TruncateToUndoesAppendedRows) {
+  MessageSoA soa;
+  soa.PushOneWord(1, 1, 10);
+  const std::size_t rows = soa.size();
+  const std::size_t spill = soa.spill_size();
+  Message multi;
+  multi.kind = 2;
+  multi.words[1] = 5;
+  soa.PushMessage(2, multi);
+  soa.PushOneWord(3, 3, 30);
+  EXPECT_EQ(soa.size(), 3u);
+  EXPECT_EQ(soa.spill_size(), 1u);
+  soa.TruncateTo(rows, spill);
+  EXPECT_EQ(soa.size(), 1u);
+  EXPECT_EQ(soa.spill_size(), 0u);
+  EXPECT_EQ(soa.word0(0), 10u);
+}
+
+TEST(ShardedNetwork, StagedBytesAccountTheHopAtPackedRowSize) {
+  // Every sent message crosses the staging hop exactly once above S=1, at
+  // kPackedRowBytes for one-word payloads; S=1 skips the hop entirely and
+  // keeps SyncNetwork's exact byte accounting.
+  const EngineConfig cfg{.num_nodes = 24, .capacity = 3, .seed = 5};
+  SyncNetwork sync(cfg);
+  ShardedNetwork s1{{.num_nodes = 24, .capacity = 3, .seed = 5,
+                     .num_shards = 1}};
+  ShardedNetwork s4{{.num_nodes = 24, .capacity = 3, .seed = 5,
+                     .num_shards = 4}};
+  for (std::size_t round = 0; round < 6; ++round) {
+    DriveRound(sync, round, 3);
+    DriveRound(s1, round, 3);
+    DriveRound(s4, round, 3);
+  }
+  EXPECT_EQ(s1.staged_rows(), 0u);
+  EXPECT_EQ(s1.staged_bytes(), 0u);
+  EXPECT_EQ(s1.arena_bytes_moved(), sync.arena_bytes_moved());
+  const std::uint64_t sent = s4.stats().messages_sent;
+  EXPECT_EQ(s4.staged_rows(), sent);
+  EXPECT_EQ(s4.staged_bytes(), sent * kPackedRowBytes);  // one-word workload
+  EXPECT_EQ(s4.staged_bytes() / s4.staged_rows(), kPackedRowBytes);
+}
+
+TEST(ShardedNetwork, BatchSendRollbackLeavesNothingEnqueued) {
+  // The single-pass batch paths validate targets inline; a bad target mid-
+  // batch must roll back every row already enqueued AND the counters, so a
+  // caught violation leaves the engine exactly as before the call.
+  ShardedNetwork net({.num_nodes = 8, .capacity = 4, .seed = 3,
+                      .num_shards = 2});
+  net.Send(1, 2, Payload(7));  // a pre-existing row that must survive
+
+  const std::vector<Envelope> bad{{2, 1, 10}, {3, 1, 11}, {99, 1, 12}};
+  EXPECT_THROW(net.SendBatch(1, bad), ContractViolation);
+  const std::vector<NodeId> bad_targets{4, 5, 99};
+  EXPECT_THROW(net.SendFanout(1, bad_targets, 1, 13), ContractViolation);
+
+  // Counters rolled back: the full remaining cap is still available.
+  EXPECT_EQ(net.TotalSentBy(1), 1u);
+  const std::vector<Envelope> ok{{2, 1, 20}, {3, 1, 21}, {4, 1, 22}};
+  net.SendBatch(1, ok);  // 1 + 3 == capacity, so rollback must have undone 3
+  net.EndRound();
+
+  // Exactly the pre-existing row and the good batch arrived — nothing from
+  // the failed batches leaked into delivery.
+  EXPECT_EQ(net.Inbox(2).size(), 2u);
+  EXPECT_EQ(net.Inbox(2)[0].word0(), 7u);
+  EXPECT_EQ(net.Inbox(2)[1].word0(), 20u);
+  EXPECT_EQ(net.Inbox(3).size(), 1u);
+  EXPECT_EQ(net.Inbox(4).size(), 1u);
+  EXPECT_EQ(net.Inbox(5).size(), 0u);
+  EXPECT_EQ(net.stats().messages_sent, 4u);
+  EXPECT_EQ(net.stats().messages_delivered, 4u);
+  EXPECT_EQ(net.MaxTotalSentPerNode(), 4u);
+}
+
 TEST(ShardedNetwork, RejectsInvalidConfig) {
   EXPECT_THROW(ShardedNetwork({.num_nodes = 0, .capacity = 1}),
                ContractViolation);

@@ -100,6 +100,28 @@ TEST(SyncNetwork, BatchedSendCapViolationEnqueuesNothing) {
   EXPECT_TRUE(net.Inbox(2).empty());
 }
 
+TEST(SyncNetwork, BatchedSendBadTargetRollsBackMidBatch) {
+  // The batch paths validate targets in the same single pass that enqueues
+  // them; a bad target after good ones must roll the good rows and the
+  // counters back before throwing.
+  SyncNetwork net({4, 3, 1});
+  net.Send(0, 1, Payload(1));
+  const Envelope batch[] = {{1, 1, 2}, {99, 1, 3}};
+  EXPECT_THROW(net.SendBatch(0, batch), ContractViolation);
+  const NodeId fan[] = {2, 99};
+  EXPECT_THROW(net.SendFanout(0, fan, 1, 9), ContractViolation);
+  EXPECT_EQ(net.TotalSentBy(0), 1u);
+  // The full remaining cap is available again after the rollbacks.
+  const Envelope ok[] = {{1, 1, 4}, {2, 1, 5}};
+  net.SendBatch(0, ok);
+  net.EndRound();
+  EXPECT_EQ(net.stats().messages_sent, 3u);
+  ASSERT_EQ(net.Inbox(1).size(), 2u);
+  EXPECT_EQ(net.Inbox(1)[0].word0(), 1u);
+  EXPECT_EQ(net.Inbox(1)[1].word0(), 4u);
+  EXPECT_EQ(net.Inbox(2).size(), 1u);
+}
+
 TEST(SyncNetwork, ReceiveOverloadDropsToCapacity) {
   // 8 senders, capacity 3: node 9 receives exactly 3, the rest dropped.
   SyncNetwork net({10, 3, 7});
