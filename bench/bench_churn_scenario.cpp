@@ -9,11 +9,8 @@
 // scenario config behind BENCH_churn_1m.json: it certifies that the sharded
 // stack holds together at the target scale, and records where the time goes.
 //
-// Input topology: a ring plus `chords` hash-picked chords per node — an
-// expander-like bounded-degree overlay built in O(n) (the generator-library
-// random-regular builders are set-backed and too slow at 1M nodes). The
-// ring guarantees the intact graph is connected; the chords keep the
-// post-strike largest component near the survivor count (cohesion ~ 1).
+// Input topology: the shared ring-plus-hash-chords overlay of
+// bench/scenario_workload.hpp (also the bench_adversary workload).
 //
 // Defaults: 1M nodes, 3 chords, 15% failures, 2 epochs, 8 shards. Override
 // with --nodes/--n, --chords, --failpct, --epochs, --shards, --seed; emit
@@ -28,34 +25,12 @@
 #include "graph/graph.hpp"
 #include "overlay/bfs_tree.hpp"
 #include "overlay/churn.hpp"
+#include "scenario_workload.hpp"
 #include "sim/sharded_network.hpp"
 
 using namespace overlay;
-
-namespace {
-
-double Seconds(std::chrono::steady_clock::time_point a,
-               std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-/// Ring + `chords` hash-picked chords per node: connected, bounded-degree,
-/// expander-like, O(n) to build. Deterministic in `seed`.
-Graph RingWithChords(std::size_t n, std::size_t chords, std::uint64_t seed) {
-  GraphBuilder b(n);
-  for (NodeId v = 0; v < n; ++v) {
-    b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
-    for (std::size_t j = 0; j < chords; ++j) {
-      std::uint64_t state = seed ^ (v * 0x9e3779b97f4a7c15ULL) ^
-                            (j * 0xbf58476d1ce4e5b9ULL);
-      const NodeId w = static_cast<NodeId>(SplitMix64(state) % n);
-      if (w != v) b.AddEdge(v, w);  // GraphBuilder dedupes parallel edges
-    }
-  }
-  return std::move(b).Build();
-}
-
-}  // namespace
+using overlay::bench::RingWithChords;
+using overlay::bench::Seconds;
 
 int main(int argc, char** argv) {
   using bench::SizeFlag;

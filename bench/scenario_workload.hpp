@@ -1,0 +1,45 @@
+// Shared million-node scenario workload pieces.
+//
+// The 1M-scale scenario benches (bench_churn_scenario, bench_adversary) all
+// need the same two things: a connected bounded-degree expander-like overlay
+// that builds in O(n) — the generator-library random-regular builders are
+// set-backed and too slow at 1M nodes — and steady-clock second deltas for
+// phase timing. One definition here so the scenario family measures the
+// same topology.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay::bench {
+
+inline double Seconds(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Ring + `chords` hash-picked chords per node: connected, bounded-degree,
+/// expander-like, O(n) to build. Deterministic in `seed`. The ring
+/// guarantees the intact graph is connected; the chords keep the
+/// post-strike largest component near the survivor count (cohesion ~ 1).
+inline Graph RingWithChords(std::size_t n, std::size_t chords,
+                            std::uint64_t seed) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+    for (std::size_t j = 0; j < chords; ++j) {
+      std::uint64_t state = seed ^ (v * 0x9e3779b97f4a7c15ULL) ^
+                            (j * 0xbf58476d1ce4e5b9ULL);
+      const NodeId w = static_cast<NodeId>(SplitMix64(state) % n);
+      if (w != v) b.AddEdge(v, w);  // GraphBuilder dedupes parallel edges
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace overlay::bench

@@ -1,6 +1,7 @@
 #include "graph/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "common/check.hpp"
@@ -95,6 +96,49 @@ std::vector<std::uint32_t> ConnectedComponentLabels(const Graph& g) {
     ++next;
   }
   return label;
+}
+
+std::uint64_t CutEdgeCount(const Graph& g, const std::vector<char>& side) {
+  OVERLAY_CHECK(side.size() == g.num_nodes(), "side mask size mismatch");
+  std::uint64_t crossing = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!side[v]) continue;
+    for (const NodeId w : g.Neighbors(v)) crossing += side[w] == 0;
+  }
+  return crossing;
+}
+
+double CutConductance(const Graph& g, const std::vector<char>& side) {
+  OVERLAY_CHECK(side.size() == g.num_nodes(), "side mask size mismatch");
+  std::uint64_t vol_in = 0, vol_out = 0, crossing = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint64_t deg = g.Degree(v);
+    if (side[v]) {
+      vol_in += deg;
+      for (const NodeId w : g.Neighbors(v)) crossing += side[w] == 0;
+    } else {
+      vol_out += deg;
+    }
+  }
+  const std::uint64_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(crossing) / static_cast<double>(denom);
+}
+
+std::vector<NodeId> CutBoundaryNodes(const Graph& g,
+                                     const std::vector<char>& side) {
+  OVERLAY_CHECK(side.size() == g.num_nodes(), "side mask size mismatch");
+  std::vector<NodeId> boundary;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!side[v]) continue;
+    for (const NodeId w : g.Neighbors(v)) {
+      if (!side[w]) {
+        boundary.push_back(v);
+        break;
+      }
+    }
+  }
+  return boundary;
 }
 
 std::vector<std::size_t> ComponentSizes(

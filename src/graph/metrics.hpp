@@ -40,4 +40,20 @@ std::vector<std::uint32_t> ConnectedComponentLabels(const Graph& g);
 /// Sizes indexed by component label.
 std::vector<std::size_t> ComponentSizes(const std::vector<std::uint32_t>& labels);
 
+/// Number of edges crossing the node partition (side[v] != 0 vs == 0).
+/// `side.size()` must equal g.num_nodes().
+std::uint64_t CutEdgeCount(const Graph& g, const std::vector<char>& side);
+
+/// Definition-1.7-style conductance of the partition: crossing edges over
+/// min(vol(S), vol(V\S)) with vol = summed degrees. Returns +inf when either
+/// side has zero volume (no cut to speak of) — callers minimizing over
+/// candidate cuts can compare without special cases.
+double CutConductance(const Graph& g, const std::vector<char>& side);
+
+/// Inner boundary of the marked side: nodes with side[v] != 0 that have at
+/// least one neighbor outside, ascending. Killing them removes every
+/// crossing edge — the cut-targeted strike's victim set.
+std::vector<NodeId> CutBoundaryNodes(const Graph& g,
+                                     const std::vector<char>& side);
+
 }  // namespace overlay

@@ -54,7 +54,79 @@ std::uint64_t StoerWagnerDense(std::vector<std::vector<std::uint64_t>> w) {
   return best;
 }
 
+/// Stoer–Wagner tracking supernode contents: identical phase structure to
+/// StoerWagnerDense, plus a per-active-node member list so the best
+/// cut-of-the-phase can be materialized as a node-set side.
+MinCutSideResult StoerWagnerDenseSide(
+    std::vector<std::vector<std::uint64_t>> w) {
+  const std::size_t n = w.size();
+  OVERLAY_CHECK(n >= 2, "min cut needs at least two nodes");
+  std::vector<std::size_t> active(n);
+  std::vector<std::vector<NodeId>> members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    active[i] = i;
+    members[i] = {static_cast<NodeId>(i)};
+  }
+
+  MinCutSideResult best;
+  best.weight = std::numeric_limits<std::uint64_t>::max();
+  while (active.size() > 1) {
+    std::vector<std::uint64_t> conn(active.size(), 0);
+    std::vector<char> added(active.size(), 0);
+    std::size_t prev = 0, last = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      std::size_t pick = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i] && (pick == active.size() || conn[i] > conn[pick])) {
+          pick = i;
+        }
+      }
+      added[pick] = 1;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i]) conn[i] += w[active[pick]][active[i]];
+      }
+    }
+    if (conn[last] < best.weight) {
+      best.weight = conn[last];
+      best.side.assign(n, 0);
+      for (const NodeId v : members[active[last]]) best.side[v] = 1;
+    }
+    const std::size_t a = active[prev], b = active[last];
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t c = active[i];
+      if (c == a || c == b) continue;
+      w[a][c] += w[b][c];
+      w[c][a] = w[a][c];
+    }
+    members[a].insert(members[a].end(), members[b].begin(), members[b].end());
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+
+  // Normalize to the smaller side so strike budgets stretch further.
+  std::size_t inside = 0;
+  for (const char c : best.side) inside += c != 0;
+  if (inside * 2 > n) {
+    for (char& c : best.side) c = c == 0;
+  }
+  return best;
+}
+
 }  // namespace
+
+MinCutSideResult StoerWagnerMinCutSide(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(n >= 2, "min cut needs at least two nodes");
+  OVERLAY_CHECK(IsConnected(g), "min cut defined for connected graphs");
+  std::vector<std::vector<std::uint64_t>> w(n,
+                                            std::vector<std::uint64_t>(n, 0));
+  for (const auto& [u, v] : g.EdgeList()) {
+    w[u][v] = 1;
+    w[v][u] = 1;
+  }
+  return StoerWagnerDenseSide(std::move(w));
+}
 
 std::uint64_t StoerWagnerMinCut(const Multigraph& g) {
   const std::size_t n = g.num_nodes();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/multigraph.hpp"
@@ -21,6 +22,20 @@ std::uint64_t StoerWagnerMinCut(const Multigraph& g);
 
 /// Unit-weight overload for simple graphs.
 std::uint64_t StoerWagnerMinCut(const Graph& g);
+
+/// A global min cut together with one of its sides — the witness the
+/// adversary's cut-targeted strike wants: side[v] != 0 marks the smaller (or
+/// equal) side of an optimal partition.
+struct MinCutSideResult {
+  std::uint64_t weight = 0;
+  std::vector<char> side;
+};
+
+/// Exact min cut with the achieving partition (Stoer–Wagner tracking merged
+/// supernode contents). Same preconditions and O(n³) budget as
+/// StoerWagnerMinCut; `side` is normalized to the side with fewer nodes
+/// (ties keep the phase's last-vertex group).
+MinCutSideResult StoerWagnerMinCutSide(const Graph& g);
 
 /// Best (smallest) cut weight found over `trials` random contraction runs —
 /// an upper bound on the min cut that matches it w.h.p. for enough trials.

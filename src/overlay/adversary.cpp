@@ -1,0 +1,450 @@
+#include "overlay/adversary.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+#include "graph/metrics.hpp"
+#include "graph/mincut.hpp"
+#include "overlay/churn.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace overlay {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::size_t ClampShards(std::size_t shards, std::size_t n) {
+  return std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(n, 1)));
+}
+
+/// One uniform 64-bit priority per node. Serial consumes `rng` in node
+/// order; sharded splits one stream per contiguous chunk (chunk == shard
+/// count, so the chunk→stream map is fixed by (seed, S)) and fills blocks
+/// work-stealing — scheduling never changes who draws what.
+std::vector<std::uint64_t> DrawPriorities(std::size_t n, std::size_t shards,
+                                          Rng& rng) {
+  std::vector<std::uint64_t> pri(n);
+  if (shards <= 1) {
+    for (auto& p : pri) p = rng.Next();
+  } else {
+    std::vector<Rng> block_rng;
+    block_rng.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) block_rng.push_back(rng.Split());
+    RunDynamicBlocks(DefaultShardPool(), n, shards, shards,
+                     [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                       Rng& r = block_rng[c];
+                       for (std::size_t v = lo; v < hi; ++v) pri[v] = r.Next();
+                     });
+  }
+  return pri;
+}
+
+/// The `budget` eligible nodes with the smallest (priority, id) pairs,
+/// ascending — uniform sampling without replacement with an exact count.
+std::vector<NodeId> SmallestByPriority(const std::vector<std::uint64_t>& pri,
+                                       std::size_t budget,
+                                       const std::vector<char>* eligible) {
+  std::vector<NodeId> ids;
+  ids.reserve(pri.size());
+  for (NodeId v = 0; v < pri.size(); ++v) {
+    if (eligible == nullptr || (*eligible)[v]) ids.push_back(v);
+  }
+  if (budget >= ids.size()) return ids;
+  std::nth_element(ids.begin(),
+                   ids.begin() + static_cast<std::ptrdiff_t>(budget), ids.end(),
+                   [&](NodeId a, NodeId b) {
+                     return pri[a] < pri[b] || (pri[a] == pri[b] && a < b);
+                   });
+  ids.resize(budget);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// ---- oblivious -------------------------------------------------------------
+
+class ObliviousStrike final : public StrikeStrategy {
+ public:
+  const char* name() const override { return "oblivious"; }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             Rng& rng) const override {
+    const std::size_t n = g.num_nodes();
+    const std::size_t budget = std::min(opts.budget, n);
+    StrikeResult out;
+    if (budget == 0) return out;
+    const std::size_t shards = ClampShards(opts.num_shards, n);
+    const auto pri = DrawPriorities(n, shards, rng);
+    out.victims = SmallestByPriority(pri, budget, nullptr);
+    return out;
+  }
+};
+
+// ---- degree-targeted -------------------------------------------------------
+
+class DegreeTargetedStrike final : public StrikeStrategy {
+ public:
+  const char* name() const override { return "degree"; }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             Rng& /*rng*/) const override {
+    const std::size_t n = g.num_nodes();
+    const std::size_t budget = std::min(opts.budget, n);
+    StrikeResult out;
+    if (budget == 0) return out;
+    const auto by_degree = [&g](NodeId a, NodeId b) {
+      const std::size_t da = g.Degree(a), db = g.Degree(b);
+      return da > db || (da == db && a < b);
+    };
+    // Sharded top-k pass: each contiguous block keeps its own `budget` best
+    // candidates (only a block-local winner can be a global winner), then a
+    // serial merge selects the exact global top-k. Draws no randomness, so
+    // the victim set is shard-count-invariant, not just deterministic.
+    const std::size_t shards = ClampShards(opts.num_shards, n);
+    std::vector<std::vector<NodeId>> cand(shards);
+    RunDynamicBlocks(
+        DefaultShardPool(), n, shards, shards,
+        [&](std::size_t c, std::size_t lo, std::size_t hi) {
+          auto& mine = cand[c];
+          mine.resize(hi - lo);
+          for (std::size_t v = lo; v < hi; ++v) {
+            mine[v - lo] = static_cast<NodeId>(v);
+          }
+          const std::size_t keep = std::min(budget, mine.size());
+          std::partial_sort(mine.begin(),
+                            mine.begin() + static_cast<std::ptrdiff_t>(keep),
+                            mine.end(), by_degree);
+          mine.resize(keep);
+        });
+    std::vector<NodeId> merged;
+    for (const auto& c : cand) {
+      merged.insert(merged.end(), c.begin(), c.end());
+    }
+    if (merged.size() > budget) {
+      std::nth_element(merged.begin(),
+                       merged.begin() + static_cast<std::ptrdiff_t>(budget),
+                       merged.end(), by_degree);
+      merged.resize(budget);
+    }
+    std::sort(merged.begin(), merged.end());
+    out.victims = std::move(merged);
+    return out;
+  }
+};
+
+// ---- cut-targeted ----------------------------------------------------------
+
+/// One BFS-ball trial: grown node by node from `seed` up to `cap` nodes,
+/// scoring *every visit-order prefix* by conductance (crossing edges over
+/// the smaller side's volume — any prefix is a legitimate cut side, and
+/// per-node scoring still finds a clique-shaped sweet spot when `cap`
+/// truncates a level). `ball` is the prefix achieving `phi`.
+struct BallTrial {
+  double phi = std::numeric_limits<double>::infinity();
+  std::vector<NodeId> ball;
+};
+
+BallTrial GrowBall(const Graph& g, NodeId seed, std::size_t cap) {
+  BallTrial best;
+  const std::size_t n = g.num_nodes();
+  const std::uint64_t total_vol = 2ull * g.num_edges();
+  std::vector<char> in_ball(n, 0);
+  std::vector<NodeId> order;
+  order.reserve(cap);
+  std::uint64_t vol_in = 0;
+  std::uint64_t internal = 0;
+  std::size_t best_size = 0;
+  const auto add_and_score = [&](NodeId w) {
+    in_ball[w] = 1;
+    order.push_back(w);
+    vol_in += g.Degree(w);
+    // Edges from w into the prefix so far; w is not its own neighbor.
+    for (const NodeId x : g.Neighbors(w)) internal += in_ball[x];
+    const std::uint64_t crossing = vol_in - 2 * internal;
+    const std::uint64_t vol_out = total_vol - vol_in;
+    const std::uint64_t denom = std::min(vol_in, vol_out);
+    if (denom > 0) {
+      const double phi =
+          static_cast<double>(crossing) / static_cast<double>(denom);
+      if (phi < best.phi) {
+        best.phi = phi;
+        best_size = order.size();
+      }
+    }
+  };
+  add_and_score(seed);
+  std::vector<NodeId> frontier{seed};
+  while (!frontier.empty() && order.size() < cap) {
+    std::vector<NodeId> next;
+    for (const NodeId v : frontier) {
+      for (const NodeId w : g.Neighbors(v)) {
+        if (in_ball[w] || order.size() >= cap) continue;
+        add_and_score(w);
+        next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  best.ball.assign(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(best_size));
+  return best;
+}
+
+class CutTargetedStrike final : public StrikeStrategy {
+ public:
+  const char* name() const override { return "cut"; }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             Rng& rng) const override {
+    const std::size_t n = g.num_nodes();
+    const std::size_t budget = std::min(opts.budget, n);
+    StrikeResult out;
+    if (budget == 0) return out;
+    if (budget >= n) {
+      out.victims.resize(n);
+      for (NodeId v = 0; v < n; ++v) out.victims[v] = v;
+      return out;
+    }
+
+    // Pick a low-conductance side: the exact Stoer–Wagner partition on
+    // small overlays, a seeded BFS-ball conductance sweep above that. Ball
+    // seeds are drawn serially from `rng` before the parallel sweep, and
+    // each trial is a pure function of its seed node — so the sweep is
+    // deterministic under work stealing.
+    std::vector<char> side;
+    if (n >= 2 && n <= opts.exact_cut_max_nodes && IsConnected(g)) {
+      side = StoerWagnerMinCutSide(g).side;
+    } else if (n >= 2) {
+      const std::size_t trials = std::max<std::size_t>(1, opts.cut_trials);
+      const std::size_t cap = std::max<std::size_t>(
+          2, std::min(opts.cut_ball_cap, (n + 1) / 2));
+      std::vector<NodeId> seeds(trials);
+      for (auto& s : seeds) s = static_cast<NodeId>(rng.NextBelow(n));
+      const std::size_t shards = ClampShards(opts.num_shards, trials);
+      std::vector<BallTrial> results(trials);
+      RunDynamicBlocks(DefaultShardPool(), trials, shards, trials,
+                       [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                         for (std::size_t t = lo; t < hi; ++t) {
+                           results[t] = GrowBall(g, seeds[t], cap);
+                         }
+                         (void)c;
+                       });
+      std::size_t best = trials;
+      for (std::size_t t = 0; t < trials; ++t) {
+        if (!results[t].ball.empty() &&
+            (best == trials || results[t].phi < results[best].phi)) {
+          best = t;
+        }
+      }
+      if (best != trials) {
+        side.assign(n, 0);
+        for (const NodeId v : results[best].ball) side[v] = 1;
+      }
+    }
+
+    // Victim ranking: the cut's inner boundary first (killing it severs
+    // every crossing edge), then the rest of the marked side, then the
+    // remaining graph — within each rank by (degree desc, id asc). The
+    // budget takes the prefix. With no usable side (e.g. a complete graph)
+    // this degrades to a pure degree-targeted strike.
+    std::vector<char> rank(n, 2);
+    if (!side.empty()) {
+      out.cut_conductance = CutConductance(g, side);
+      for (NodeId v = 0; v < n; ++v) {
+        if (side[v]) rank[v] = 1;
+      }
+      for (const NodeId v : CutBoundaryNodes(g, side)) rank[v] = 0;
+    }
+    std::vector<NodeId> ids(n);
+    for (NodeId v = 0; v < n; ++v) ids[v] = v;
+    std::nth_element(ids.begin(),
+                     ids.begin() + static_cast<std::ptrdiff_t>(budget),
+                     ids.end(), [&](NodeId a, NodeId b) {
+                       if (rank[a] != rank[b]) return rank[a] < rank[b];
+                       const std::size_t da = g.Degree(a), db = g.Degree(b);
+                       return da > db || (da == db && a < b);
+                     });
+    ids.resize(budget);
+    std::sort(ids.begin(), ids.end());
+    out.victims = std::move(ids);
+    return out;
+  }
+};
+
+// ---- drip-churn ------------------------------------------------------------
+
+class DripChurnStrike final : public StrikeStrategy {
+ public:
+  const char* name() const override { return "drip"; }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             Rng& rng) const override {
+    const std::size_t n = g.num_nodes();
+    const std::size_t budget = std::min(opts.budget, n);
+    StrikeResult out;
+    if (budget == 0) return out;
+    // Sustained attrition: the budget is split over sequential ticks, each
+    // re-sampled uniformly among the *still-alive* nodes — the adversary
+    // that never wastes a kill on a corpse and whose pressure arrives as a
+    // steady drip rather than one blast. Each tick draws one priority per
+    // node (dead ones are simply ineligible), so the RNG consumption is a
+    // fixed function of (n, ticks, S).
+    const std::size_t ticks =
+        std::max<std::size_t>(1, std::min(opts.drip_ticks, budget));
+    const std::size_t shards = ClampShards(opts.num_shards, n);
+    std::vector<char> alive(n, 1);
+    out.victims.reserve(budget);
+    for (std::size_t t = 0; t < ticks; ++t) {
+      const std::size_t quota = budget / ticks + (t < budget % ticks ? 1 : 0);
+      if (quota == 0) continue;
+      const auto pri = DrawPriorities(n, shards, rng);
+      for (const NodeId v : SmallestByPriority(pri, quota, &alive)) {
+        alive[v] = 0;
+        out.victims.push_back(v);
+      }
+    }
+    std::sort(out.victims.begin(), out.victims.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* StrikeKindName(StrikeKind kind) {
+  switch (kind) {
+    case StrikeKind::kOblivious:
+      return "oblivious";
+    case StrikeKind::kDegreeTargeted:
+      return "degree";
+    case StrikeKind::kCutTargeted:
+      return "cut";
+    case StrikeKind::kDrip:
+      return "drip";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<StrikeStrategy> MakeStrikeStrategy(StrikeKind kind) {
+  switch (kind) {
+    case StrikeKind::kOblivious:
+      return std::make_unique<ObliviousStrike>();
+    case StrikeKind::kDegreeTargeted:
+      return std::make_unique<DegreeTargetedStrike>();
+    case StrikeKind::kCutTargeted:
+      return std::make_unique<CutTargetedStrike>();
+    case StrikeKind::kDrip:
+      return std::make_unique<DripChurnStrike>();
+  }
+  OVERLAY_CHECK(false, "unknown strike kind");
+  return nullptr;
+}
+
+ScenarioResult RunAdversaryScenario(const Graph& start,
+                                    const ScenarioOptions& opts) {
+  return RunAdversaryScenario(start, *MakeStrikeStrategy(opts.strike), opts);
+}
+
+ScenarioResult RunAdversaryScenario(const Graph& start,
+                                    const StrikeStrategy& strategy,
+                                    const ScenarioOptions& opts) {
+  OVERLAY_CHECK(opts.epochs >= 1, "need at least one epoch");
+  OVERLAY_CHECK(start.num_nodes() >= 2, "scenario needs at least two nodes");
+  OVERLAY_CHECK(opts.budget_fraction >= 0.0 && opts.budget_fraction <= 1.0,
+                "budget fraction must be in [0, 1]");
+  const std::size_t shards = opts.strike_opts.num_shards;
+  OVERLAY_CHECK(shards >= 1, "need at least one shard");
+
+  ScenarioResult out;
+  out.overlay = start;
+  Rng rng(opts.seed);
+
+  // Repair chains off an existing tree, so the scenario enters epoch 0 with
+  // the intact overlay's tree already built (the steady state a long-lived
+  // network would be in). Rebuild mode reconstructs from scratch each epoch
+  // and never reads it.
+  if (opts.recovery == RecoveryMode::kRepair) {
+    out.tree =
+        BuildBfsTree(out.overlay, opts.engine,
+                     EngineConfig{.seed = opts.seed, .num_shards = shards});
+  }
+
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    EpochStats e;
+    e.epoch = epoch;
+    e.nodes_before = out.overlay.num_nodes();
+    e.edges_before = out.overlay.num_edges();
+
+    StrikeOptions strike_opts = opts.strike_opts;
+    if (opts.budget_fraction > 0.0) {
+      strike_opts.budget = static_cast<std::size_t>(
+          opts.budget_fraction * static_cast<double>(e.nodes_before) + 0.5);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const StrikeResult strike =
+        strategy.SelectVictims(out.overlay, strike_opts, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    ChurnResult churn = ApplyStrike(out.overlay, strike.victims, shards);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    e.killed = strike.victims.size();
+    e.survivors = churn.survivors;
+    e.num_components = churn.num_components;
+    e.cohesion = churn.Cohesion();
+    e.cut_conductance = strike.cut_conductance;
+    e.strike_seconds = Seconds(t0, t1);
+    e.extract_seconds = Seconds(t1, t2);
+
+    if (churn.component_global.size() < 2) {
+      out.collapsed = true;
+      out.epochs.push_back(e);
+      break;
+    }
+    if (opts.measure_diameter) {
+      e.diameter =
+          ApproxDiameter(churn.largest_component, opts.diameter_sweeps);
+    }
+
+    // Recovery: incremental repair when asked and possible (the old root
+    // must have survived as the component's minimum id), else the full
+    // rebuild flood.
+    const auto t3 = std::chrono::steady_clock::now();
+    bool repaired = false;
+    if (opts.recovery == RecoveryMode::kRepair) {
+      RepairResult rep =
+          RepairBfsTree(churn.largest_component, out.tree,
+                        churn.component_global, {.num_shards = shards});
+      e.orphans = rep.orphans;
+      if (rep.repaired) {
+        e.reattached = rep.reattached;
+        out.tree = std::move(rep.tree);
+        repaired = true;
+      }
+    }
+    if (!repaired) {
+      out.tree = BuildBfsTree(
+          churn.largest_component, opts.engine,
+          EngineConfig{.seed = opts.seed + epoch + 1, .num_shards = shards});
+    }
+    const auto t4 = std::chrono::steady_clock::now();
+
+    e.repair_used = repaired;
+    e.recovery_rounds = out.tree.stats.rounds;
+    e.recovery_messages = out.tree.stats.messages_sent;
+    e.tree_height = out.tree.height;
+    e.recovery_seconds = Seconds(t3, t4);
+    e.tree_valid = !opts.validate_trees ||
+                   ValidateBfsTree(churn.largest_component, out.tree);
+
+    out.overlay = std::move(churn.largest_component);
+    out.epochs.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace overlay

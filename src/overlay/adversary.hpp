@@ -1,0 +1,173 @@
+// Adversarial strike subsystem + multi-epoch repair-vs-rebuild driver.
+//
+// The paper's robustness claim (Section 1.4) is probabilistic: under
+// *oblivious* independent failures the logarithmic min cut keeps the overlay
+// connected w.h.p. An adversary is the interesting stress: it aims kills at
+// the structure instead of rolling dice. This module supplies
+//
+//   * StrikeStrategy — a pluggable victim-selection interface with four
+//     built-ins: oblivious (uniform without replacement), degree-targeted
+//     (the exact global top-k by degree, found by a sharded per-block top-k
+//     pass + serial merge), cut-targeted (graph/mincut's exact Stoer–Wagner
+//     side on small overlays, a conductance-guided BFS-ball sweep above
+//     that; victims are the cut's inner boundary), and drip-churn (the
+//     budget spread over sequential ticks re-sampled among the still-alive
+//     — sustained attrition rather than one blast);
+//   * RunAdversaryScenario — a multi-epoch driver alternating
+//     strike → cohesion/diameter measurement → recovery, where recovery is
+//     either the full BuildBfsTree rebuild flood or the incremental
+//     RepairBfsTree frontier patching (falling back to rebuild when the
+//     root died), emitting structured EpochStats per epoch.
+//
+// Determinism: every strike pass runs on ShardPool::RunDynamic over
+// contiguous blocks with one split RNG stream per chunk — the chunk→stream
+// map is fixed by (seed, num_shards), so a fixed (seed, S) replays
+// bit-identically regardless of thread scheduling. Degree- and cut-targeted
+// selection draw no per-node randomness at all (cut seeds are drawn
+// serially before the parallel sweep), so their victim sets are also
+// shard-count-invariant. Recovery inherits the engines' own determinism
+// contracts (BFS flood is randomness-free; repair is pull-only).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "overlay/bfs_tree.hpp"
+#include "sim/engine.hpp"
+
+namespace overlay {
+
+enum class StrikeKind { kOblivious, kDegreeTargeted, kCutTargeted, kDrip };
+
+/// Stable lowercase name ("oblivious", "degree", "cut", "drip") — bench
+/// table keys and CLI values.
+const char* StrikeKindName(StrikeKind kind);
+
+struct StrikeOptions {
+  /// Exact number of nodes to kill (clamped to the overlay size).
+  std::size_t budget = 0;
+  /// Worker shards / split-RNG chunk count for the selection passes.
+  std::size_t num_shards = 1;
+  /// Drip-churn: sequential re-sampled mini-strikes the budget is split
+  /// into (clamped to [1, budget]).
+  std::size_t drip_ticks = 4;
+  /// Cut-targeted: BFS-ball seeds examined per strike.
+  std::size_t cut_trials = 8;
+  /// Cut-targeted: max ball volume (nodes) grown per trial.
+  std::size_t cut_ball_cap = 4096;
+  /// Cut-targeted: up to this many nodes the exact Stoer–Wagner side is
+  /// used instead of the ball sweep (O(n³) — keep small).
+  std::size_t exact_cut_max_nodes = 160;
+};
+
+struct StrikeResult {
+  /// Victim ids, ascending, exactly min(budget, n) of them.
+  std::vector<NodeId> victims;
+  /// Cut-targeted diagnostics: conductance of the chosen cut (0 elsewhere).
+  double cut_conductance = 0.0;
+};
+
+/// Pluggable victim-selection policy. Implementations must honor the budget
+/// exactly and be deterministic for a fixed (rng state, num_shards).
+class StrikeStrategy {
+ public:
+  virtual ~StrikeStrategy() = default;
+  virtual const char* name() const = 0;
+  virtual StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                                     Rng& rng) const = 0;
+};
+
+/// Factory for the built-in strategies.
+std::unique_ptr<StrikeStrategy> MakeStrikeStrategy(StrikeKind kind);
+
+/// How an epoch recovers its BFS tree after the strike.
+enum class RecoveryMode {
+  kRebuild,  ///< full BuildBfsTree flood over the surviving component
+  kRepair,   ///< incremental RepairBfsTree (falls back to rebuild when the
+             ///< old root died or no tree exists yet)
+};
+
+struct ScenarioOptions {
+  StrikeKind strike = StrikeKind::kOblivious;
+  /// Per-epoch strike parameters; `num_shards` here also drives the
+  /// recovery engine's shard count and the extraction passes.
+  StrikeOptions strike_opts;
+  /// When > 0, each epoch's budget is this fraction of the *current*
+  /// overlay (rounded), overriding strike_opts.budget — the "kill x% per
+  /// epoch" shape the multi-epoch benches sweep. Must be <= 1.
+  double budget_fraction = 0.0;
+  std::size_t epochs = 1;
+  RecoveryMode recovery = RecoveryMode::kRebuild;
+  /// Engine the rebuild flood runs on (repair is engine-free compute).
+  EngineKind engine = EngineKind::kSharded;
+  std::uint64_t seed = 1;
+  /// Measure the post-strike component's approximate diameter (double-sweep
+  /// BFS) each epoch. Off by default — it is measurement, not protocol.
+  bool measure_diameter = false;
+  std::uint32_t diameter_sweeps = 2;
+  /// Validate every epoch's tree against BFS distances (O(n + m) serial).
+  bool validate_trees = true;
+};
+
+/// One epoch's structured record: what was killed, what held together, and
+/// what recovery cost. Wall-clock fields are measurement-only — the
+/// differential tests compare everything except them.
+struct EpochStats {
+  std::size_t epoch = 0;
+  std::size_t nodes_before = 0;
+  std::size_t edges_before = 0;
+  std::size_t killed = 0;
+  std::size_t survivors = 0;
+  std::size_t num_components = 0;
+  /// Largest-component share of the survivors (ChurnResult::Cohesion).
+  double cohesion = 0.0;
+  /// Approximate diameter of the surviving component (0 when unmeasured).
+  std::uint32_t diameter = 0;
+  /// Cut-targeted strikes: conductance of the attacked cut.
+  double cut_conductance = 0.0;
+  /// True when this epoch's recovery was an incremental repair (not a
+  /// rebuild or a repair->rebuild fallback).
+  bool repair_used = false;
+  /// Orphans the repair pass saw / re-attached (0 on rebuild epochs).
+  std::size_t orphans = 0;
+  std::size_t reattached = 0;
+  /// Recovery protocol cost: rounds (flood rounds or patch waves) and
+  /// messages, straight from the recovery tree's NetworkStats.
+  std::uint64_t recovery_rounds = 0;
+  std::uint64_t recovery_messages = 0;
+  std::uint32_t tree_height = 0;
+  bool tree_valid = false;
+  double strike_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double recovery_seconds = 0.0;
+};
+
+struct ScenarioResult {
+  std::vector<EpochStats> epochs;
+  /// The overlay after the last completed epoch (its largest component).
+  Graph overlay;
+  /// The recovery tree over `overlay` (empty if the scenario collapsed).
+  BfsTreeResult tree;
+  /// True when a strike left fewer than two connected survivors and the
+  /// scenario stopped early (the final epoch record is still emitted).
+  bool collapsed = false;
+};
+
+/// Runs `opts.epochs` epochs of strike → measure → recover starting from
+/// `start` (must be connected). Each epoch strikes the current overlay,
+/// keeps the largest surviving component, recovers a BFS tree over it per
+/// `opts.recovery`, and carries that component into the next epoch.
+/// Deterministic for fixed (opts.seed, opts.strike_opts.num_shards).
+ScenarioResult RunAdversaryScenario(const Graph& start,
+                                    const ScenarioOptions& opts);
+
+/// Same, with a caller-supplied strategy (the pluggable seam).
+ScenarioResult RunAdversaryScenario(const Graph& start,
+                                    const StrikeStrategy& strategy,
+                                    const ScenarioOptions& opts);
+
+}  // namespace overlay

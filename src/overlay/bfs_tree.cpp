@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "graph/metrics.hpp"
 #include "sim/async_network.hpp"
+#include "sim/shard_pool.hpp"
 #include "sim/sharded_network.hpp"
 
 namespace overlay {
@@ -131,6 +133,167 @@ BfsTreeResult BuildBfsTree(const Graph& g, EngineKind kind, EngineConfig cfg) {
       break;
   }
   return BuildBfsTree<SyncNetwork>(g, cfg);
+}
+
+RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
+                           std::span<const NodeId> new_to_old,
+                           const RepairOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  OVERLAY_CHECK(new_to_old.size() == n, "repair mapping size mismatch");
+  OVERLAY_CHECK(opts.num_shards >= 1, "need at least one shard");
+  RepairResult out;
+  if (n == 0) return out;
+
+  const std::size_t old_n = old_tree.parent.size();
+  std::vector<NodeId> old_to_new(old_n, kInvalidNode);
+  for (NodeId i = 0; i < n; ++i) {
+    OVERLAY_CHECK(new_to_old[i] < old_n, "repair mapping target out of range");
+    old_to_new[new_to_old[i]] = i;
+  }
+  // Repair keeps the old root's election: it must have survived into the new
+  // overlay as the minimum id (local 0). Anything else re-elects a root and
+  // shifts every depth — that is a rebuild, not a repair.
+  if (old_tree.root >= old_n || old_to_new[old_tree.root] != 0) return out;
+
+  // Map the old tree onto the survivors: provisional (parent, depth) per new
+  // node; a dead or out-of-component parent maps to kInvalidNode.
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::uint32_t max_depth = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId old = new_to_old[i];
+    depth[i] = old_tree.depth[old];
+    max_depth = std::max(max_depth, depth[i]);
+    const NodeId p_old = old_tree.parent[old];
+    parent[i] = p_old == kInvalidNode || p_old >= old_n ? kInvalidNode
+                                                        : old_to_new[p_old];
+  }
+
+  // Intact pass, ascending provisional depth (counting sort): a node is
+  // intact iff it is the root or its mapped parent is intact — i.e. its
+  // whole old root path survived. Intact depths are exact in g: deletions
+  // only lengthen shortest paths, and the intact path still achieves the
+  // old distance.
+  std::vector<std::size_t> cursor(max_depth + 1, 0);
+  for (NodeId i = 0; i < n; ++i) ++cursor[depth[i]];
+  std::vector<std::size_t> start(max_depth + 2, 0);
+  for (std::uint32_t d = 0; d <= max_depth; ++d) {
+    start[d + 1] = start[d] + cursor[d];
+  }
+  std::vector<NodeId> by_depth(n);
+  cursor.assign(start.begin(), start.end() - 1);
+  for (NodeId i = 0; i < n; ++i) by_depth[cursor[depth[i]]++] = i;
+
+  std::vector<char> intact(n, 0);
+  for (const NodeId i : by_depth) {
+    if (i == 0) {
+      intact[0] = depth[0] == 0;
+      continue;
+    }
+    const NodeId p = parent[i];
+    if (p != kInvalidNode && intact[p]) intact[i] = 1;
+  }
+
+  std::vector<NodeId> orphan_list;
+  std::uint32_t max_patched = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (intact[i]) {
+      max_patched = std::max(max_patched, depth[i]);
+    } else {
+      depth[i] = kUnset;
+      parent[i] = kInvalidNode;
+      orphan_list.push_back(i);
+    }
+  }
+  out.orphans = orphan_list.size();
+
+  // Frontier patching: multi-source layered BFS seeded by the intact nodes
+  // at their (exact) depths. Wave d attaches every unpatched orphan with a
+  // depth-d neighbor at depth d + 1, parent = the smallest-id such neighbor
+  // (Neighbors() is ascending, so the first hit wins). The scan is
+  // pull-style over the remaining-orphan list in work-stealing blocks: an
+  // orphan reads only patched depths frozen before the wave and stages its
+  // attachment per chunk, the merge applies chunks in index order — no
+  // randomness, no cross-thread writes, bit-identical on every shard count.
+  // Correctness: the last intact node u on a shortest root→v path is
+  // followed by orphan-only nodes, so layering from the intact offsets
+  // yields exact distances.
+  const std::size_t shards = std::max<std::size_t>(1, opts.num_shards);
+  std::uint32_t waves = 0;
+  std::vector<NodeId> remaining = orphan_list;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> attach;
+  for (std::uint32_t d = 0; !remaining.empty(); ++d) {
+    if (d > max_patched) {
+      // Unreachable orphans: g was not the connected component the contract
+      // promises. Refuse the repair; the caller rebuilds.
+      RepairResult refused;
+      refused.orphans = out.orphans;
+      return refused;
+    }
+    const std::size_t chunks =
+        std::min(remaining.size(), shards * kStealChunksPerWorker);
+    attach.assign(std::max<std::size_t>(chunks, 1), {});
+    RunDynamicBlocks(DefaultShardPool(), remaining.size(), shards, chunks,
+                     [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                       auto& mine = attach[c];
+                       for (std::size_t idx = lo; idx < hi; ++idx) {
+                         const NodeId j = remaining[idx];
+                         for (const NodeId w : g.Neighbors(j)) {
+                           if (depth[w] == d) {
+                             mine.emplace_back(j, w);
+                             break;
+                           }
+                         }
+                       }
+                     });
+    bool any = false;
+    for (const auto& chunk : attach) {
+      for (const auto& [j, p] : chunk) {
+        parent[j] = p;
+        depth[j] = d + 1;
+        max_patched = std::max(max_patched, d + 1);
+        ++out.reattached;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    ++waves;
+    std::vector<NodeId> still;
+    still.reserve(remaining.size());
+    for (const NodeId j : remaining) {
+      if (depth[j] == kUnset) still.push_back(j);
+    }
+    remaining = std::move(still);
+  }
+
+  // Cost model: every re-attached orphan floods its neighborhood once, and
+  // so does every intact node on the wound boundary (they announce their
+  // depths to start the waves). Nodes far from the wound stay silent — the
+  // asymmetry that lets repair beat a full-overlay rebuild flood.
+  std::uint64_t messages = 0;
+  std::vector<NodeId> notifiers;
+  for (const NodeId j : orphan_list) {
+    messages += g.Degree(j);
+    for (const NodeId w : g.Neighbors(j)) {
+      if (intact[w]) notifiers.push_back(w);
+    }
+  }
+  std::sort(notifiers.begin(), notifiers.end());
+  notifiers.erase(std::unique(notifiers.begin(), notifiers.end()),
+                  notifiers.end());
+  for (const NodeId w : notifiers) messages += g.Degree(w);
+
+  out.tree.root = 0;
+  out.tree.parent = std::move(parent);
+  out.tree.depth = std::move(depth);
+  out.tree.height =
+      *std::max_element(out.tree.depth.begin(), out.tree.depth.end());
+  out.tree.stats.rounds = waves;
+  out.tree.stats.messages_sent = messages;
+  out.tree.stats.messages_delivered = messages;
+  out.repaired = true;
+  return out;
 }
 
 bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -50,5 +51,52 @@ BfsTreeResult BuildBfsTree(const Graph& g, EngineKind kind, EngineConfig cfg);
 /// Validates that `r` is a BFS tree of `g` rooted at the minimum id:
 /// parent edges exist in g, depths are shortest-path distances, root is min.
 bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r);
+
+// ---- incremental repair (the adversary's alternative to a full rebuild) ----
+
+struct RepairOptions {
+  /// Worker shards for the frontier-patching passes (1 = serial).
+  std::size_t num_shards = 1;
+};
+
+/// Outcome of RepairBfsTree. When `repaired` is false no repair was
+/// possible (the old root died or never mapped into the new overlay) and
+/// `tree` is untouched — the caller falls back to BuildBfsTree.
+struct RepairResult {
+  BfsTreeResult tree;
+  bool repaired = false;
+  /// Survivors whose old root path lost a node (the re-attachment work).
+  std::size_t orphans = 0;
+  std::size_t reattached = 0;
+};
+
+/// Incrementally repairs a BFS tree after a strike instead of rebuilding.
+///
+/// `g` is the post-strike overlay (the largest surviving component,
+/// re-indexed densely and connected); `new_to_old[i]` maps its node i back
+/// to the id in the graph `old_tree` was built over (ChurnResult::
+/// component_global). Survivors whose entire old root path is intact keep
+/// their parent and depth — removing nodes can only lengthen shortest
+/// paths, and the intact path itself still achieves the old distance, so
+/// those depths remain exact. Orphaned subtrees are re-attached by a
+/// multi-source layered BFS seeded with the intact nodes at their depths
+/// ("frontier patching"): wave d attaches any unpatched orphan adjacent to
+/// a depth-d patched node at depth d + 1, choosing the smallest-id such
+/// neighbor as parent. Every wave scans the remaining orphans in sharded
+/// blocks on the pool — pull-style, each orphan writing only its own state,
+/// so the pass draws no randomness and the result is bit-identical for
+/// every shard count. The patched tree has exact shortest-path depths and
+/// passes ValidateBfsTree.
+///
+/// Cost accounting in tree.stats: `rounds` counts the active patch waves
+/// (waves in which at least one orphan attached — the rounds a distributed
+/// repair protocol triggered from the wound boundary would be busy);
+/// `messages_sent`/`messages_delivered` charge one message per edge out of
+/// every transmitting node (intact nodes bordering an orphan plus every
+/// re-attached orphan, the flood-around-the-wound a real protocol pays).
+/// Load peaks and arena bytes stay 0 — no engine runs.
+RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
+                           std::span<const NodeId> new_to_old,
+                           const RepairOptions& opts = {});
 
 }  // namespace overlay

@@ -16,8 +16,7 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
   const std::size_t n = g.num_nodes();
   const std::size_t shards = std::min(opts.num_shards, std::max<std::size_t>(n, 1));
 
-  ChurnResult result;
-  result.alive.assign(n, 1);
+  std::vector<char> alive(n, 1);
 
   // Kill pass. Serial consumes `rng` in node order (the historical stream);
   // sharded gives every contiguous node block its own split stream, blocks
@@ -26,7 +25,7 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
   // worker draws them).
   if (shards <= 1) {
     for (NodeId v = 0; v < n; ++v) {
-      result.alive[v] = !rng.NextBool(opts.failure_prob);
+      alive[v] = !rng.NextBool(opts.failure_prob);
     }
   } else {
     std::vector<Rng> block_rng;
@@ -36,10 +35,33 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
                        Rng& r = block_rng[c];
                        for (std::size_t v = lo; v < hi; ++v) {
-                         result.alive[v] = !r.NextBool(opts.failure_prob);
+                         alive[v] = !r.NextBool(opts.failure_prob);
                        }
                      });
   }
+
+  return ExtractSurvivors(g, std::move(alive), shards);
+}
+
+ChurnResult ApplyStrike(const Graph& g, std::span<const NodeId> victims,
+                        std::size_t num_shards) {
+  std::vector<char> alive(g.num_nodes(), 1);
+  for (const NodeId v : victims) {
+    OVERLAY_CHECK(v < g.num_nodes(), "strike victim out of range");
+    alive[v] = 0;
+  }
+  return ExtractSurvivors(g, std::move(alive), num_shards);
+}
+
+ChurnResult ExtractSurvivors(const Graph& g, std::vector<char> alive,
+                             std::size_t num_shards) {
+  OVERLAY_CHECK(alive.size() == g.num_nodes(), "alive mask size mismatch");
+  OVERLAY_CHECK(num_shards >= 1, "need at least one shard");
+  const std::size_t n = g.num_nodes();
+  const std::size_t shards = std::min(num_shards, std::max<std::size_t>(n, 1));
+
+  ChurnResult result;
+  result.alive = std::move(alive);
 
   // Dense re-indexing of the survivors (serial prefix pass, O(n)).
   std::vector<NodeId> local(n, kInvalidNode);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -66,5 +67,20 @@ struct ChurnResult {
 /// component. `rng` supplies the kill randomness (consumed directly when
 /// num_shards = 1; split into per-shard streams otherwise).
 ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng);
+
+/// The strike-agnostic second half of ApplyChurn: given an explicit alive
+/// mask (alive.size() == g.num_nodes()), extracts the induced survivor
+/// graph, the largest component, and the cohesion accounting. Randomness-
+/// free, so the result is shard-count-invariant; the edge filter runs
+/// work-stealing on the shard pool. This is the seam the adversary
+/// subsystem targets: any victim-selection policy composes with it.
+ChurnResult ExtractSurvivors(const Graph& g, std::vector<char> alive,
+                             std::size_t num_shards = 1);
+
+/// Kills exactly the listed victims (out-of-range ids rejected, duplicates
+/// tolerated) and extracts the survivors. The adversary's strike → wreckage
+/// step.
+ChurnResult ApplyStrike(const Graph& g, std::span<const NodeId> victims,
+                        std::size_t num_shards = 1);
 
 }  // namespace overlay

@@ -1,0 +1,155 @@
+// Seeded fuzz layer for the adversary subsystem (CTest label `fuzz`).
+//
+// Random overlay family × random strike sequence × incremental repair,
+// bounded iterations: no combination may produce an invalid BFS tree, an
+// orphaned survivor (a component node outside the repaired tree — caught by
+// ValidateBfsTree's parent/depth sweep), or a cohesion accounting mismatch.
+// Every assertion carries the iteration's reproducing seed; replay one case
+// with OVERLAY_FUZZ_SEED=<seed> (runs only that seed).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/adversary.hpp"
+#include "overlay/bfs_tree.hpp"
+#include "overlay/churn.hpp"
+
+namespace overlay {
+namespace {
+
+constexpr std::size_t kIterations = 28;
+constexpr std::uint64_t kBaseSeed = 0xadef00dull;
+
+Graph RandomOverlay(Rng& r) {
+  switch (r.NextBelow(5)) {
+    case 0:
+      return gen::ConnectedGnp(30 + r.NextBelow(170),
+                               0.03 + r.NextDouble() * 0.05, r.Next());
+    case 1:
+      return gen::Torus(3 + r.NextBelow(10), 3 + r.NextBelow(10));
+    case 2:
+      return gen::Barbell(5 + r.NextBelow(40), 2 + r.NextBelow(6));
+    case 3:
+      return gen::Hypercube(3 + static_cast<std::uint32_t>(r.NextBelow(5)));
+    default:
+      return gen::Cycle(16 + r.NextBelow(120));
+  }
+}
+
+StrikeKind RandomKind(Rng& r) {
+  constexpr StrikeKind kKinds[] = {StrikeKind::kOblivious,
+                                   StrikeKind::kDegreeTargeted,
+                                   StrikeKind::kCutTargeted, StrikeKind::kDrip};
+  return kKinds[r.NextBelow(4)];
+}
+
+/// One fuzz case: a strike sequence against one overlay, repairing between
+/// strikes (rebuilding only when the root dies, as the driver would).
+void RunCase(std::uint64_t seed) {
+  SCOPED_TRACE("reproducing seed " + std::to_string(seed) +
+               " (rerun with OVERLAY_FUZZ_SEED=" + std::to_string(seed) + ")");
+  Rng r(seed);
+  Graph g = RandomOverlay(r);
+  const std::size_t shards = std::size_t{1} << r.NextBelow(4);  // 1..8
+  BfsTreeResult tree =
+      BuildBfsTree(g, EngineConfig{.seed = seed, .num_shards = shards});
+  ASSERT_TRUE(ValidateBfsTree(g, tree));
+
+  const std::size_t strikes = 1 + r.NextBelow(3);
+  for (std::size_t s = 0; s < strikes && g.num_nodes() >= 2; ++s) {
+    const std::size_t n = g.num_nodes();
+    const StrikeKind kind = RandomKind(r);
+    const std::size_t budget = r.NextBelow(n / 2 + 1);
+    const auto strat = MakeStrikeStrategy(kind);
+    const StrikeResult strike = strat->SelectVictims(
+        g, {.budget = budget, .num_shards = shards}, r);
+    ASSERT_EQ(strike.victims.size(), std::min(budget, n))
+        << "budget violated by " << StrikeKindName(kind);
+
+    const ChurnResult churn = ApplyStrike(g, strike.victims, shards);
+    // Cohesion accounting: survivors + victims partition the overlay, and
+    // the largest component is exactly the cohesion share of survivors.
+    ASSERT_EQ(churn.survivors + strike.victims.size(), n);
+    ASSERT_EQ(churn.component_global.size(),
+              static_cast<std::size_t>(churn.Cohesion() * churn.survivors +
+                                       0.5));
+    if (churn.component_global.size() < 2) break;
+
+    const Graph& comp = churn.largest_component;
+    const RepairResult rep =
+        RepairBfsTree(comp, tree, churn.component_global,
+                      {.num_shards = shards});
+    if (rep.repaired) {
+      ASSERT_EQ(rep.orphans, rep.reattached)
+          << "repair left an orphaned survivor";
+      tree = rep.tree;
+    } else {
+      tree = BuildBfsTree(
+          comp, EngineConfig{.seed = seed + s, .num_shards = shards});
+    }
+    ASSERT_TRUE(ValidateBfsTree(comp, tree))
+        << (rep.repaired ? "repaired" : "rebuilt") << " tree invalid after "
+        << StrikeKindName(kind) << " strike " << s;
+    g = comp;
+  }
+}
+
+TEST(AdversaryFuzz, RandomOverlayTimesStrikeSequenceTimesRepair) {
+  if (const char* env = std::getenv("OVERLAY_FUZZ_SEED")) {
+    RunCase(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  std::uint64_t state = kBaseSeed;
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    RunCase(SplitMix64(state));
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// Scenario-level invariants under random configurations: every epoch's
+/// bookkeeping chains (killed + survivors = nodes, next epoch's overlay is
+/// the cohesion share) and every recovered tree validates.
+TEST(AdversaryFuzz, RandomScenarioBookkeepingChains) {
+  std::uint64_t state = kBaseSeed ^ 0x5ca1ab1eull;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::uint64_t seed = SplitMix64(state);
+    SCOPED_TRACE("reproducing seed " + std::to_string(seed));
+    Rng r(seed);
+    const Graph start = RandomOverlay(r);
+    ScenarioOptions opts;
+    opts.strike = RandomKind(r);
+    opts.strike_opts.budget = r.NextBelow(start.num_nodes() / 3 + 1);
+    opts.strike_opts.num_shards = 1 + r.NextBelow(4);
+    opts.epochs = 1 + r.NextBelow(3);
+    opts.recovery =
+        r.NextBool(0.5) ? RecoveryMode::kRepair : RecoveryMode::kRebuild;
+    opts.seed = seed;
+    const ScenarioResult res = RunAdversaryScenario(start, opts);
+    ASSERT_GE(res.epochs.size(), 1u);
+    std::size_t expect_nodes = start.num_nodes();
+    for (const EpochStats& e : res.epochs) {
+      ASSERT_EQ(e.nodes_before, expect_nodes) << "epoch " << e.epoch;
+      ASSERT_EQ(e.killed + e.survivors, e.nodes_before);
+      if (e.survivors > 0) {
+        ASSERT_GE(e.cohesion, 0.0);
+        ASSERT_LE(e.cohesion, 1.0);
+      }
+      expect_nodes =
+          static_cast<std::size_t>(e.cohesion * e.survivors + 0.5);
+      if (&e != &res.epochs.back() || !res.collapsed) {
+        ASSERT_TRUE(e.tree_valid) << "epoch " << e.epoch;
+      }
+    }
+    if (!res.collapsed) {
+      ASSERT_EQ(res.overlay.num_nodes(), expect_nodes);
+      ASSERT_TRUE(ValidateBfsTree(res.overlay, res.tree));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace overlay

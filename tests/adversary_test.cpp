@@ -1,0 +1,282 @@
+// Property suite for the adversarial strike subsystem: exact kill budgets,
+// degree-domination of the targeted strike, fixed-(seed, S) replay
+// determinism, cut-targeted disconnection on cut-shaped graphs, and the
+// repair-equals-rebuild contract (both produce exact BFS depths, so repair
+// must match the rebuild's depth vector, not just approximate it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "overlay/adversary.hpp"
+#include "overlay/bfs_tree.hpp"
+#include "overlay/churn.hpp"
+
+namespace overlay {
+namespace {
+
+constexpr StrikeKind kAllKinds[] = {StrikeKind::kOblivious,
+                                    StrikeKind::kDegreeTargeted,
+                                    StrikeKind::kCutTargeted, StrikeKind::kDrip};
+
+std::vector<NodeId> Victims(StrikeKind kind, const Graph& g,
+                            std::size_t budget, std::size_t shards,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  const auto strat = MakeStrikeStrategy(kind);
+  return strat
+      ->SelectVictims(g, {.budget = budget, .num_shards = shards}, rng)
+      .victims;
+}
+
+TEST(Adversary, KillBudgetHonoredExactly) {
+  const Graph g = gen::ConnectedGnp(180, 0.05, 7);
+  for (const StrikeKind kind : kAllKinds) {
+    for (const std::size_t budget : {0ul, 1ul, 17ul, 90ul, 180ul, 500ul}) {
+      for (const std::size_t shards : {1ul, 4ul}) {
+        const auto victims = Victims(kind, g, budget, shards, 11);
+        SCOPED_TRACE(StrikeKindName(kind));
+        EXPECT_EQ(victims.size(), std::min(budget, g.num_nodes()))
+            << "budget " << budget << " S " << shards;
+        // Victims are valid, ascending, and unique.
+        EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+        EXPECT_EQ(std::adjacent_find(victims.begin(), victims.end()),
+                  victims.end());
+        for (const NodeId v : victims) EXPECT_LT(v, g.num_nodes());
+      }
+    }
+  }
+}
+
+TEST(Adversary, DegreeTargetedDominatesObliviousByDegree) {
+  // The targeted strike takes the exact global top-k by degree, so its
+  // sorted victim-degree vector must pointwise dominate any other victim
+  // set of the same size — in particular the oblivious one's.
+  const Graph g = gen::ConnectedGnp(220, 0.04, 13);
+  const std::size_t budget = 25;
+  for (const std::size_t shards : {1ul, 2ul, 4ul}) {
+    const auto targeted =
+        Victims(StrikeKind::kDegreeTargeted, g, budget, shards, 3);
+    const auto oblivious = Victims(StrikeKind::kOblivious, g, budget, shards, 3);
+    ASSERT_EQ(targeted.size(), oblivious.size());
+    auto degrees = [&g](const std::vector<NodeId>& vs) {
+      std::vector<std::size_t> d;
+      for (const NodeId v : vs) d.push_back(g.Degree(v));
+      std::sort(d.begin(), d.end(), std::greater<>());
+      return d;
+    };
+    const auto td = degrees(targeted);
+    const auto od = degrees(oblivious);
+    for (std::size_t i = 0; i < td.size(); ++i) {
+      EXPECT_GE(td[i], od[i]) << "rank " << i << " S " << shards;
+    }
+  }
+}
+
+TEST(Adversary, DegreeTargetedIsShardCountInvariant) {
+  // No randomness: the sharded top-k merge must return the same set on
+  // every shard count, not merely a deterministic one.
+  const Graph g = gen::ConnectedGnp(300, 0.03, 17);
+  const auto want = Victims(StrikeKind::kDegreeTargeted, g, 40, 1, 1);
+  for (const std::size_t shards : {2ul, 3ul, 8ul}) {
+    EXPECT_EQ(Victims(StrikeKind::kDegreeTargeted, g, 40, shards, 1), want)
+        << "S " << shards;
+  }
+}
+
+TEST(Adversary, FixedSeedAndShardCountReplaysBitIdentically) {
+  const Graph g = gen::ConnectedGnp(160, 0.05, 23);
+  for (const StrikeKind kind : kAllKinds) {
+    for (const std::size_t shards : {1ul, 2ul, 4ul, 8ul}) {
+      const auto a = Victims(kind, g, 20, shards, 42);
+      const auto b = Victims(kind, g, 20, shards, 42);
+      EXPECT_EQ(a, b) << StrikeKindName(kind) << " S " << shards;
+    }
+  }
+}
+
+TEST(Adversary, CutTargetedSeversTheBarbellBridge) {
+  // Barbell: two 30-cliques joined by a short path — min cut 1. The exact
+  // Stoer–Wagner side puts one clique(+path prefix) on the small side; its
+  // boundary is the bridge region, so a tiny budget disconnects the graph
+  // where an equal oblivious budget almost surely cannot.
+  const Graph g = gen::Barbell(30, 4);
+  Rng rng(5);
+  const auto strat = MakeStrikeStrategy(StrikeKind::kCutTargeted);
+  const StrikeResult strike =
+      strat->SelectVictims(g, {.budget = 3, .num_shards = 2}, rng);
+  ASSERT_EQ(strike.victims.size(), 3u);
+  EXPECT_GT(strike.cut_conductance, 0.0);
+  const ChurnResult churn = ApplyStrike(g, strike.victims, 2);
+  EXPECT_GE(churn.num_components, 2u);
+  EXPECT_LT(churn.Cohesion(), 0.9);
+}
+
+TEST(Adversary, CutTargetedBallSweepFindsSparseCutsAtScale) {
+  // Above exact_cut_max_nodes the strategy switches to the conductance-
+  // guided BFS-ball sweep. Same barbell shape, too big for Stoer–Wagner:
+  // the best ball hugs one clique and its boundary is the bridge.
+  const Graph g = gen::Barbell(120, 6);  // 246 nodes > default exact cutoff
+  Rng rng(9);
+  const auto strat = MakeStrikeStrategy(StrikeKind::kCutTargeted);
+  const StrikeResult strike =
+      strat->SelectVictims(g, {.budget = 8, .num_shards = 4}, rng);
+  ASSERT_EQ(strike.victims.size(), 8u);
+  const ChurnResult churn = ApplyStrike(g, strike.victims, 4);
+  EXPECT_GE(churn.num_components, 2u);
+  EXPECT_LT(churn.Cohesion(), 0.9);
+}
+
+TEST(Adversary, RepairMatchesRebuildExactly) {
+  // Both recovery paths produce exact BFS trees of the same component, so
+  // depths and height must be *identical* (parents may differ: both valid).
+  const Graph g = gen::ConnectedGnp(300, 0.035, 31);
+  const BfsTreeResult tree = BuildBfsTree(g, /*capacity=*/0, /*seed=*/1);
+  ASSERT_TRUE(ValidateBfsTree(g, tree));
+  for (const std::uint64_t seed : {3ull, 14ull, 159ull}) {
+    // Oblivious strike that spares the root so repair applies.
+    Rng rng(seed);
+    const auto strat = MakeStrikeStrategy(StrikeKind::kOblivious);
+    auto victims =
+        strat->SelectVictims(g, {.budget = 40, .num_shards = 2}, rng).victims;
+    victims.erase(std::remove(victims.begin(), victims.end(), NodeId{0}),
+                  victims.end());
+    const ChurnResult churn = ApplyStrike(g, victims, 2);
+    ASSERT_GE(churn.component_global.size(), 2u);
+    if (churn.component_global[0] != 0) continue;  // root fell out: rebuild
+    for (const std::size_t shards : {1ul, 4ul}) {
+      const RepairResult rep = RepairBfsTree(
+          churn.largest_component, tree, churn.component_global,
+          {.num_shards = shards});
+      ASSERT_TRUE(rep.repaired) << "seed " << seed;
+      EXPECT_TRUE(ValidateBfsTree(churn.largest_component, rep.tree))
+          << "seed " << seed << " S " << shards;
+      const BfsTreeResult rebuilt = BuildBfsTree(
+          churn.largest_component, EngineConfig{.seed = seed});
+      EXPECT_EQ(rep.tree.depth, rebuilt.depth) << "seed " << seed;
+      EXPECT_EQ(rep.tree.height, rebuilt.height);
+      EXPECT_EQ(rep.orphans, rep.reattached);
+      // Repair touches the wound, not the world: never more messages than
+      // the full flood.
+      EXPECT_LE(rep.tree.stats.messages_sent, rebuilt.stats.messages_sent);
+    }
+  }
+}
+
+TEST(Adversary, RepairIsShardCountInvariant) {
+  const Graph g = gen::Torus(18, 18);
+  const BfsTreeResult tree = BuildBfsTree(g, 0, 1);
+  Rng rng(77);
+  const auto strat = MakeStrikeStrategy(StrikeKind::kDrip);
+  auto victims =
+      strat->SelectVictims(g, {.budget = 30, .num_shards = 1}, rng).victims;
+  victims.erase(std::remove(victims.begin(), victims.end(), NodeId{0}),
+                victims.end());
+  const ChurnResult churn = ApplyStrike(g, victims, 1);
+  ASSERT_GE(churn.component_global.size(), 2u);
+  ASSERT_EQ(churn.component_global[0], 0u);
+  const RepairResult want = RepairBfsTree(churn.largest_component, tree,
+                                          churn.component_global, {});
+  ASSERT_TRUE(want.repaired);
+  for (const std::size_t shards : {2ul, 4ul, 8ul}) {
+    const RepairResult got =
+        RepairBfsTree(churn.largest_component, tree, churn.component_global,
+                      {.num_shards = shards});
+    ASSERT_TRUE(got.repaired);
+    EXPECT_EQ(got.tree.parent, want.tree.parent) << "S " << shards;
+    EXPECT_EQ(got.tree.depth, want.tree.depth) << "S " << shards;
+    EXPECT_EQ(got.tree.stats.rounds, want.tree.stats.rounds);
+    EXPECT_EQ(got.tree.stats.messages_sent, want.tree.stats.messages_sent);
+    EXPECT_EQ(got.reattached, want.reattached);
+  }
+}
+
+TEST(Adversary, RepairRefusesWhenRootDies) {
+  const Graph g = gen::ConnectedGnp(120, 0.06, 41);
+  const BfsTreeResult tree = BuildBfsTree(g, 0, 1);
+  const std::vector<NodeId> victims{0};  // kill exactly the root
+  const ChurnResult churn = ApplyStrike(g, victims, 1);
+  ASSERT_GE(churn.component_global.size(), 2u);
+  const RepairResult rep =
+      RepairBfsTree(churn.largest_component, tree, churn.component_global, {});
+  EXPECT_FALSE(rep.repaired);
+}
+
+TEST(Adversary, ScenarioDeterministicAndStrikeInvariantAcrossRecoveryModes) {
+  // The driver's RNG feeds strikes only, so rebuild and repair runs of the
+  // same (seed, S) must kill the same nodes and measure the same wreckage;
+  // and a fixed config must replay bit-identically.
+  const Graph start = gen::ConnectedGnp(200, 0.04, 3);
+  for (const StrikeKind kind : kAllKinds) {
+    ScenarioOptions opts;
+    opts.strike = kind;
+    opts.strike_opts.budget = 14;
+    opts.strike_opts.num_shards = 2;
+    opts.epochs = 3;
+    opts.seed = 99;
+    opts.recovery = RecoveryMode::kRebuild;
+    const ScenarioResult rebuild = RunAdversaryScenario(start, opts);
+    const ScenarioResult again = RunAdversaryScenario(start, opts);
+    opts.recovery = RecoveryMode::kRepair;
+    const ScenarioResult repair = RunAdversaryScenario(start, opts);
+    SCOPED_TRACE(StrikeKindName(kind));
+    ASSERT_EQ(rebuild.epochs.size(), again.epochs.size());
+    ASSERT_EQ(rebuild.epochs.size(), repair.epochs.size());
+    for (std::size_t i = 0; i < rebuild.epochs.size(); ++i) {
+      const EpochStats& a = rebuild.epochs[i];
+      const EpochStats& b = again.epochs[i];
+      const EpochStats& r = repair.epochs[i];
+      EXPECT_EQ(a.killed, b.killed);
+      EXPECT_EQ(a.survivors, b.survivors);
+      EXPECT_EQ(a.recovery_rounds, b.recovery_rounds);
+      EXPECT_EQ(a.recovery_messages, b.recovery_messages);
+      EXPECT_EQ(a.killed, r.killed) << "epoch " << i;
+      EXPECT_EQ(a.survivors, r.survivors) << "epoch " << i;
+      EXPECT_EQ(a.num_components, r.num_components);
+      EXPECT_DOUBLE_EQ(a.cohesion, r.cohesion);
+      EXPECT_EQ(a.tree_height, r.tree_height) << "both trees are exact BFS";
+      EXPECT_TRUE(a.tree_valid);
+      EXPECT_TRUE(r.tree_valid);
+      if (r.repair_used) {
+        // Patching a wound never takes more protocol work than re-flooding
+        // the whole overlay.
+        EXPECT_LE(r.recovery_rounds, a.recovery_rounds) << "epoch " << i;
+        EXPECT_LE(r.recovery_messages, a.recovery_messages) << "epoch " << i;
+      }
+    }
+    EXPECT_EQ(rebuild.overlay.EdgeList(), repair.overlay.EdgeList());
+  }
+}
+
+TEST(Adversary, ScenarioSurvivesTotalCollapse) {
+  // A budget that wipes the overlay must stop cleanly, not crash.
+  const Graph start = gen::Cycle(24);
+  ScenarioOptions opts;
+  opts.strike = StrikeKind::kOblivious;
+  opts.strike_opts.budget = 24;
+  opts.epochs = 3;
+  opts.seed = 8;
+  const ScenarioResult r = RunAdversaryScenario(start, opts);
+  EXPECT_TRUE(r.collapsed);
+  ASSERT_EQ(r.epochs.size(), 1u);
+  EXPECT_EQ(r.epochs[0].killed, 24u);
+  EXPECT_EQ(r.epochs[0].survivors, 0u);
+}
+
+TEST(Adversary, DripSpreadsKillsAcrossTicks) {
+  // Drip with k ticks must draw k rounds of priorities; its victim set is
+  // therefore deterministic but distinct from the single-blast oblivious
+  // set under the same seed (ticks re-sample among the still-alive).
+  const Graph g = gen::ConnectedGnp(150, 0.05, 2);
+  const auto drip = Victims(StrikeKind::kDrip, g, 20, 2, 6);
+  const auto oblivious = Victims(StrikeKind::kOblivious, g, 20, 2, 6);
+  EXPECT_EQ(drip.size(), 20u);
+  EXPECT_NE(drip, oblivious);
+}
+
+}  // namespace
+}  // namespace overlay

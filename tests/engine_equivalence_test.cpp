@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "overlay/adversary.hpp"
 #include "overlay/benign.hpp"
 #include "overlay/bfs_tree.hpp"
 #include "overlay/construct.hpp"
@@ -330,6 +331,81 @@ TEST(EngineEquivalence, MonitoringConvergecastShardCountInvariant) {
       EXPECT_EQ(edges.value, edges_serial.value) << "S " << shards;
       EXPECT_EQ(deg.value, deg_serial.value) << "S " << shards;
       EXPECT_EQ(nodes.rounds, nodes_serial.rounds) << "S " << shards;
+    }
+  }
+}
+
+// ---- protocol: adversarial churn scenario ----------------------------------
+
+/// Everything an epoch computed except wall-clock times, folded into one
+/// checksum: the strike outcome, the wreckage measurements, and the
+/// recovery protocol costs.
+std::uint64_t ChecksumEpoch(std::uint64_t h, const EpochStats& e) {
+  h = Fnv1a(h, e.epoch);
+  h = Fnv1a(h, e.nodes_before);
+  h = Fnv1a(h, e.edges_before);
+  h = Fnv1a(h, e.killed);
+  h = Fnv1a(h, e.survivors);
+  h = Fnv1a(h, e.num_components);
+  h = Fnv1a(h, static_cast<std::uint64_t>(e.cohesion * 1e12));
+  h = Fnv1a(h, e.repair_used ? 1u : 0u);
+  h = Fnv1a(h, e.orphans);
+  h = Fnv1a(h, e.reattached);
+  h = Fnv1a(h, e.recovery_rounds);
+  h = Fnv1a(h, e.recovery_messages);
+  h = Fnv1a(h, e.tree_height);
+  return Fnv1a(h, e.tree_valid ? 1u : 0u);
+}
+
+std::uint64_t ChecksumScenario(const ScenarioResult& r) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const EpochStats& e : r.epochs) h = ChecksumEpoch(h, e);
+  for (const auto& [u, v] : r.overlay.EdgeList()) {
+    h = Fnv1a(h, u);
+    h = Fnv1a(h, v);
+  }
+  if (!r.tree.parent.empty()) h = Fnv1a(h, ChecksumBfs(r.tree));
+  return h;
+}
+
+TEST(EngineEquivalence, AdversaryScenarioEngineInvariantAcrossShardCounts) {
+  // The adversarial-churn workload joins the standing gate: strikes are
+  // sharded compute whose victims are fixed by (seed, S); extraction and
+  // repair are randomness-free; the rebuild flood is the drop-free BFS the
+  // engines already agree on. So for every strategy and every S the whole
+  // multi-epoch scenario — strike outcomes, wreckage stats, recovery costs
+  // — must be identical between a SyncNetwork-recovered run and a
+  // ShardedNetwork-recovered run, bit for bit, and any fixed (seed, S)
+  // must replay itself.
+  const Graph start = gen::ConnectedGnp(140, 0.05, 21);
+  constexpr StrikeKind kKinds[] = {StrikeKind::kOblivious,
+                                   StrikeKind::kDegreeTargeted,
+                                   StrikeKind::kCutTargeted, StrikeKind::kDrip};
+  for (const StrikeKind kind : kKinds) {
+    for (const RecoveryMode recovery :
+         {RecoveryMode::kRebuild, RecoveryMode::kRepair}) {
+      ScenarioOptions opts;
+      opts.strike = kind;
+      opts.strike_opts.budget = 10;
+      opts.epochs = 2;
+      opts.seed = 1234;
+      opts.recovery = recovery;
+      for (const std::size_t shards : kShardSweep) {
+        opts.strike_opts.num_shards = shards;
+        opts.engine = EngineKind::kSync;
+        const ScenarioResult sync = RunAdversaryScenario(start, opts);
+        opts.engine = EngineKind::kSharded;
+        const ScenarioResult sharded = RunAdversaryScenario(start, opts);
+        const ScenarioResult replay = RunAdversaryScenario(start, opts);
+        const std::uint64_t want = ChecksumScenario(sync);
+        EXPECT_EQ(ChecksumScenario(sharded), want)
+            << StrikeKindName(kind) << " S " << shards
+            << (recovery == RecoveryMode::kRepair ? " repair" : " rebuild");
+        EXPECT_EQ(ChecksumScenario(replay), want)
+            << StrikeKindName(kind) << " S " << shards << " not deterministic";
+        ASSERT_FALSE(sync.collapsed);
+        for (const EpochStats& e : sync.epochs) EXPECT_TRUE(e.tree_valid);
+      }
     }
   }
 }

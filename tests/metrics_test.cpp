@@ -1,6 +1,9 @@
 // Tests for BFS distances, diameter, connectivity, components, union-find.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/check.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
@@ -77,6 +80,30 @@ TEST(Metrics, ComponentLabelsAndSizes) {
   EXPECT_EQ(sizes[2], 1u);
   EXPECT_EQ(labels[0], labels[2]);
   EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(Metrics, CutHelpersOnCycle) {
+  // Cycle of 8, side = 4 contiguous nodes: exactly 2 crossing edges,
+  // volumes 8 vs 8, conductance 2/8; boundary = the side's two endpoints.
+  const Graph g = gen::Cycle(8);
+  std::vector<char> side(8, 0);
+  for (NodeId v = 0; v < 4; ++v) side[v] = 1;
+  EXPECT_EQ(CutEdgeCount(g, side), 2u);
+  EXPECT_DOUBLE_EQ(CutConductance(g, side), 0.25);
+  const auto boundary = CutBoundaryNodes(g, side);
+  ASSERT_EQ(boundary.size(), 2u);
+  EXPECT_EQ(boundary[0], 0u);
+  EXPECT_EQ(boundary[1], 3u);
+}
+
+TEST(Metrics, CutConductanceDegenerateSidesAreInfinite) {
+  const Graph g = gen::Cycle(6);
+  const std::vector<char> none(6, 0);
+  const std::vector<char> all(6, 1);
+  EXPECT_TRUE(std::isinf(CutConductance(g, none)));
+  EXPECT_TRUE(std::isinf(CutConductance(g, all)));
+  EXPECT_EQ(CutEdgeCount(g, none), 0u);
+  EXPECT_TRUE(CutBoundaryNodes(g, all).empty());
 }
 
 TEST(UnionFind, BasicMerging) {

@@ -3,6 +3,7 @@
 
 #include "common/check.hpp"
 #include "graph/generators.hpp"
+#include "graph/metrics.hpp"
 #include "graph/mincut.hpp"
 #include "graph/multigraph.hpp"
 
@@ -62,6 +63,31 @@ TEST(Karger, UpperBoundsAndUsuallyMatchesExact) {
     EXPECT_GE(sampled, exact);
     EXPECT_EQ(sampled, exact);  // 300 trials on n=40 find the min cut w.h.p.
   }
+}
+
+TEST(StoerWagnerSide, WitnessAchievesTheExactWeight) {
+  // The returned side must be a genuine witness: its crossing-edge count
+  // equals the exact min cut weight, and it is the smaller (or equal) side.
+  for (const std::uint64_t seed : {2ull, 9ull, 31ull}) {
+    const Graph g = gen::ConnectedGnp(24, 0.18, seed);
+    const auto r = StoerWagnerMinCutSide(g);
+    EXPECT_EQ(r.weight, StoerWagnerMinCut(g)) << "seed " << seed;
+    EXPECT_EQ(CutEdgeCount(g, r.side), r.weight) << "seed " << seed;
+    std::size_t inside = 0;
+    for (const char c : r.side) inside += c != 0;
+    EXPECT_GE(inside, 1u);
+    EXPECT_LE(inside * 2, g.num_nodes());
+  }
+}
+
+TEST(StoerWagnerSide, BarbellSideIsOneBell) {
+  const Graph g = gen::Barbell(6, 0);
+  const auto r = StoerWagnerMinCutSide(g);
+  EXPECT_EQ(r.weight, 1u);
+  std::size_t inside = 0;
+  for (const char c : r.side) inside += c != 0;
+  EXPECT_EQ(inside, 6u);
+  EXPECT_EQ(CutBoundaryNodes(g, r.side).size(), 1u);
 }
 
 TEST(Karger, FindsPlantedBridge) {
