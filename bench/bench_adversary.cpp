@@ -16,15 +16,23 @@
 // cohesion gate (>= 0.99) is calibrated for (oblivious at 10% is also
 // sub-critical on this overlay; the targeted strikes are allowed to hurt).
 //
+// Input topology: any catalogue entry of src/graph/scenario_gen.hpp via
+// --topology ring|gnm|gnp|rgg|grid|torus|ba (default ring — the historical
+// overlay, edge set unchanged; non-ring inputs run the sweep on the largest
+// component, which the catalogue measures rather than assumes connected).
+//
 // Defaults: 1M nodes, 3 chords, 3 epochs, 8 shards. Override with
-// --nodes/--n, --chords, --epochs, --shards, --seed, --budgetpct,
-// --drippct, --ticks; emit JSON with --json out.json (recorded at the repo
-// root as BENCH_adversary.json).
+// --topology, --nodes/--n, --chords, --epochs, --shards, --seed,
+// --budgetpct, --drippct, --ticks; emit JSON with --json out.json (recorded
+// at the repo root as BENCH_adversary.json).
 #include <cstdio>
 #include <string>
 
+#include <utility>
+
 #include "bench_util.hpp"
 #include "overlay/adversary.hpp"
+#include "overlay/churn.hpp"
 #include "scenario_workload.hpp"
 
 using namespace overlay;
@@ -51,12 +59,27 @@ int main(int argc, char** argv) {
       "ones, and incremental repair recovers sustained drip-churn in fewer "
       "rounds, messages, and seconds than a full rebuild flood");
 
+  gen::ScenarioSpec spec = bench::TopologyFlagSpec(
+      bench::FlagValue(argc, argv, "--topology"), n, seed);
+  if (spec.topology == gen::Topology::kRingChords) spec.degree = chords;
   const auto t_build0 = std::chrono::steady_clock::now();
-  const Graph start = bench::RingWithChords(n, chords, seed);
+  gen::ScenarioGraph built = gen::BuildScenario(spec, shards);
   const auto t_build1 = std::chrono::steady_clock::now();
-  std::printf("graph: n=%zu m=%zu max_deg=%zu build_sec=%.3f shards=%zu\n\n",
-              start.num_nodes(), start.num_edges(), start.MaxDegree(),
-              bench::Seconds(t_build0, t_build1), shards);
+  bench::PrintScenarioGraph(gen::TopologyName(spec.topology), built, shards,
+                            bench::Seconds(t_build0, t_build1));
+  // The scenario driver requires a connected start; the ring is connected by
+  // construction, every other topology contributes its largest component
+  // (the catalogue reports the component count instead of assuming 1).
+  Graph start = std::move(built.graph);
+  if (spec.topology != gen::Topology::kRingChords) {
+    ChurnResult intact = ApplyStrike(start, {}, shards);
+    if (intact.num_components > 1) {
+      std::printf("using largest component: %zu of %zu nodes (%zu components)\n\n",
+                  intact.largest_component.num_nodes(), start.num_nodes(),
+                  intact.num_components);
+    }
+    start = std::move(intact.largest_component);
+  }
 
   bench::JsonReport json(argc, argv, "bench_adversary");
   bench::Table scenarios(

@@ -9,12 +9,13 @@
 // scenario config behind BENCH_churn_1m.json: it certifies that the sharded
 // stack holds together at the target scale, and records where the time goes.
 //
-// Input topology: the shared ring-plus-hash-chords overlay of
-// bench/scenario_workload.hpp (also the bench_adversary workload).
+// Input topology: any catalogue entry of src/graph/scenario_gen.hpp via
+// --topology ring|gnm|gnp|rgg|grid|torus|ba (default ring — the historical
+// ring-plus-hash-chords overlay, edge set unchanged).
 //
 // Defaults: 1M nodes, 3 chords, 15% failures, 2 epochs, 8 shards. Override
-// with --nodes/--n, --chords, --failpct, --epochs, --shards, --seed; emit
-// JSON with --json out.json (recorded at the repo root as
+// with --topology, --nodes/--n, --chords, --failpct, --epochs, --shards,
+// --seed; emit JSON with --json out.json (recorded at the repo root as
 // BENCH_churn_1m.json).
 #include <chrono>
 #include <cstdio>
@@ -29,7 +30,6 @@
 #include "sim/sharded_network.hpp"
 
 using namespace overlay;
-using overlay::bench::RingWithChords;
 using overlay::bench::Seconds;
 
 int main(int argc, char** argv) {
@@ -52,12 +52,15 @@ int main(int argc, char** argv) {
       "at 1M nodes on the sharded stack; cohesion stays ~1 on the "
       "expander-like overlay and the rebuilt tree validates");
 
+  gen::ScenarioSpec spec = bench::TopologyFlagSpec(
+      bench::FlagValue(argc, argv, "--topology"), n, seed);
+  if (spec.topology == gen::Topology::kRingChords) spec.degree = chords;
   const auto t_build0 = std::chrono::steady_clock::now();
-  Graph g = RingWithChords(n, chords, seed);
+  gen::ScenarioGraph built = gen::BuildScenario(spec, shards);
   const auto t_build1 = std::chrono::steady_clock::now();
-  std::printf("graph: n=%zu m=%zu max_deg=%zu build_sec=%.3f shards=%zu\n\n",
-              g.num_nodes(), g.num_edges(), g.MaxDegree(),
-              Seconds(t_build0, t_build1), shards);
+  bench::PrintScenarioGraph(gen::TopologyName(spec.topology), built, shards,
+                            Seconds(t_build0, t_build1));
+  Graph g = std::move(built.graph);
 
   bench::JsonReport json(argc, argv, "bench_churn_scenario");
   bench::Table t({"epoch", "nodes", "edges", "survivors", "cohesion",

@@ -1,20 +1,23 @@
 // Shared million-node scenario workload pieces.
 //
-// The 1M-scale scenario benches (bench_churn_scenario, bench_adversary) all
-// need the same two things: a connected bounded-degree expander-like overlay
-// that builds in O(n) — the generator-library random-regular builders are
-// set-backed and too slow at 1M nodes — and steady-clock second deltas for
-// phase timing. One definition here so the scenario family measures the
-// same topology.
+// The 1M-scale scenario benches (bench_churn_scenario, bench_adversary,
+// bench_scenarios) all need the same two things: an input topology from the
+// shard-local streaming catalogue (src/graph/scenario_gen.hpp) and
+// steady-clock second deltas for phase timing. The historical ring+chords
+// overlay is now catalogue entry `ring`; RingWithChords stays as the
+// compatibility wrapper so the older benches keep their exact topology
+// (bit-identical edge set — the chord hash moved, unchanged, into
+// scenario_gen.cpp).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <utility>
 
 #include "common/ids.hpp"
-#include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "graph/scenario_gen.hpp"
 
 namespace overlay::bench {
 
@@ -24,22 +27,46 @@ inline double Seconds(std::chrono::steady_clock::time_point a,
 }
 
 /// Ring + `chords` hash-picked chords per node: connected, bounded-degree,
-/// expander-like, O(n) to build. Deterministic in `seed`. The ring
-/// guarantees the intact graph is connected; the chords keep the
-/// post-strike largest component near the survivor count (cohesion ~ 1).
+/// expander-like, O(n) to build. Deterministic in `seed`. Now a catalogue
+/// build (Topology::kRingChords) so the generation is shard-local streaming;
+/// the edge set is unchanged from the pre-catalogue inline builder.
 inline Graph RingWithChords(std::size_t n, std::size_t chords,
-                            std::uint64_t seed) {
-  GraphBuilder b(n);
-  for (NodeId v = 0; v < n; ++v) {
-    b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
-    for (std::size_t j = 0; j < chords; ++j) {
-      std::uint64_t state = seed ^ (v * 0x9e3779b97f4a7c15ULL) ^
-                            (j * 0xbf58476d1ce4e5b9ULL);
-      const NodeId w = static_cast<NodeId>(SplitMix64(state) % n);
-      if (w != v) b.AddEdge(v, w);  // GraphBuilder dedupes parallel edges
-    }
+                            std::uint64_t seed, std::size_t shards = 1) {
+  gen::ScenarioSpec spec;
+  spec.topology = gen::Topology::kRingChords;
+  spec.n = n;
+  spec.degree = chords;
+  spec.seed = seed;
+  return gen::BuildScenario(spec, shards).graph;
+}
+
+/// Resolves a --topology flag value (default "ring") into a catalogue spec
+/// at size n, exiting with a usage error on an unknown name, and prints the
+/// requested-vs-realized edge accounting line the catalogue makes honest
+/// (builder dedupes used to vanish silently).
+inline gen::ScenarioSpec TopologyFlagSpec(const char* flag_value,
+                                          std::size_t n, std::uint64_t seed) {
+  gen::Topology topology = gen::Topology::kRingChords;
+  if (flag_value != nullptr && !gen::ParseTopology(flag_value, &topology)) {
+    std::fprintf(stderr,
+                 "--topology must be one of "
+                 "ring|gnm|gnp|rgg|grid|torus|ba, got '%s'\n",
+                 flag_value);
+    std::exit(2);
   }
-  return std::move(b).Build();
+  return gen::SpecForTopology(topology, n, seed);
+}
+
+inline void PrintScenarioGraph(const char* topology,
+                               const gen::ScenarioGraph& built,
+                               std::size_t shards, double build_sec) {
+  std::printf(
+      "graph: topology=%s n=%zu m=%zu (emitted=%zu dedup=%zu self_loops=%zu) "
+      "max_deg=%zu build_sec=%.3f shards=%zu\n\n",
+      topology, built.graph.num_nodes(), built.graph.num_edges(),
+      built.stats.edges_emitted, built.stats.duplicate_edges,
+      built.stats.self_loops_skipped, built.graph.MaxDegree(), build_sec,
+      shards);
 }
 
 }  // namespace overlay::bench

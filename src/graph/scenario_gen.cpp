@@ -1,0 +1,507 @@
+#include "graph/scenario_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace overlay {
+namespace gen {
+namespace {
+
+// Per-stream-index hashing: every random draw below is keyed by
+// (seed, domain index [, salt]) and never by the shard layout, which is what
+// makes the emitted edge multiset shard-count-invariant. The salts keep the
+// topologies' streams disjoint even under one seed.
+constexpr std::uint64_t kGnpSalt = 0x6a09e667f3bcc909ULL;
+constexpr std::uint64_t kRggSalt = 0xbb67ae8584caa73bULL;
+constexpr std::uint64_t kBaSalt = 0x3c6ef372fe94f82bULL;
+constexpr std::uint64_t kGnmSalt = 0xa54ff53a5f1d36f1ULL;
+
+std::uint64_t HashMix(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                        (b * 0xbf58476d1ce4e5b9ULL);
+  return SplitMix64(state);
+}
+
+/// One shard's streaming buffer: the only edge storage that exists while a
+/// generator runs, so its high-water mark is the memory guarantee.
+struct ShardBuf {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t self_loops = 0;
+
+  void Emit(NodeId u, NodeId v) { edges.emplace_back(u, v); }
+};
+
+// ---- GNM: seed-keyed Feistel permutation over the edge-id space ------------
+//
+// Exactly m *distinct* edges with no cross-shard coordination: the k-th edge
+// is Permute(k) for a seed-keyed bijection on [0, E), E = n(n-1)/2, decoded
+// as the k-th pair of the strict upper triangle. Distinctness is structural
+// (a bijection cannot collide), so GNM is the one catalogue entry with
+// duplicate_edges == 0 guaranteed.
+
+struct FeistelPerm {
+  std::uint64_t domain = 0;  ///< permutation acts on [0, domain)
+  std::uint32_t half_bits = 1;
+  std::uint64_t half_mask = 1;
+  std::uint64_t keys[4] = {};
+
+  static FeistelPerm Make(std::uint64_t domain, std::uint64_t seed) {
+    FeistelPerm p;
+    p.domain = domain;
+    std::uint32_t bits = 2;
+    while (domain > (1ULL << bits)) ++bits;
+    p.half_bits = (bits + 1) / 2;
+    p.half_mask = (1ULL << p.half_bits) - 1;
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      p.keys[r] = HashMix(seed, kGnmSalt, r + 1);
+    }
+    return p;
+  }
+
+  std::uint64_t OnePass(std::uint64_t x) const {
+    std::uint64_t left = (x >> half_bits) & half_mask;
+    std::uint64_t right = x & half_mask;
+    for (const std::uint64_t key : keys) {
+      const std::uint64_t f = HashMix(key, right, 0) & half_mask;
+      const std::uint64_t next_right = left ^ f;
+      left = right;
+      right = next_right;
+    }
+    return (left << half_bits) | right;
+  }
+
+  /// Cycle-walking keeps the bijection on the non-power-of-two domain; the
+  /// walking domain is < 4*|domain|, so expected passes are < 4.
+  std::uint64_t Permute(std::uint64_t x) const {
+    do {
+      x = OnePass(x);
+    } while (x >= domain);
+    return x;
+  }
+};
+
+/// Decodes the k-th pair of the strict upper triangle (lexicographic by
+/// (u, v), u < v): double-sqrt initial guess, exact integer correction.
+std::pair<NodeId, NodeId> DecodeEdgeIndex(std::uint64_t k, std::uint64_t n) {
+  const auto offset = [n](std::uint64_t u) {
+    return u * n - u * (u + 1) / 2;  // pairs with first endpoint < u
+  };
+  const double disc = (2.0 * static_cast<double>(n) - 1.0) *
+                          (2.0 * static_cast<double>(n) - 1.0) -
+                      8.0 * static_cast<double>(k);
+  double guess = (2.0 * static_cast<double>(n) - 1.0 -
+                  std::sqrt(std::max(disc, 0.0))) /
+                 2.0;
+  std::uint64_t u = static_cast<std::uint64_t>(
+      std::clamp(guess, 0.0, static_cast<double>(n - 2)));
+  while (u > 0 && offset(u) > k) --u;
+  while (u + 2 < n && offset(u + 1) <= k) ++u;
+  const std::uint64_t v = u + 1 + (k - offset(u));
+  return {static_cast<NodeId>(u), static_cast<NodeId>(v)};
+}
+
+void GenGnmRange(const ScenarioSpec& spec, std::size_t n, std::size_t lo,
+                 std::size_t hi, ShardBuf& buf) {
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  OVERLAY_CHECK(spec.edges <= max_edges, "GNM edge target exceeds n(n-1)/2");
+  const FeistelPerm perm = FeistelPerm::Make(max_edges, spec.seed);
+  buf.edges.reserve(hi - lo);
+  for (std::size_t k = lo; k < hi; ++k) {
+    const auto [u, v] = DecodeEdgeIndex(perm.Permute(k), n);
+    buf.Emit(u, v);
+  }
+}
+
+// ---- GNP: per-row geometric skipping ---------------------------------------
+//
+// Row v streams its neighbors w in (v, n) by geometric skips from a
+// hash-seeded per-row RNG, so a row costs O(1 + p*(n-v)) regardless of n and
+// is a pure function of (seed, v).
+
+void GenGnpRange(const ScenarioSpec& spec, std::size_t n, std::size_t lo,
+                 std::size_t hi, ShardBuf& buf) {
+  const double p = spec.p;
+  if (p <= 0.0) return;
+  for (std::size_t v = lo; v < hi; ++v) {
+    if (p >= 1.0) {
+      for (std::size_t w = v + 1; w < n; ++w) {
+        buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      }
+      continue;
+    }
+    Rng rng(HashMix(spec.seed, v, kGnpSalt));
+    const double log_q = std::log1p(-p);
+    std::size_t w = v;
+    while (true) {
+      const double skip = std::floor(std::log1p(-rng.NextDouble()) / log_q);
+      if (skip >= static_cast<double>(n - 1 - w)) break;
+      w += 1 + static_cast<std::size_t>(skip);
+      buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>(w));
+    }
+  }
+}
+
+// ---- RGG-2D: hash positions + cell-grid sweep ------------------------------
+
+/// Shared read-only geometry every shard sweeps against: all n positions
+/// (filled sharded) and a cell -> nodes CSR (one counting sort, O(n)).
+/// The cell side is >= radius, so the 3x3 neighborhood around a node's cell
+/// covers every candidate within range — the sweep is exact, not heuristic.
+struct RggContext {
+  double radius = 0.0;
+  std::size_t cells_per_side = 1;
+  std::vector<double> xs, ys;
+  std::vector<std::size_t> cell_starts;  // cells_per_side^2 + 1
+  std::vector<NodeId> cell_nodes;        // node ids sorted by cell
+
+  std::size_t CellOf(double coord) const {
+    const auto c = static_cast<std::size_t>(
+        coord * static_cast<double>(cells_per_side));
+    return std::min(c, cells_per_side - 1);
+  }
+};
+
+double DefaultRggRadius(std::size_t n) {
+  const double ln_n = std::log(std::max<std::size_t>(n, 2));
+  return std::sqrt(2.0 * ln_n / (std::numbers::pi * static_cast<double>(n)));
+}
+
+RggContext BuildRggContext(const ScenarioSpec& spec, std::size_t n,
+                           std::size_t shards, ShardPool& pool) {
+  RggContext ctx;
+  ctx.radius = spec.radius > 0.0 ? spec.radius : DefaultRggRadius(n);
+  OVERLAY_CHECK(ctx.radius > 0.0, "RGG radius must be positive");
+  // Cell side max(radius, 1/sqrt(n)) keeps the index O(n) even for a tiny
+  // caller-supplied radius; a wider cell only adds candidates, never loses
+  // one.
+  const double max_side = std::max(
+      ctx.radius, 1.0 / std::sqrt(static_cast<double>(std::max<std::size_t>(
+                            n, 1))));
+  ctx.cells_per_side = std::max<std::size_t>(
+      1, static_cast<std::size_t>(1.0 / max_side));
+  ctx.xs.resize(n);
+  ctx.ys.resize(n);
+  RunShardedBlocks(pool, n, shards,
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     for (std::size_t v = lo; v < hi; ++v) {
+                       const auto [x, y] = Rgg2dPosition(
+                           spec.seed, static_cast<NodeId>(v));
+                       ctx.xs[v] = x;
+                       ctx.ys[v] = y;
+                     }
+                   });
+  const std::size_t num_cells = ctx.cells_per_side * ctx.cells_per_side;
+  ctx.cell_starts.assign(num_cells + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t cell =
+        ctx.CellOf(ctx.ys[v]) * ctx.cells_per_side + ctx.CellOf(ctx.xs[v]);
+    ++ctx.cell_starts[cell + 1];
+  }
+  for (std::size_t c = 1; c <= num_cells; ++c) {
+    ctx.cell_starts[c] += ctx.cell_starts[c - 1];
+  }
+  ctx.cell_nodes.resize(n);
+  std::vector<std::size_t> cursor(ctx.cell_starts.begin(),
+                                  ctx.cell_starts.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t cell =
+        ctx.CellOf(ctx.ys[v]) * ctx.cells_per_side + ctx.CellOf(ctx.xs[v]);
+    ctx.cell_nodes[cursor[cell]++] = static_cast<NodeId>(v);
+  }
+  return ctx;
+}
+
+void GenRggRange(const RggContext& ctx, std::size_t lo, std::size_t hi,
+                 ShardBuf& buf) {
+  const double r2 = ctx.radius * ctx.radius;
+  const std::size_t side = ctx.cells_per_side;
+  for (std::size_t v = lo; v < hi; ++v) {
+    const double x = ctx.xs[v];
+    const double y = ctx.ys[v];
+    const std::size_t cx = ctx.CellOf(x);
+    const std::size_t cy = ctx.CellOf(y);
+    const std::size_t x0 = cx == 0 ? 0 : cx - 1;
+    const std::size_t x1 = std::min(cx + 1, side - 1);
+    const std::size_t y0 = cy == 0 ? 0 : cy - 1;
+    const std::size_t y1 = std::min(cy + 1, side - 1);
+    for (std::size_t gy = y0; gy <= y1; ++gy) {
+      for (std::size_t gx = x0; gx <= x1; ++gx) {
+        const std::size_t cell = gy * side + gx;
+        for (std::size_t i = ctx.cell_starts[cell];
+             i < ctx.cell_starts[cell + 1]; ++i) {
+          const NodeId w = ctx.cell_nodes[i];
+          if (w <= v) continue;  // shard owning the lower id emits the edge
+          const double dx = ctx.xs[w] - x;
+          const double dy = ctx.ys[w] - y;
+          if (dx * dx + dy * dy <= r2) {
+            buf.Emit(static_cast<NodeId>(v), w);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- grid / torus ----------------------------------------------------------
+
+void GenGridRange(const ScenarioSpec& spec, std::size_t rows, std::size_t cols,
+                  std::size_t lo, std::size_t hi, ShardBuf& buf) {
+  const bool wrap = spec.topology == Topology::kTorus2d;
+  for (std::size_t v = lo; v < hi; ++v) {
+    const std::size_t r = v / cols;
+    const std::size_t c = v % cols;
+    if (c + 1 < cols) {
+      buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>(v + 1));
+    } else if (wrap && cols > 2) {
+      // cols == 2 would re-emit the {v, v-1} edge; the plain right edge
+      // above already covers the wrap in that degenerate shape.
+      buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>(r * cols));
+    }
+    if (r + 1 < rows) {
+      buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>(v + cols));
+    } else if (wrap && rows > 2) {
+      buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>(c));
+    }
+  }
+}
+
+// ---- Barabási–Albert: position-keyed attachment resolution -----------------
+//
+// The Batagelj–Brandes sequential construction writes an array M of edge
+// endpoints (M[2e] = e-th edge's source = e/d, M[2e+1] = M[r] for a uniform
+// r < 2e+1) and reads edges as (M[2e], M[2e+1]). The streaming version
+// (Sanders–Schulz) deletes the array: M[2e] is computable directly and
+// M[odd] is resolved by re-drawing the *same* hash-keyed r and recursing —
+// so any shard can compute any edge in O(1) expected without seeing the
+// attachment history. Attachment to the emitting node itself (a self-loop in
+// the multigraph formulation) is counted and skipped.
+
+NodeId ResolveBaEndpoint(std::uint64_t seed, std::uint64_t pos,
+                         std::size_t d) {
+  while (pos & 1) {
+    pos = HashMix(seed, pos, kBaSalt) % pos;
+  }
+  return static_cast<NodeId>(pos / 2 / d);
+}
+
+void GenBaRange(const ScenarioSpec& spec, std::size_t lo, std::size_t hi,
+                ShardBuf& buf) {
+  const std::size_t d = std::max<std::size_t>(spec.degree, 1);
+  buf.edges.reserve((hi - lo) * d);
+  for (std::size_t v = lo; v < hi; ++v) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const std::uint64_t e = static_cast<std::uint64_t>(v) * d + i;
+      const NodeId t = ResolveBaEndpoint(spec.seed, 2 * e + 1, d);
+      if (t == v) {
+        ++buf.self_loops;
+      } else {
+        buf.Emit(static_cast<NodeId>(v), t);
+      }
+    }
+  }
+}
+
+// ---- ring + chords ---------------------------------------------------------
+//
+// Bit-for-bit the historical bench/scenario_workload.hpp overlay: the same
+// per-node chord hash, so every recorded BENCH_* baseline keeps its
+// topology. The silent part is now counted: a chord draw that lands on
+// w == v (self-loop) is skipped here, and one that lands on a ring edge or
+// repeats a chord is deduplicated by the builder and shows up in
+// duplicate_edges.
+
+void GenRingChordsRange(const ScenarioSpec& spec, std::size_t n,
+                        std::size_t lo, std::size_t hi, ShardBuf& buf) {
+  const std::size_t chords = spec.degree;
+  buf.edges.reserve((hi - lo) * (1 + chords));
+  for (std::size_t v = lo; v < hi; ++v) {
+    if (n > 1) {
+      buf.Emit(static_cast<NodeId>(v), static_cast<NodeId>((v + 1) % n));
+    }
+    for (std::size_t j = 0; j < chords; ++j) {
+      std::uint64_t state = spec.seed ^ (v * 0x9e3779b97f4a7c15ULL) ^
+                            (j * 0xbf58476d1ce4e5b9ULL);
+      const NodeId w = static_cast<NodeId>(SplitMix64(state) % n);
+      if (w == v) {
+        ++buf.self_loops;
+      } else {
+        buf.Emit(static_cast<NodeId>(v), w);
+      }
+    }
+  }
+}
+
+std::pair<std::size_t, std::size_t> GridDims(const ScenarioSpec& spec) {
+  if (spec.rows > 0 && spec.cols > 0) return {spec.rows, spec.cols};
+  const auto side = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(spec.n))));
+  return {side, side};
+}
+
+}  // namespace
+
+const char* TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kRingChords: return "ring";
+    case Topology::kGnm: return "gnm";
+    case Topology::kGnp: return "gnp";
+    case Topology::kRgg2d: return "rgg";
+    case Topology::kGrid2d: return "grid";
+    case Topology::kTorus2d: return "torus";
+    case Topology::kBarabasiAlbert: return "ba";
+  }
+  return "?";
+}
+
+bool ParseTopology(std::string_view name, Topology* out) {
+  constexpr Topology kAll[] = {
+      Topology::kRingChords, Topology::kGnm,     Topology::kGnp,
+      Topology::kRgg2d,      Topology::kGrid2d,  Topology::kTorus2d,
+      Topology::kBarabasiAlbert};
+  for (const Topology t : kAll) {
+    if (name == TopologyName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ScenarioNumNodes(const ScenarioSpec& spec) {
+  if (spec.topology == Topology::kGrid2d ||
+      spec.topology == Topology::kTorus2d) {
+    const auto [rows, cols] = GridDims(spec);
+    return rows * cols;
+  }
+  return spec.n;
+}
+
+std::pair<double, double> Rgg2dPosition(std::uint64_t seed, NodeId v) {
+  const double x = static_cast<double>(HashMix(seed, v, kRggSalt) >> 11) *
+                   0x1.0p-53;
+  const double y =
+      static_cast<double>(HashMix(seed, v, kRggSalt + 1) >> 11) * 0x1.0p-53;
+  return {x, y};
+}
+
+ScenarioGraph BuildScenario(const ScenarioSpec& spec, std::size_t num_shards,
+                            ShardPool* pool) {
+  const std::size_t n = ScenarioNumNodes(spec);
+  OVERLAY_CHECK(n > 0, "scenario needs at least one node");
+  OVERLAY_CHECK(n <= static_cast<std::size_t>(kInvalidNode),
+                "scenario exceeds the NodeId space");
+  ShardPool& pl = pool != nullptr ? *pool : DefaultShardPool();
+
+  // GNM streams over edge indices; every other topology streams over node
+  // ids. Either way shard s owns one contiguous block of the domain.
+  const bool edge_domain = spec.topology == Topology::kGnm;
+  const std::size_t domain = edge_domain ? spec.edges : n;
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(num_shards, std::max<std::size_t>(
+                                                        domain, 1)));
+
+  RggContext rgg;
+  if (spec.topology == Topology::kRgg2d) {
+    rgg = BuildRggContext(spec, n, shards, pl);
+  }
+  const auto [rows, cols] = GridDims(spec);
+
+  std::vector<ShardBuf> bufs(shards);
+  if (domain > 0) {
+    RunShardedBlocks(
+        pl, domain, shards,
+        [&](std::size_t s, std::size_t lo, std::size_t hi) {
+          ShardBuf& buf = bufs[s];
+          switch (spec.topology) {
+            case Topology::kRingChords:
+              GenRingChordsRange(spec, n, lo, hi, buf);
+              break;
+            case Topology::kGnm:
+              GenGnmRange(spec, n, lo, hi, buf);
+              break;
+            case Topology::kGnp:
+              GenGnpRange(spec, n, lo, hi, buf);
+              break;
+            case Topology::kRgg2d:
+              GenRggRange(rgg, lo, hi, buf);
+              break;
+            case Topology::kGrid2d:
+            case Topology::kTorus2d:
+              GenGridRange(spec, rows, cols, lo, hi, buf);
+              break;
+            case Topology::kBarabasiAlbert:
+              GenBaRange(spec, lo, hi, buf);
+              break;
+          }
+        });
+  }
+
+  ScenarioGraph out;
+  GraphBuilder builder(n);
+  for (ShardBuf& buf : bufs) {
+    out.stats.edges_emitted += buf.edges.size();
+    out.stats.self_loops_skipped += buf.self_loops;
+    out.stats.peak_shard_edges =
+        std::max(out.stats.peak_shard_edges, buf.edges.size());
+    for (const auto& [u, v] : buf.edges) builder.AddEdge(u, v);
+    buf.edges = {};  // streaming buffers die as they merge
+  }
+  out.graph = std::move(builder).Build();
+  out.stats.realized_edges = out.graph.num_edges();
+  out.stats.duplicate_edges =
+      out.stats.edges_emitted - out.stats.realized_edges;
+  return out;
+}
+
+ScenarioSpec SpecForTopology(Topology t, std::size_t n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.topology = t;
+  spec.n = n;
+  spec.seed = seed;
+  switch (t) {
+    case Topology::kRingChords:
+      spec.degree = 3;
+      break;
+    case Topology::kGnm:
+      spec.edges = 3 * n;
+      break;
+    case Topology::kGnp:
+      spec.p = std::min(1.0, 10.0 / static_cast<double>(std::max<std::size_t>(
+                                 n, 1)));
+      break;
+    case Topology::kRgg2d:
+      spec.radius = 0.0;  // BuildScenario picks the ~2 ln n degree default
+      break;
+    case Topology::kGrid2d:
+    case Topology::kTorus2d:
+      break;  // square ⌊√n⌋ sides resolved by GridDims
+    case Topology::kBarabasiAlbert:
+      spec.degree = 3;
+      break;
+  }
+  return spec;
+}
+
+std::vector<CatalogueEntry> DefaultCatalogue(std::size_t n,
+                                             std::uint64_t seed) {
+  std::vector<CatalogueEntry> entries;
+  constexpr Topology kAll[] = {
+      Topology::kRingChords, Topology::kGnm,     Topology::kGnp,
+      Topology::kRgg2d,      Topology::kGrid2d,  Topology::kTorus2d,
+      Topology::kBarabasiAlbert};
+  entries.reserve(std::size(kAll));
+  for (const Topology t : kAll) {
+    entries.push_back({TopologyName(t), SpecForTopology(t, n, seed)});
+  }
+  return entries;
+}
+
+}  // namespace gen
+}  // namespace overlay

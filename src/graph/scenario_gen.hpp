@@ -1,0 +1,135 @@
+// Shard-local streaming scenario generators (the KaGen-style catalogue).
+//
+// Every million-node scenario bench used to run on one topology — the
+// ring+chords overlay of bench/scenario_workload.hpp — so the O(log n)
+// round claims and the strike strategies were never stressed on graphs
+// where they could actually fail (power-law hubs, geometric cuts, grid
+// diameters). This module is the catalogue that fixes that: GNM, GNP,
+// RGG-2D, 2D grid/torus, Barabási–Albert, and ring+chords, all built the
+// same way —
+//
+//   * streaming: shard s generates only the edges of its contiguous block
+//     of the stream domain (node ids for the node-driven generators, edge
+//     ids for GNM) into its own buffer, so a 100M-node scenario never
+//     materializes a global edge list on one thread. Peak per-shard buffer
+//     length is O(m/S + n) and is reported as `peak_shard_edges`.
+//   * shard-count-invariant: every emission is a pure function of
+//     (seed, stream index) — per-node hash-seeded RNG streams, a seed-keyed
+//     Feistel permutation for GNM, position-keyed resolution for BA — never
+//     of the shard layout. The generated edge multiset (and therefore the
+//     built Graph) is bit-identical for every S; the differential harness
+//     enforces it at S ∈ {1, 2, 4, 8}.
+//   * honest about dedup: GraphBuilder silently drops duplicate emissions
+//     (e.g. a ring+chords chord that lands on w == v+1 duplicates a ring
+//     edge), so the catalogue counts emissions, skipped self-loops, and
+//     builder dedupes, and reports the realized edge count — benches report
+//     the true m, not the requested one.
+//
+// Follow-ups recorded in ROADMAP.md: hyperbolic and Kronecker generators.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+class ShardPool;
+
+namespace gen {
+
+enum class Topology {
+  kRingChords,      ///< ring + hash-picked chords (the historical overlay)
+  kGnm,             ///< uniform random graph with exactly m distinct edges
+  kGnp,             ///< Erdős–Rényi G(n, p), geometric-skip streamed
+  kRgg2d,           ///< random geometric graph in the unit square
+  kGrid2d,          ///< rows x cols grid (diameter Θ(√n))
+  kTorus2d,         ///< rows x cols torus (degree-regular grid)
+  kBarabasiAlbert,  ///< preferential attachment, power-law hubs
+};
+
+/// Stable lowercase name ("ring", "gnm", "gnp", "rgg", "grid", "torus",
+/// "ba") — bench table keys and --topology CLI values.
+const char* TopologyName(Topology t);
+
+/// Parses a TopologyName string; returns false on an unknown name.
+bool ParseTopology(std::string_view name, Topology* out);
+
+struct ScenarioSpec {
+  Topology topology = Topology::kRingChords;
+  /// Node count. Grid/torus: ignored when rows/cols are set explicitly
+  /// (the node count is rows*cols); otherwise the side is ⌊√n⌋.
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  /// kGnm: exact number of distinct edges (must be <= n(n-1)/2).
+  std::size_t edges = 0;
+  /// kGnp: independent edge probability.
+  double p = 0.0;
+  /// kRgg2d: connection radius; 0 picks √(2 ln n / (π n)) — expected
+  /// degree ≈ 2 ln n, above the connectivity threshold w.h.p.
+  double radius = 0.0;
+  /// kGrid2d/kTorus2d: explicit dimensions (both or neither).
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// kBarabasiAlbert: attachment edges per node; kRingChords: chords/node.
+  std::size_t degree = 3;
+};
+
+/// Generation accounting. Everything except `peak_shard_edges` is a pure
+/// function of the spec — shard-count-invariant, part of the differential
+/// harness checksum; `peak_shard_edges` depends on S by construction (it is
+/// the memory bound) and is excluded from equivalence checks.
+struct ScenarioGenStats {
+  /// Self-loop-free emissions streamed into the builder (>= realized).
+  std::size_t edges_emitted = 0;
+  /// Draws that landed on the emitting node itself and were skipped.
+  std::size_t self_loops_skipped = 0;
+  /// Emissions the builder deduplicated: edges_emitted - realized_edges.
+  std::size_t duplicate_edges = 0;
+  /// Distinct edges in the built graph (== graph.num_edges()): the true m.
+  std::size_t realized_edges = 0;
+  /// Max per-shard stream buffer length — the streaming-memory guarantee:
+  /// O(m/S + n/S) entries, asserted at S=8 by scenario_gen_test.
+  std::size_t peak_shard_edges = 0;
+};
+
+struct ScenarioGraph {
+  Graph graph;
+  ScenarioGenStats stats;
+};
+
+/// Node count the spec resolves to (grid/torus dimension handling).
+std::size_t ScenarioNumNodes(const ScenarioSpec& spec);
+
+/// The RGG-2D point of node v: a pure function of (seed, v), so any shard
+/// (or test) can recompute any node's position in O(1).
+std::pair<double, double> Rgg2dPosition(std::uint64_t seed, NodeId v);
+
+/// Builds the spec's graph with `num_shards` streaming builder shards on
+/// `pool` (DefaultShardPool() when null). The edge multiset — and with it
+/// the built Graph and every stat except peak_shard_edges — is bit-identical
+/// for every num_shards.
+ScenarioGraph BuildScenario(const ScenarioSpec& spec,
+                            std::size_t num_shards = 1,
+                            ShardPool* pool = nullptr);
+
+/// The sweep default for one topology at size n: densities chosen so every
+/// entry is comparable (m within a small factor of ring+3-chords) and
+/// connected or near-connected (components are measured and reported, not
+/// assumed away).
+ScenarioSpec SpecForTopology(Topology t, std::size_t n, std::uint64_t seed);
+
+/// One named catalogue entry per topology, in sweep order.
+struct CatalogueEntry {
+  const char* name;
+  ScenarioSpec spec;
+};
+std::vector<CatalogueEntry> DefaultCatalogue(std::size_t n,
+                                             std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace overlay

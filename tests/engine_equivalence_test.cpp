@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "graph/scenario_gen.hpp"
 #include "overlay/adversary.hpp"
+#include "overlay/churn.hpp"
 #include "overlay/benign.hpp"
 #include "overlay/bfs_tree.hpp"
 #include "overlay/construct.hpp"
@@ -405,6 +407,63 @@ TEST(EngineEquivalence, AdversaryScenarioEngineInvariantAcrossShardCounts) {
             << StrikeKindName(kind) << " S " << shards << " not deterministic";
         ASSERT_FALSE(sync.collapsed);
         for (const EpochStats& e : sync.epochs) EXPECT_TRUE(e.tree_valid);
+      }
+    }
+  }
+}
+
+// ---- workload: scenario catalogue generation -------------------------------
+
+std::uint64_t ChecksumScenarioGraph(const gen::ScenarioGraph& s) {
+  std::uint64_t h = Fnv1a(kFnvOffsetBasis, s.graph.num_nodes());
+  for (const auto& [u, v] : s.graph.EdgeList()) {
+    h = Fnv1a(h, u);
+    h = Fnv1a(h, v);
+  }
+  // Every stat except peak_shard_edges is a generation result and must be
+  // shard-count-invariant; peak_shard_edges is the S-dependent memory bound
+  // and is excluded by contract (scenario_gen.hpp).
+  h = Fnv1a(h, s.stats.edges_emitted);
+  h = Fnv1a(h, s.stats.self_loops_skipped);
+  h = Fnv1a(h, s.stats.duplicate_edges);
+  return Fnv1a(h, s.stats.realized_edges);
+}
+
+TEST(EngineEquivalence, ScenarioCatalogueShardCountInvariantAndEnginesAgree) {
+  // The scenario generators join the standing gate: every emission is a
+  // pure function of (seed, stream index), so the built graph and stats
+  // must be bit-identical across S ∈ {1, 2, 4, 8} and replay for a fixed
+  // (spec, S) — and the BFS protocol over the generated topology must stay
+  // bit-identical between SyncNetwork and ShardedNetwork at every S, which
+  // is what lets bench_scenarios trust its round-count table.
+  for (const std::uint64_t seed : {3ull, 71ull}) {
+    for (const auto& entry : gen::DefaultCatalogue(600, seed)) {
+      const gen::ScenarioGraph ref = gen::BuildScenario(entry.spec, 1);
+      const std::uint64_t want = ChecksumScenarioGraph(ref);
+      for (const std::size_t shards : kShardSweep) {
+        const gen::ScenarioGraph got = gen::BuildScenario(entry.spec, shards);
+        EXPECT_EQ(ChecksumScenarioGraph(got), want)
+            << entry.name << " seed " << seed << " S " << shards;
+        const gen::ScenarioGraph replay =
+            gen::BuildScenario(entry.spec, shards);
+        EXPECT_EQ(ChecksumScenarioGraph(replay), want)
+            << entry.name << " seed " << seed << " S " << shards
+            << " not deterministic";
+      }
+
+      // BFS over the largest component (GNP/BA densities can leave a few
+      // isolated nodes at n=600; measured, not assumed away).
+      const ChurnResult intact = ApplyStrike(ref.graph, {}, 4);
+      const Graph& core = intact.largest_component;
+      ASSERT_GT(core.num_nodes(), 0u) << entry.name;
+      const BfsTreeResult want_tree =
+          BuildBfsTree<SyncNetwork>(core, EngineConfig{.seed = seed});
+      ASSERT_TRUE(ValidateBfsTree(core, want_tree)) << entry.name;
+      for (const std::size_t shards : kShardSweep) {
+        const BfsTreeResult got_tree = BuildBfsTree<ShardedNetwork>(
+            core, EngineConfig{.seed = seed, .num_shards = shards});
+        EXPECT_EQ(ChecksumBfs(got_tree), ChecksumBfs(want_tree))
+            << entry.name << " seed " << seed << " S " << shards;
       }
     }
   }

@@ -1,0 +1,372 @@
+// Property suite for the shard-local streaming scenario catalogue
+// (src/graph/scenario_gen.hpp).
+//
+// The generators make four promises this suite pins down:
+//   1. distributional shape — GNM realizes *exactly* m distinct edges (the
+//      Feistel permutation is a bijection, so zero dedupes), GNP and RGG hit
+//      their expected degree within tolerance, BA grows power-law hubs, and
+//      grid/torus have closed-form edge counts and degrees;
+//   2. determinism — a fixed (spec, S) replays bit for bit;
+//   3. shard-count invariance — the edge multiset and every stat except
+//      peak_shard_edges are identical across S ∈ {1, 2, 4, 8} (the
+//      cross-engine version of this check lives in engine_equivalence_test);
+//   4. streaming memory — at S=8 no shard ever buffers more than
+//      O(m/S + n/S) edges, the guarantee that lets a 100M-node scenario
+//      build without a global edge list on one thread.
+// Plus the PR-6 bug fix: ring+chords chord draws landing on w == v+1 used
+// to vanish silently in GraphBuilder's dedup — the stats now count them,
+// and the fold-in kept the historical edge set bit-identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/scenario_gen.hpp"
+#include "sim/inbox_checksum.hpp"
+
+namespace overlay {
+namespace {
+
+using gen::BuildScenario;
+using gen::ScenarioGraph;
+using gen::ScenarioSpec;
+using gen::Topology;
+
+constexpr std::size_t kShardSweep[] = {1, 2, 4, 8};
+
+std::uint64_t ChecksumEdges(const Graph& g) {
+  std::uint64_t h = Fnv1a(kFnvOffsetBasis, g.num_nodes());
+  for (const auto& [u, v] : g.EdgeList()) {
+    h = Fnv1a(h, u);
+    h = Fnv1a(h, v);
+  }
+  return h;
+}
+
+/// Stats folded into a checksum, excluding peak_shard_edges (S-dependent by
+/// design — it is the memory bound, not a generation result).
+std::uint64_t ChecksumStats(const gen::ScenarioGenStats& s) {
+  std::uint64_t h = Fnv1a(kFnvOffsetBasis, s.edges_emitted);
+  h = Fnv1a(h, s.self_loops_skipped);
+  h = Fnv1a(h, s.duplicate_edges);
+  return Fnv1a(h, s.realized_edges);
+}
+
+double MeanDegree(const Graph& g) {
+  return 2.0 * static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_nodes());
+}
+
+// ---- name round-trip -------------------------------------------------------
+
+TEST(ScenarioGen, TopologyNamesRoundTripAndRejectUnknown) {
+  constexpr Topology kAll[] = {
+      Topology::kRingChords, Topology::kGnm,     Topology::kGnp,
+      Topology::kRgg2d,      Topology::kGrid2d,  Topology::kTorus2d,
+      Topology::kBarabasiAlbert};
+  for (const Topology t : kAll) {
+    Topology parsed;
+    ASSERT_TRUE(gen::ParseTopology(gen::TopologyName(t), &parsed))
+        << gen::TopologyName(t);
+    EXPECT_EQ(parsed, t);
+  }
+  Topology parsed;
+  EXPECT_FALSE(gen::ParseTopology("hyperbolic", &parsed));
+  EXPECT_FALSE(gen::ParseTopology("", &parsed));
+}
+
+// ---- GNM: exact edge count -------------------------------------------------
+
+TEST(ScenarioGen, GnmRealizesExactlyMDistinctEdges) {
+  // The seed-keyed Feistel permutation over [0, n(n-1)/2) is a bijection:
+  // m distinct indices in, m distinct edges out. No self-loops exist in the
+  // strict-upper-triangle encoding, so emitted == realized exactly.
+  for (const std::uint64_t seed : {1ull, 42ull, 999ull}) {
+    ScenarioSpec spec;
+    spec.topology = Topology::kGnm;
+    spec.n = 2000;
+    spec.edges = 6000;
+    spec.seed = seed;
+    const ScenarioGraph built = BuildScenario(spec, 4);
+    EXPECT_EQ(built.graph.num_edges(), 6000u) << "seed " << seed;
+    EXPECT_EQ(built.stats.edges_emitted, 6000u);
+    EXPECT_EQ(built.stats.realized_edges, 6000u);
+    EXPECT_EQ(built.stats.duplicate_edges, 0u);
+    EXPECT_EQ(built.stats.self_loops_skipped, 0u);
+  }
+}
+
+TEST(ScenarioGen, GnmCompleteGraphExtreme) {
+  // m == n(n-1)/2 must produce the complete graph — every index decoded,
+  // every pair distinct. This exercises DecodeEdgeIndex over the full range.
+  ScenarioSpec spec;
+  spec.topology = Topology::kGnm;
+  spec.n = 40;
+  spec.edges = 40 * 39 / 2;
+  spec.seed = 7;
+  const ScenarioGraph built = BuildScenario(spec, 4);
+  ASSERT_EQ(built.graph.num_edges(), 780u);
+  for (NodeId v = 0; v < 40; ++v) {
+    EXPECT_EQ(built.graph.Degree(v), 39u) << "node " << v;
+  }
+}
+
+// ---- GNP: expected-degree tolerance ----------------------------------------
+
+TEST(ScenarioGen, GnpEdgeCountWithinTolerance) {
+  const std::size_t n = 4000;
+  const double p = 0.004;
+  const double expected = p * static_cast<double>(n) *
+                          static_cast<double>(n - 1) / 2.0;  // ~31'992
+  for (const std::uint64_t seed : {5ull, 123ull}) {
+    ScenarioSpec spec;
+    spec.topology = Topology::kGnp;
+    spec.n = n;
+    spec.p = p;
+    spec.seed = seed;
+    const ScenarioGraph built = BuildScenario(spec, 4);
+    const double m = static_cast<double>(built.graph.num_edges());
+    // Binomial(E, p): stddev ≈ 179, so ±10% (≈ 18σ) only fails on a broken
+    // generator, never on seed luck.
+    EXPECT_NEAR(m, expected, 0.10 * expected) << "seed " << seed;
+    // The geometric-skip stream visits each unordered pair once: no
+    // duplicate emissions, no self-loops possible.
+    EXPECT_EQ(built.stats.duplicate_edges, 0u);
+    EXPECT_EQ(built.stats.self_loops_skipped, 0u);
+  }
+}
+
+TEST(ScenarioGen, GnpExtremeProbabilities) {
+  ScenarioSpec spec;
+  spec.topology = Topology::kGnp;
+  spec.n = 64;
+  spec.seed = 3;
+  spec.p = 0.0;
+  EXPECT_EQ(BuildScenario(spec, 2).graph.num_edges(), 0u);
+  spec.p = 1.0;
+  EXPECT_EQ(BuildScenario(spec, 2).graph.num_edges(), 64u * 63u / 2u);
+}
+
+// ---- RGG-2D: geometry is exact, density within tolerance -------------------
+
+TEST(ScenarioGen, RggEdgesMatchBruteForceGeometry) {
+  // The cell grid is an optimization, not an approximation: the edge set
+  // must equal the brute-force O(n²) sweep over the same pure-hash
+  // positions — every pair within r connected, every pair beyond r not.
+  const std::size_t n = 500;
+  const std::uint64_t seed = 11;
+  ScenarioSpec spec;
+  spec.topology = Topology::kRgg2d;
+  spec.n = n;
+  spec.seed = seed;
+  spec.radius = 0.08;
+  const ScenarioGraph built = BuildScenario(spec, 4);
+
+  std::vector<std::pair<NodeId, NodeId>> want;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto [ux, uy] = gen::Rgg2dPosition(seed, u);
+    for (NodeId v = u + 1; v < n; ++v) {
+      const auto [vx, vy] = gen::Rgg2dPosition(seed, v);
+      const double dx = ux - vx, dy = uy - vy;
+      if (dx * dx + dy * dy <= spec.radius * spec.radius) {
+        want.emplace_back(u, v);
+      }
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> got = built.graph.EdgeList();
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(ScenarioGen, RggDefaultRadiusHitsExpectedDegree) {
+  // radius = √(2 ln n / (π n)) gives interior expected degree 2 ln n;
+  // boundary nodes see less, so the realized mean sits a few percent under.
+  const std::size_t n = 20000;
+  ScenarioSpec spec;
+  spec.topology = Topology::kRgg2d;
+  spec.n = n;
+  spec.seed = 17;
+  const ScenarioGraph built = BuildScenario(spec, 4);
+  const double expected = 2.0 * std::log(static_cast<double>(n));  // ~19.8
+  const double mean = MeanDegree(built.graph);
+  EXPECT_GT(mean, 0.75 * expected);
+  EXPECT_LT(mean, 1.05 * expected);
+}
+
+// ---- BA: power-law tail ----------------------------------------------------
+
+TEST(ScenarioGen, BarabasiAlbertGrowsPowerLawHubs) {
+  const std::size_t n = 20000;
+  ScenarioSpec spec;
+  spec.topology = Topology::kBarabasiAlbert;
+  spec.n = n;
+  spec.degree = 3;
+  spec.seed = 23;
+  const ScenarioGraph built = BuildScenario(spec, 4);
+  // d attachment draws per node, some lost to self-loops/dedup.
+  EXPECT_LE(built.graph.num_edges(), n * 3);
+  EXPECT_GT(built.graph.num_edges(), n * 3 * 9 / 10);
+
+  const double mean = MeanDegree(built.graph);  // ~6
+  const std::size_t max_deg = built.graph.MaxDegree();
+  // A degree-regular or Poisson graph at mean 6 tops out around 20; the
+  // preferential-attachment tail reaches into the hundreds at n=20000.
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * mean);
+  // And the tail is populated, not one freak hub: dozens of nodes at ≥ 5×
+  // the mean, but still a vanishing fraction of n.
+  std::size_t heavy = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (static_cast<double>(built.graph.Degree(v)) >= 5.0 * mean) ++heavy;
+  }
+  EXPECT_GE(heavy, 20u);
+  EXPECT_LE(heavy, n / 50);
+}
+
+// ---- grid / torus: closed-form shape ---------------------------------------
+
+TEST(ScenarioGen, GridAndTorusClosedFormEdgeCounts) {
+  ScenarioSpec spec;
+  spec.n = 0;
+  spec.rows = 7;
+  spec.cols = 9;
+  spec.seed = 1;
+
+  spec.topology = Topology::kGrid2d;
+  const ScenarioGraph grid = BuildScenario(spec, 4);
+  EXPECT_EQ(grid.graph.num_nodes(), 63u);
+  EXPECT_EQ(grid.graph.num_edges(), 7u * 8u + 9u * 6u);  // 110
+  EXPECT_EQ(grid.stats.duplicate_edges, 0u);
+
+  spec.topology = Topology::kTorus2d;
+  const ScenarioGraph torus = BuildScenario(spec, 4);
+  EXPECT_EQ(torus.graph.num_edges(), 2u * 63u);
+  EXPECT_EQ(torus.stats.duplicate_edges, 0u);
+  for (NodeId v = 0; v < 63; ++v) {
+    EXPECT_EQ(torus.graph.Degree(v), 4u) << "node " << v;
+  }
+}
+
+TEST(ScenarioGen, TorusWidthTwoDoesNotDoubleEmitWrapEdges) {
+  // At cols == 2 the right neighbor and the wrap neighbor are the same
+  // node; emitting both would show up as duplicate_edges. The generator
+  // suppresses the wrap on sides ≤ 2 instead of leaning on builder dedup.
+  ScenarioSpec spec;
+  spec.topology = Topology::kTorus2d;
+  spec.rows = 3;
+  spec.cols = 2;
+  spec.seed = 1;
+  const ScenarioGraph built = BuildScenario(spec, 2);
+  EXPECT_EQ(built.graph.num_nodes(), 6u);
+  // Horizontal: one edge per row (3). Vertical: each column is a 3-cycle
+  // (6). No duplicates, no dedup reliance.
+  EXPECT_EQ(built.graph.num_edges(), 9u);
+  EXPECT_EQ(built.stats.duplicate_edges, 0u);
+  EXPECT_EQ(built.stats.edges_emitted, built.stats.realized_edges);
+}
+
+// ---- ring+chords: fold-in identity and dedup accounting --------------------
+
+TEST(ScenarioGen, RingChordsMatchesHistoricalInlineBuilder) {
+  // The pre-catalogue inline builder, replicated verbatim: the fold-in
+  // promised a bit-identical edge set, so the catalogue build must realize
+  // exactly this graph for every (n, chords, seed).
+  const std::size_t n = 5000;
+  const std::size_t chords = 3;
+  for (const std::uint64_t seed : {42ull, 7ull}) {
+    GraphBuilder b(n);
+    for (NodeId v = 0; v < n; ++v) {
+      b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+      for (std::size_t j = 0; j < chords; ++j) {
+        std::uint64_t state = seed ^ (v * 0x9e3779b97f4a7c15ULL) ^
+                              (j * 0xbf58476d1ce4e5b9ULL);
+        const NodeId w = static_cast<NodeId>(SplitMix64(state) % n);
+        if (w != v) b.AddEdge(v, w);
+      }
+    }
+    const Graph want = std::move(b).Build();
+
+    ScenarioSpec spec;
+    spec.topology = Topology::kRingChords;
+    spec.n = n;
+    spec.degree = chords;
+    spec.seed = seed;
+    const ScenarioGraph built = BuildScenario(spec, 4);
+    EXPECT_EQ(ChecksumEdges(built.graph), ChecksumEdges(want))
+        << "seed " << seed;
+    EXPECT_EQ(built.graph.num_edges(), want.num_edges());
+  }
+}
+
+TEST(ScenarioGen, RingChordsCountsDedupedAndSelfLoopDraws) {
+  // The PR-6 fix: chord draws landing on w == v (self-loop) or on an
+  // existing edge (w == v±1 ring edges, repeated chords) used to vanish
+  // silently. Over enough nodes both cases occur; emitted − realized must
+  // equal the dedup count exactly, so benches report the true m.
+  ScenarioSpec spec;
+  spec.topology = Topology::kRingChords;
+  spec.n = 20000;
+  spec.degree = 3;
+  spec.seed = 42;
+  const ScenarioGraph built = BuildScenario(spec, 4);
+  EXPECT_GT(built.stats.duplicate_edges, 0u);
+  EXPECT_GT(built.stats.self_loops_skipped, 0u);
+  EXPECT_EQ(built.stats.edges_emitted,
+            built.stats.realized_edges + built.stats.duplicate_edges);
+  EXPECT_EQ(built.stats.realized_edges, built.graph.num_edges());
+  EXPECT_EQ(built.stats.edges_emitted,
+            spec.n * (1 + spec.degree) - built.stats.self_loops_skipped);
+}
+
+// ---- replay + shard-count invariance for every catalogue entry -------------
+
+TEST(ScenarioGen, EveryCatalogueEntryReplaysAndIsShardCountInvariant) {
+  for (const std::uint64_t seed : {42ull, 1337ull}) {
+    for (const auto& entry : gen::DefaultCatalogue(3000, seed)) {
+      const ScenarioGraph ref = BuildScenario(entry.spec, 1);
+      const std::uint64_t want_edges = ChecksumEdges(ref.graph);
+      const std::uint64_t want_stats = ChecksumStats(ref.stats);
+      EXPECT_EQ(ref.stats.realized_edges, ref.graph.num_edges()) << entry.name;
+      for (const std::size_t shards : kShardSweep) {
+        const ScenarioGraph got = BuildScenario(entry.spec, shards);
+        EXPECT_EQ(ChecksumEdges(got.graph), want_edges)
+            << entry.name << " seed " << seed << " S " << shards;
+        EXPECT_EQ(ChecksumStats(got.stats), want_stats)
+            << entry.name << " seed " << seed << " S " << shards;
+        const ScenarioGraph replay = BuildScenario(entry.spec, shards);
+        EXPECT_EQ(ChecksumEdges(replay.graph), ChecksumEdges(got.graph))
+            << entry.name << " seed " << seed << " S " << shards
+            << " not deterministic";
+        EXPECT_EQ(replay.stats.peak_shard_edges, got.stats.peak_shard_edges);
+      }
+    }
+  }
+}
+
+// ---- streaming memory bound at S=8 -----------------------------------------
+
+TEST(ScenarioGen, PeakShardBufferStaysStreamingAtEightShards) {
+  // The streaming guarantee: shard buffers hold O(m/S + n/S) edges, never
+  // the global list. Factor 2 absorbs the worst block skew (GNP's first
+  // block of rows is ~1.9× the average row weight); + n/S + 64 covers the
+  // node-driven generators' per-node constants and tiny-n rounding.
+  const std::size_t shards = 8;
+  const std::size_t n = 20000;
+  for (const auto& entry : gen::DefaultCatalogue(n, 42)) {
+    const ScenarioGraph built = BuildScenario(entry.spec, shards);
+    const std::size_t bound =
+        2 * built.stats.edges_emitted / shards + n / shards + 64;
+    EXPECT_LE(built.stats.peak_shard_edges, bound) << entry.name;
+    // And the bound is meaningful: a non-streaming builder would buffer
+    // everything in one shard.
+    EXPECT_LT(built.stats.peak_shard_edges, built.stats.edges_emitted)
+        << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace overlay
