@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       bench::FlagValue(argc, argv, "--topology"), n, seed);
   if (spec.topology == gen::Topology::kRingChords) spec.degree = chords;
   const auto t_build0 = std::chrono::steady_clock::now();
-  gen::ScenarioGraph built = gen::BuildScenario(spec, shards);
+  gen::ScenarioGraph built = gen::BuildScenario(spec, {.num_shards = shards});
   const auto t_build1 = std::chrono::steady_clock::now();
   bench::PrintScenarioGraph(gen::TopologyName(spec.topology), built, shards,
                             bench::Seconds(t_build0, t_build1));
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   // (the catalogue reports the component count instead of assuming 1).
   Graph start = std::move(built.graph);
   if (spec.topology != gen::Topology::kRingChords) {
-    ChurnResult intact = ApplyStrike(start, {}, shards);
+    ChurnResult intact = ApplyStrike(start, {}, {.num_shards = shards});
     if (intact.num_components > 1) {
       std::printf("using largest component: %zu of %zu nodes (%zu components)\n\n",
                   intact.largest_component.num_nodes(), start.num_nodes(),
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
         kind == StrikeKind::kDrip ? drip_pct : budget_pct;
     ScenarioOptions opts;
     opts.strike = kind;
-    opts.strike_opts.num_shards = shards;
+    opts.strike_opts.exec.num_shards = shards;
     opts.strike_opts.drip_ticks = ticks;
     opts.epochs = epochs;
     opts.seed = seed;

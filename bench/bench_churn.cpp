@@ -26,7 +26,7 @@ namespace {
 /// node independently with probability p (the sharded churn driver's
 /// cohesion number; shards = 1 keeps the serial RNG stream).
 double SurvivorCohesion(const Graph& g, double p, Rng& rng) {
-  return ApplyChurn(g, {.failure_prob = p, .num_shards = 1}, rng).Cohesion();
+  return ApplyChurn(g, {.failure_prob = p, .exec = {.num_shards = 1}}, rng).Cohesion();
 }
 
 }  // namespace

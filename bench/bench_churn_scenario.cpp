@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       bench::FlagValue(argc, argv, "--topology"), n, seed);
   if (spec.topology == gen::Topology::kRingChords) spec.degree = chords;
   const auto t_build0 = std::chrono::steady_clock::now();
-  gen::ScenarioGraph built = gen::BuildScenario(spec, shards);
+  gen::ScenarioGraph built = gen::BuildScenario(spec, {.num_shards = shards});
   const auto t_build1 = std::chrono::steady_clock::now();
   bench::PrintScenarioGraph(gen::TopologyName(spec.topology), built, shards,
                             Seconds(t_build0, t_build1));
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
 
     const auto t0 = std::chrono::steady_clock::now();
     ChurnResult churn =
-        ApplyChurn(g, {.failure_prob = fail, .num_shards = shards}, rng);
+        ApplyChurn(g, {.failure_prob = fail, .exec = {.num_shards = shards}}, rng);
     const auto t1 = std::chrono::steady_clock::now();
     if (churn.component_global.size() < 2) {
       std::fprintf(stderr, "FAIL: epoch %zu left no component to rebuild\n",
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
 
     const BfsTreeResult tree = BuildBfsTree<ShardedNetwork>(
         churn.largest_component,
-        EngineConfig{.seed = seed + epoch, .num_shards = shards});
+        EngineConfig{.seed = seed + epoch, .exec = {.num_shards = shards}});
     const auto t2 = std::chrono::steady_clock::now();
     const bool valid = ValidateBfsTree(churn.largest_component, tree);
 

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (const std::size_t shards : sweep) {
     ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
-                        .num_shards = shards});
+                        .exec = {.num_shards = shards}});
     const RunResult r = RunHashedWorkload(net, rounds, cap);
     if (shards == 1) s1_seconds = r.seconds;
     const bool matches =

@@ -49,7 +49,7 @@ void BM_TokenWalksSharded(benchmark::State& state) {
   for (auto _ : state) {
     auto r = RunTokenWalks(
         m,
-        {.tokens_per_node = 8, .walk_length = 16, .num_shards = shards},
+        {.tokens_per_node = 8, .walk_length = 16, .exec = {.num_shards = shards}},
         rng);
     benchmark::DoNotOptimize(r.max_load);
   }

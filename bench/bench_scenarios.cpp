@@ -73,21 +73,21 @@ int main(int argc, char** argv) {
   bool all_valid = true;
   for (const auto& entry : gen::DefaultCatalogue(n, seed)) {
     const auto t_build0 = std::chrono::steady_clock::now();
-    const gen::ScenarioGraph built = gen::BuildScenario(entry.spec, shards);
+    const gen::ScenarioGraph built = gen::BuildScenario(entry.spec, {.num_shards = shards});
     const auto t_build1 = std::chrono::steady_clock::now();
     const Graph& g = built.graph;
 
     // Honest connectivity: some catalogue densities leave a few isolated
     // nodes (GNP below the ln n threshold, BA self-attachment orphans).
     // The sweep runs on the largest component and the table says so.
-    const ChurnResult intact = ApplyStrike(g, {}, shards);
+    const ChurnResult intact = ApplyStrike(g, {}, {.num_shards = shards});
     const Graph& core = intact.largest_component;
     const double lcc_fraction =
         static_cast<double>(core.num_nodes()) /
         static_cast<double>(g.num_nodes());
 
     const BfsTreeResult tree = BuildBfsTree<ShardedNetwork>(
-        core, EngineConfig{.seed = seed, .num_shards = shards});
+        core, EngineConfig{.seed = seed, .exec = {.num_shards = shards}});
     const bool bfs_valid = ValidateBfsTree(core, tree);
     all_valid = all_valid && bfs_valid;
     topologies.Row(entry.name, g.num_nodes(), g.num_edges(),
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
           kind == StrikeKind::kDrip ? drip_pct : budget_pct;
       ScenarioOptions opts;
       opts.strike = kind;
-      opts.strike_opts.num_shards = shards;
+      opts.strike_opts.exec.num_shards = shards;
       opts.strike_opts.drip_ticks = ticks;
       opts.epochs = epochs;
       opts.seed = seed;

@@ -37,7 +37,7 @@ inline Graph RingWithChords(std::size_t n, std::size_t chords,
   spec.n = n;
   spec.degree = chords;
   spec.seed = seed;
-  return gen::BuildScenario(spec, shards).graph;
+  return gen::BuildScenario(spec, {.num_shards = shards}).graph;
 }
 
 /// Resolves a --topology flag value (default "ring") into a catalogue spec

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
     // The churn strike runs on the sharded churn driver (shards = 1 keeps
     // the historical serial RNG stream; pass a second argv to scale).
     const ChurnResult strike = ApplyChurn(
-        topology, {.failure_prob = kChurn, .num_shards = shards}, rng);
+        topology, {.failure_prob = kChurn, .exec = {.num_shards = shards}}, rng);
     const Graph& wreckage = strike.largest_component;
     if (wreckage.num_nodes() < 64) {
       std::printf("epoch %d: network too small to continue\n", epoch);

@@ -391,21 +391,18 @@ std::pair<double, double> Rgg2dPosition(std::uint64_t seed, NodeId v) {
   return {x, y};
 }
 
-ScenarioGraph BuildScenario(const ScenarioSpec& spec, std::size_t num_shards,
-                            ShardPool* pool) {
+ScenarioGraph BuildScenario(const ScenarioSpec& spec, const ExecPolicy& exec) {
   const std::size_t n = ScenarioNumNodes(spec);
   OVERLAY_CHECK(n > 0, "scenario needs at least one node");
   OVERLAY_CHECK(n <= static_cast<std::size_t>(kInvalidNode),
                 "scenario exceeds the NodeId space");
-  ShardPool& pl = pool != nullptr ? *pool : DefaultShardPool();
+  ShardPool& pl = exec.Pool();
 
   // GNM streams over edge indices; every other topology streams over node
   // ids. Either way shard s owns one contiguous block of the domain.
   const bool edge_domain = spec.topology == Topology::kGnm;
   const std::size_t domain = edge_domain ? spec.edges : n;
-  const std::size_t shards =
-      std::max<std::size_t>(1, std::min(num_shards, std::max<std::size_t>(
-                                                        domain, 1)));
+  const std::size_t shards = exec.ShardsFor(domain);
 
   RggContext rgg;
   if (spec.topology == Topology::kRgg2d) {

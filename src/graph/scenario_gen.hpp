@@ -35,10 +35,9 @@
 
 #include "common/ids.hpp"
 #include "graph/graph.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
-
-class ShardPool;
 
 namespace gen {
 
@@ -109,13 +108,12 @@ std::size_t ScenarioNumNodes(const ScenarioSpec& spec);
 /// (or test) can recompute any node's position in O(1).
 std::pair<double, double> Rgg2dPosition(std::uint64_t seed, NodeId v);
 
-/// Builds the spec's graph with `num_shards` streaming builder shards on
-/// `pool` (DefaultShardPool() when null). The edge multiset — and with it
-/// the built Graph and every stat except peak_shard_edges — is bit-identical
-/// for every num_shards.
+/// Builds the spec's graph with `exec.num_shards` streaming builder shards
+/// on `exec`'s pool (sim/engine.hpp). The edge multiset — and with it the
+/// built Graph and every stat except peak_shard_edges — is bit-identical
+/// for every shard count.
 ScenarioGraph BuildScenario(const ScenarioSpec& spec,
-                            std::size_t num_shards = 1,
-                            ShardPool* pool = nullptr);
+                            const ExecPolicy& exec = {});
 
 /// The sweep default for one topology at size n: densities chosen so every
 /// entry is comparable (m within a small factor of ring+3-chords) and

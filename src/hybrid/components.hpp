@@ -37,7 +37,7 @@ struct HybridOverlayOptions {
   std::uint64_t seed = 1;
   /// Engine executing the measured message-passing phases (BFS floods).
   /// `engine.num_nodes/capacity/seed` are set per phase by the driver;
-  /// num_shards/max_delay pass through to the selected engine.
+  /// `engine.exec`/max_delay pass through to the selected engine.
   EngineKind engine_kind = EngineKind::kSync;
   EngineConfig engine;
   /// Worker count for building independent component overlays concurrently

@@ -68,7 +68,7 @@ HybridExpanderRun RunHybridExpander(const Graph& h,
   RapidSamplingOptions walk_opts;
   walk_opts.walk_length = opts.walk_length;
   walk_opts.record_paths = opts.record_paths;
-  walk_opts.num_shards = opts.num_shards;
+  walk_opts.exec = opts.exec;
   // Θ(Δℓ) tokens per node so that ~Δ/4 survive; origins then pick Δ/8.
   walk_opts.tokens_per_node = TokensNeededFor(delta / 4, opts.walk_length);
 

@@ -21,6 +21,7 @@
 #include "graph/multigraph.hpp"
 #include "hybrid/hybrid_model.hpp"
 #include "overlay/evolution.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
@@ -36,9 +37,9 @@ struct HybridExpanderOptions {
   std::size_t num_evolutions = 0;
   std::uint64_t seed = 1;
   bool record_paths = false;
-  /// Worker shards for the rapid-sampling phase B stitch rounds
-  /// (RapidSamplingOptions::num_shards); 1 = the historical serial stream.
-  std::size_t num_shards = 1;
+  /// Execution context for the rapid-sampling phase B stitch rounds
+  /// (RapidSamplingOptions::exec; see ExecPolicy in sim/engine.hpp).
+  ExecPolicy exec;
   /// Stop once the spectral gap reaches this value (0 = run all evolutions).
   /// The equilibrium gap of evolved graphs is ~0.11 (the non-loop slot
   /// fraction is ~Δ/4 of Δ), so 0.08 reliably detects the plateau.

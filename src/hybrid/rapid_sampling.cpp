@@ -73,8 +73,7 @@ RapidSamplingResult RunRapidSampling(const Multigraph& g,
   // 1 consumes the caller's RNG in the exact historical order; any fixed
   // (seed, num_shards) is deterministic regardless of scheduling.
   const std::size_t stitch_rounds = FloorLog2(opts.walk_length) - 1;
-  const std::size_t shards = std::max<std::size_t>(
-      1, std::min(opts.num_shards, n));
+  const std::size_t shards = opts.exec.ShardsFor(n);
   std::vector<Rng> shard_rng;
   if (shards > 1) {
     shard_rng.reserve(shards);
@@ -121,7 +120,7 @@ RapidSamplingResult RunRapidSampling(const Multigraph& g,
       stitch_range(0, static_cast<NodeId>(n), rng, next);
     } else {
       std::vector<std::vector<Token>> shard_next(shards);
-      RunShardedBlocks(DefaultShardPool(), n, shards,
+      RunShardedBlocks(opts.exec.Pool(), n, shards,
                        [&](std::size_t sh, std::size_t lo, std::size_t hi) {
                          stitch_range(static_cast<NodeId>(lo),
                                       static_cast<NodeId>(hi), shard_rng[sh],

@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "graph/multigraph.hpp"
 #include "hybrid/hybrid_model.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
@@ -38,15 +39,14 @@ struct RapidSamplingOptions {
   /// log₂(ℓ)-1 stitch rounds halves, so survivors = 2k/ℓ).
   std::size_t tokens_per_node = 64;
   bool record_paths = false;
-  /// Worker shards for the phase B stitch rounds (same idiom as the
+  /// Execution context for the phase B stitch rounds (same idiom as the
   /// evolution acceptance pass): nodes are split into contiguous blocks on
-  /// the persistent pool, each block's red/blue shuffles drawing from its
-  /// own RNG stream split off the caller's. 1 = the exact historical serial
-  /// behavior (caller's RNG consumed directly); any fixed (seed, num_shards)
-  /// is deterministic regardless of scheduling. Which tokens pair up varies
-  /// with the streams, so survivor sets differ across shard counts while
-  /// the round count and the survivor distribution are unchanged.
-  std::size_t num_shards = 1;
+  /// the pool, each block's red/blue shuffles drawing from its own RNG
+  /// stream split off the caller's (see ExecPolicy in sim/engine.hpp for
+  /// the shared contract). Which tokens pair up varies with the streams, so
+  /// survivor sets differ across shard counts while the round count and
+  /// the survivor distribution are unchanged.
+  ExecPolicy exec;
 };
 
 struct RapidSamplingResult {

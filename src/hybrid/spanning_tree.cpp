@@ -81,10 +81,10 @@ SpanningTreeResult BuildSpanningTree(const Graph& g,
   // Unwind levels. The per-level frontier expansion (edge -> creating walk
   // path -> path-segment edges) is read-only against the provenance index
   // and produces a set union, so it shards over contiguous frontier chunks
-  // on the persistent pool; opts.engine.num_shards is the worker count.
+  // on the pool; opts.engine.exec supplies the worker count and pool.
   // The merged set is identical for every shard count.
   const std::size_t unwind_shards =
-      std::max<std::size_t>(1, opts.engine.num_shards);
+      std::max<std::size_t>(1, opts.engine.exec.num_shards);
   for (auto level = run.provenance_stack.rbegin();
        level != run.provenance_stack.rend(); ++level) {
     // Index this level's provenance by normalized edge (first entry wins —
@@ -97,7 +97,7 @@ SpanningTreeResult BuildSpanningTree(const Graph& g,
     std::vector<std::set<EdgeKey>> partial(
         std::max<std::size_t>(1, std::min(unwind_shards, work.size())));
     RunShardedBlocks(
-        DefaultShardPool(), work.size(), unwind_shards,
+        opts.engine.exec.Pool(), work.size(), unwind_shards,
         [&](std::size_t s, std::size_t lo, std::size_t hi) {
           auto& mine = partial[s];
           for (std::size_t w = lo; w < hi; ++w) {

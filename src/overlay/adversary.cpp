@@ -29,7 +29,7 @@ std::size_t ClampShards(std::size_t shards, std::size_t n) {
 /// count, so the chunk→stream map is fixed by (seed, S)) and fills blocks
 /// work-stealing — scheduling never changes who draws what.
 std::vector<std::uint64_t> DrawPriorities(std::size_t n, std::size_t shards,
-                                          Rng& rng) {
+                                          ShardPool& pool, Rng& rng) {
   std::vector<std::uint64_t> pri(n);
   if (shards <= 1) {
     for (auto& p : pri) p = rng.Next();
@@ -37,7 +37,7 @@ std::vector<std::uint64_t> DrawPriorities(std::size_t n, std::size_t shards,
     std::vector<Rng> block_rng;
     block_rng.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) block_rng.push_back(rng.Split());
-    RunDynamicBlocks(DefaultShardPool(), n, shards, shards,
+    RunDynamicBlocks(pool, n, shards, shards,
                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
                        Rng& r = block_rng[c];
                        for (std::size_t v = lo; v < hi; ++v) pri[v] = r.Next();
@@ -79,8 +79,8 @@ class ObliviousStrike final : public StrikeStrategy {
     const std::size_t budget = std::min(opts.budget, n);
     StrikeResult out;
     if (budget == 0) return out;
-    const std::size_t shards = ClampShards(opts.num_shards, n);
-    const auto pri = DrawPriorities(n, shards, rng);
+    const std::size_t shards = ClampShards(opts.exec.num_shards, n);
+    const auto pri = DrawPriorities(n, shards, opts.exec.Pool(), rng);
     out.victims = SmallestByPriority(pri, budget, nullptr);
     return out;
   }
@@ -106,10 +106,10 @@ class DegreeTargetedStrike final : public StrikeStrategy {
     // candidates (only a block-local winner can be a global winner), then a
     // serial merge selects the exact global top-k. Draws no randomness, so
     // the victim set is shard-count-invariant, not just deterministic.
-    const std::size_t shards = ClampShards(opts.num_shards, n);
+    const std::size_t shards = ClampShards(opts.exec.num_shards, n);
     std::vector<std::vector<NodeId>> cand(shards);
     RunDynamicBlocks(
-        DefaultShardPool(), n, shards, shards,
+        opts.exec.Pool(), n, shards, shards,
         [&](std::size_t c, std::size_t lo, std::size_t hi) {
           auto& mine = cand[c];
           mine.resize(hi - lo);
@@ -226,9 +226,9 @@ class CutTargetedStrike final : public StrikeStrategy {
           2, std::min(opts.cut_ball_cap, (n + 1) / 2));
       std::vector<NodeId> seeds(trials);
       for (auto& s : seeds) s = static_cast<NodeId>(rng.NextBelow(n));
-      const std::size_t shards = ClampShards(opts.num_shards, trials);
+      const std::size_t shards = ClampShards(opts.exec.num_shards, trials);
       std::vector<BallTrial> results(trials);
-      RunDynamicBlocks(DefaultShardPool(), trials, shards, trials,
+      RunDynamicBlocks(opts.exec.Pool(), trials, shards, trials,
                        [&](std::size_t c, std::size_t lo, std::size_t hi) {
                          for (std::size_t t = lo; t < hi; ++t) {
                            results[t] = GrowBall(g, seeds[t], cap);
@@ -297,13 +297,13 @@ class DripChurnStrike final : public StrikeStrategy {
     // fixed function of (n, ticks, S).
     const std::size_t ticks =
         std::max<std::size_t>(1, std::min(opts.drip_ticks, budget));
-    const std::size_t shards = ClampShards(opts.num_shards, n);
+    const std::size_t shards = ClampShards(opts.exec.num_shards, n);
     std::vector<char> alive(n, 1);
     out.victims.reserve(budget);
     for (std::size_t t = 0; t < ticks; ++t) {
       const std::size_t quota = budget / ticks + (t < budget % ticks ? 1 : 0);
       if (quota == 0) continue;
-      const auto pri = DrawPriorities(n, shards, rng);
+      const auto pri = DrawPriorities(n, shards, opts.exec.Pool(), rng);
       for (const NodeId v : SmallestByPriority(pri, quota, &alive)) {
         alive[v] = 0;
         out.victims.push_back(v);
@@ -357,7 +357,8 @@ ScenarioResult RunAdversaryScenario(const Graph& start,
   OVERLAY_CHECK(start.num_nodes() >= 2, "scenario needs at least two nodes");
   OVERLAY_CHECK(opts.budget_fraction >= 0.0 && opts.budget_fraction <= 1.0,
                 "budget fraction must be in [0, 1]");
-  const std::size_t shards = opts.strike_opts.num_shards;
+  const ExecPolicy& exec = opts.strike_opts.exec;
+  const std::size_t shards = exec.num_shards;
   OVERLAY_CHECK(shards >= 1, "need at least one shard");
 
   ScenarioResult out;
@@ -371,7 +372,7 @@ ScenarioResult RunAdversaryScenario(const Graph& start,
   if (opts.recovery == RecoveryMode::kRepair) {
     out.tree =
         BuildBfsTree(out.overlay, opts.engine,
-                     EngineConfig{.seed = opts.seed, .num_shards = shards});
+                     EngineConfig{.seed = opts.seed, .exec = exec});
   }
 
   for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
@@ -389,7 +390,7 @@ ScenarioResult RunAdversaryScenario(const Graph& start,
     const StrikeResult strike =
         strategy.SelectVictims(out.overlay, strike_opts, rng);
     const auto t1 = std::chrono::steady_clock::now();
-    ChurnResult churn = ApplyStrike(out.overlay, strike.victims, shards);
+    ChurnResult churn = ApplyStrike(out.overlay, strike.victims, exec);
     const auto t2 = std::chrono::steady_clock::now();
 
     e.killed = strike.victims.size();
@@ -418,7 +419,7 @@ ScenarioResult RunAdversaryScenario(const Graph& start,
     if (opts.recovery == RecoveryMode::kRepair) {
       RepairResult rep =
           RepairBfsTree(churn.largest_component, out.tree,
-                        churn.component_global, {.num_shards = shards});
+                        churn.component_global, {.exec = exec});
       e.orphans = rep.orphans;
       if (rep.repaired) {
         e.reattached = rep.reattached;
@@ -429,7 +430,7 @@ ScenarioResult RunAdversaryScenario(const Graph& start,
     if (!repaired) {
       out.tree = BuildBfsTree(
           churn.largest_component, opts.engine,
-          EngineConfig{.seed = opts.seed + epoch + 1, .num_shards = shards});
+          EngineConfig{.seed = opts.seed + epoch + 1, .exec = exec});
     }
     const auto t4 = std::chrono::steady_clock::now();
 

@@ -50,8 +50,9 @@ const char* StrikeKindName(StrikeKind kind);
 struct StrikeOptions {
   /// Exact number of nodes to kill (clamped to the overlay size).
   std::size_t budget = 0;
-  /// Worker shards / split-RNG chunk count for the selection passes.
-  std::size_t num_shards = 1;
+  /// Execution context (shards double as the split-RNG chunk count for the
+  /// selection passes; see ExecPolicy in sim/engine.hpp).
+  ExecPolicy exec;
   /// Drip-churn: sequential re-sampled mini-strikes the budget is split
   /// into (clamped to [1, budget]).
   std::size_t drip_ticks = 4;
@@ -93,7 +94,7 @@ enum class RecoveryMode {
 
 struct ScenarioOptions {
   StrikeKind strike = StrikeKind::kOblivious;
-  /// Per-epoch strike parameters; `num_shards` here also drives the
+  /// Per-epoch strike parameters; the ExecPolicy here also drives the
   /// recovery engine's shard count and the extraction passes.
   StrikeOptions strike_opts;
   /// When > 0, each epoch's budget is this fraction of the *current*
@@ -161,7 +162,7 @@ struct ScenarioResult {
 /// `start` (must be connected). Each epoch strikes the current overlay,
 /// keeps the largest surviving component, recovers a BFS tree over it per
 /// `opts.recovery`, and carries that component into the next epoch.
-/// Deterministic for fixed (opts.seed, opts.strike_opts.num_shards).
+/// Deterministic for fixed (opts.seed, opts.strike_opts.exec.num_shards).
 ScenarioResult RunAdversaryScenario(const Graph& start,
                                     const ScenarioOptions& opts);
 

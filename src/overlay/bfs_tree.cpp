@@ -140,7 +140,7 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
                            const RepairOptions& opts) {
   const std::size_t n = g.num_nodes();
   OVERLAY_CHECK(new_to_old.size() == n, "repair mapping size mismatch");
-  OVERLAY_CHECK(opts.num_shards >= 1, "need at least one shard");
+
   RepairResult out;
   if (n == 0) return out;
 
@@ -219,7 +219,7 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
   // Correctness: the last intact node u on a shortest root→v path is
   // followed by orphan-only nodes, so layering from the intact offsets
   // yields exact distances.
-  const std::size_t shards = std::max<std::size_t>(1, opts.num_shards);
+  const std::size_t shards = std::max<std::size_t>(1, opts.exec.num_shards);
   std::uint32_t waves = 0;
   std::vector<NodeId> remaining = orphan_list;
   std::vector<std::vector<std::pair<NodeId, NodeId>>> attach;
@@ -234,7 +234,7 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
     const std::size_t chunks =
         std::min(remaining.size(), shards * kStealChunksPerWorker);
     attach.assign(std::max<std::size_t>(chunks, 1), {});
-    RunDynamicBlocks(DefaultShardPool(), remaining.size(), shards, chunks,
+    RunDynamicBlocks(opts.exec.Pool(), remaining.size(), shards, chunks,
                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
                        auto& mine = attach[c];
                        for (std::size_t idx = lo; idx < hi; ++idx) {

@@ -55,8 +55,8 @@ bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r);
 // ---- incremental repair (the adversary's alternative to a full rebuild) ----
 
 struct RepairOptions {
-  /// Worker shards for the frontier-patching passes (1 = serial).
-  std::size_t num_shards = 1;
+  /// Execution context for the frontier-patching passes (sim/engine.hpp).
+  ExecPolicy exec;
 };
 
 /// Outcome of RepairBfsTree. When `repaired` is false no repair was

@@ -12,9 +12,8 @@ namespace overlay {
 ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
   OVERLAY_CHECK(opts.failure_prob >= 0.0 && opts.failure_prob <= 1.0,
                 "failure probability must be in [0, 1]");
-  OVERLAY_CHECK(opts.num_shards >= 1, "need at least one shard");
   const std::size_t n = g.num_nodes();
-  const std::size_t shards = std::min(opts.num_shards, std::max<std::size_t>(n, 1));
+  const std::size_t shards = opts.exec.ShardsFor(n);
 
   std::vector<char> alive(n, 1);
 
@@ -31,7 +30,7 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
     std::vector<Rng> block_rng;
     block_rng.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) block_rng.push_back(rng.Split());
-    RunDynamicBlocks(DefaultShardPool(), n, shards, shards,
+    RunDynamicBlocks(opts.exec.Pool(), n, shards, shards,
                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
                        Rng& r = block_rng[c];
                        for (std::size_t v = lo; v < hi; ++v) {
@@ -40,25 +39,24 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng) {
                      });
   }
 
-  return ExtractSurvivors(g, std::move(alive), shards);
+  return ExtractSurvivors(g, std::move(alive), opts.exec);
 }
 
 ChurnResult ApplyStrike(const Graph& g, std::span<const NodeId> victims,
-                        std::size_t num_shards) {
+                        const ExecPolicy& exec) {
   std::vector<char> alive(g.num_nodes(), 1);
   for (const NodeId v : victims) {
     OVERLAY_CHECK(v < g.num_nodes(), "strike victim out of range");
     alive[v] = 0;
   }
-  return ExtractSurvivors(g, std::move(alive), num_shards);
+  return ExtractSurvivors(g, std::move(alive), exec);
 }
 
 ChurnResult ExtractSurvivors(const Graph& g, std::vector<char> alive,
-                             std::size_t num_shards) {
+                             const ExecPolicy& exec) {
   OVERLAY_CHECK(alive.size() == g.num_nodes(), "alive mask size mismatch");
-  OVERLAY_CHECK(num_shards >= 1, "need at least one shard");
   const std::size_t n = g.num_nodes();
-  const std::size_t shards = std::min(num_shards, std::max<std::size_t>(n, 1));
+  const std::size_t shards = exec.ShardsFor(n);
 
   ChurnResult result;
   result.alive = std::move(alive);
@@ -81,7 +79,7 @@ ChurnResult ExtractSurvivors(const Graph& g, std::vector<char> alive,
   const auto edges = g.EdgeList();
   const std::size_t chunks = shards * kStealChunksPerWorker;
   std::vector<std::vector<std::pair<NodeId, NodeId>>> kept(chunks);
-  RunDynamicBlocks(DefaultShardPool(), edges.size(), shards, chunks,
+  RunDynamicBlocks(exec.Pool(), edges.size(), shards, chunks,
                    [&](std::size_t c, std::size_t lo, std::size_t hi) {
                      auto& mine = kept[c];
                      for (std::size_t i = lo; i < hi; ++i) {

@@ -12,10 +12,11 @@
 // contiguous blocks on the persistent shard pool (sim/shard_pool.hpp),
 // claimed work-stealing (ShardPool::RunDynamic) because a strike leaves
 // per-block costs skewed; the kill pass keeps one split RNG stream per
-// block so outcomes never depend on which worker draws them. num_shards = 1
-// consumes the caller's RNG serially (the exact historical stream of the
-// pre-module example code); any fixed (rng state, num_shards) pair is
-// deterministic regardless of thread scheduling.
+// block so outcomes never depend on which worker draws them. See ExecPolicy
+// (sim/engine.hpp) for the shared determinism contract: one shard consumes
+// the caller's RNG serially (the exact historical stream of the pre-module
+// example code); any fixed (rng state, num_shards) pair is deterministic
+// regardless of thread scheduling.
 #pragma once
 
 #include <cstdint>
@@ -25,14 +26,15 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
 struct ChurnOptions {
   /// Independent per-node failure probability.
   double failure_prob = 0.0;
-  /// Worker shards for the kill + edge-filter passes (1 = serial).
-  std::size_t num_shards = 1;
+  /// Execution context for the kill + edge-filter passes (sim/engine.hpp).
+  ExecPolicy exec;
 };
 
 /// One churn strike against `g`.
@@ -64,8 +66,8 @@ struct ChurnResult {
 
 /// Kills each node of `g` independently with probability
 /// `opts.failure_prob`, then extracts the survivor graph and its largest
-/// component. `rng` supplies the kill randomness (consumed directly when
-/// num_shards = 1; split into per-shard streams otherwise).
+/// component. `rng` supplies the kill randomness (consumed directly at one
+/// shard; split into per-shard streams otherwise).
 ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng);
 
 /// The strike-agnostic second half of ApplyChurn: given an explicit alive
@@ -75,12 +77,12 @@ ChurnResult ApplyChurn(const Graph& g, const ChurnOptions& opts, Rng& rng);
 /// work-stealing on the shard pool. This is the seam the adversary
 /// subsystem targets: any victim-selection policy composes with it.
 ChurnResult ExtractSurvivors(const Graph& g, std::vector<char> alive,
-                             std::size_t num_shards = 1);
+                             const ExecPolicy& exec = {});
 
 /// Kills exactly the listed victims (out-of-range ids rejected, duplicates
 /// tolerated) and extracts the survivors. The adversary's strike → wreckage
 /// step.
 ChurnResult ApplyStrike(const Graph& g, std::span<const NodeId> victims,
-                        std::size_t num_shards = 1);
+                        const ExecPolicy& exec = {});
 
 }  // namespace overlay

@@ -29,16 +29,16 @@ ConstructionResult Construct(const Graph& g, const ExpanderParams& params,
                 "expander construction disconnected the graph — parameters "
                 "too aggressive for this input");
 
-  // Election + BFS on the expander (measured protocol). With num_shards > 1
-  // the flood runs on the sharded engine, node loop included — flooding
-  // never exceeds the receive cap, so the tree is identical to the serial
-  // engine's for every shard count.
+  // Election + BFS on the expander (measured protocol). With more than one
+  // shard the flood runs on the sharded engine, node loop included —
+  // flooding never exceeds the receive cap, so the tree is identical to the
+  // serial engine's for every shard count.
   const BfsTreeResult bfs =
-      params.num_shards > 1
+      params.exec.num_shards > 1
           ? BuildBfsTree(result.expander, EngineKind::kSharded,
                          EngineConfig{.capacity = 0,
                                       .seed = params.seed ^ 0xb5f5ULL,
-                                      .num_shards = params.num_shards})
+                                      .exec = params.exec})
           : BuildBfsTree(result.expander, /*capacity=*/0,
                          /*seed=*/params.seed ^ 0xb5f5ULL);
   result.report.bfs_rounds = bfs.stats.rounds;

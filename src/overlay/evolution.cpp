@@ -20,7 +20,7 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
   walk_opts.tokens_per_node = params.TokensPerNode();
   walk_opts.walk_length = params.walk_length;
   walk_opts.record_paths = params.record_paths;
-  walk_opts.num_shards = params.num_shards;
+  walk_opts.exec = params.exec;
   TokenWalkResult walks = RunTokenWalks(g, walk_opts, rng);
 
   EvolutionResult result{Multigraph(n), {}, {}};
@@ -40,27 +40,28 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
   const std::size_t accept_bound = params.AcceptBound();
   std::vector<std::size_t> keep_count(n);
   const auto select_for = [&](NodeId v, Rng& r) -> std::uint64_t {
-    const auto arrived = walks.MutableArrivalsAt(v);
-    std::size_t keep = arrived.size();
+    const std::size_t arrived = walks.ArrivalCountAt(v);
+    std::size_t keep = arrived;
     if (keep > accept_bound) {
-      const auto tokens = params.record_paths
-                              ? walks.MutableArrivalTokensAt(v)
-                              : std::span<std::uint32_t>{};
+      // The partial Fisher–Yates runs on an index permutation (same draws,
+      // same swap sequence as permuting the bucket directly), then
+      // PermuteArrivalBucket applies it to the origins and the token join
+      // column in lockstep — the two can no longer be permuted apart.
+      std::vector<std::uint32_t> perm(arrived);
+      std::iota(perm.begin(), perm.end(), 0u);
       for (std::size_t i = 0; i < accept_bound; ++i) {
         const std::size_t j =
-            i + static_cast<std::size_t>(r.NextBelow(arrived.size() - i));
-        std::swap(arrived[i], arrived[j]);
-        if (params.record_paths) {
-          std::swap(tokens[i], tokens[j]);
-        }
+            i + static_cast<std::size_t>(r.NextBelow(arrived - i));
+        std::swap(perm[i], perm[j]);
       }
+      walks.PermuteArrivalBucket(v, perm);
       keep = accept_bound;
     }
     keep_count[v] = keep;
-    return arrived.size() - keep;
+    return arrived - keep;
   };
 
-  const std::size_t shards = std::min(params.num_shards, n);
+  const std::size_t shards = params.exec.ShardsFor(n);
   if (shards <= 1) {
     for (NodeId v = 0; v < n; ++v) {
       result.telemetry.tokens_discarded += select_for(v, rng);
@@ -70,7 +71,7 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
     shard_rng.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(rng.Split());
     std::vector<std::uint64_t> discarded(shards, 0);
-    RunShardedBlocks(DefaultShardPool(), n, shards,
+    RunShardedBlocks(params.exec.Pool(), n, shards,
                      [&](std::size_t s, std::size_t lo, std::size_t hi) {
                        for (std::size_t v = lo; v < hi; ++v) {
                          discarded[s] +=
@@ -119,7 +120,7 @@ EvolutionResult RunEvolution(const Multigraph& g, const ExpanderParams& params,
   // produces the identical graph). Degree-cap violations raise from the
   // pool with the serial path's exception type.
   RunShardedBlocks(
-      DefaultShardPool(), n, shards,
+      params.exec.Pool(), n, shards,
       [&](std::size_t, std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           const NodeId v = static_cast<NodeId>(i);

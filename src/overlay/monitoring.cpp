@@ -16,10 +16,10 @@ namespace {
 /// worker and a fast worker steals the stragglers' leftovers. All bodies
 /// here are randomness-free, so every outcome is shard- and
 /// chunk-count-invariant.
-void ForRange(std::size_t n, std::size_t shards,
+void ForRange(std::size_t n, const ExecPolicy& exec,
               const std::function<void(std::size_t, std::size_t)>& f) {
-  RunDynamicBlocks(DefaultShardPool(), n, shards,
-                   shards * kStealChunksPerWorker,
+  const std::size_t shards = exec.ShardsFor(n);
+  RunDynamicBlocks(exec.Pool(), n, shards, shards * kStealChunksPerWorker,
                    [&](std::size_t, std::size_t lo, std::size_t hi) {
                      f(lo, hi);
                    });
@@ -30,7 +30,7 @@ void ForRange(std::size_t n, std::size_t shards,
 MonitorValue AggregateOverTree(
     const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
     const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
-    std::size_t num_shards) {
+    const ExecPolicy& exec) {
   const std::size_t n = tree.num_nodes();
   OVERLAY_CHECK(per_node.size() == n, "per-node input size mismatch");
   OVERLAY_CHECK(n >= 1, "empty tree");
@@ -56,7 +56,7 @@ MonitorValue AggregateOverTree(
   level_start.push_back(n);
 
   std::vector<std::uint64_t> acc = per_node;
-  if (num_shards <= 1) {
+  if (exec.num_shards <= 1) {
     // Historical serial pass: children fold into parents in reverse-BFS
     // order.
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -74,7 +74,7 @@ MonitorValue AggregateOverTree(
     for (std::size_t d = level_start.size() - 2; d-- > 0;) {
       const std::size_t lo = level_start[d];
       const std::size_t hi = level_start[d + 1];
-      ForRange(hi - lo, num_shards, [&](std::size_t a, std::size_t b) {
+      ForRange(hi - lo, exec, [&](std::size_t a, std::size_t b) {
         for (std::size_t i = lo + a; i < lo + b; ++i) {
           const NodeId p = order[i];
           for (const NodeId c : {tree.right_child[p], tree.left_child[p]}) {
@@ -91,34 +91,34 @@ MonitorValue AggregateOverTree(
 }
 
 MonitorValue MonitorNodeCount(const WellFormedTree& tree,
-                              std::size_t num_shards) {
+                              const ExecPolicy& exec) {
   const std::vector<std::uint64_t> ones(tree.num_nodes(), 1);
   return AggregateOverTree(
       tree, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; },
-      num_shards);
+      exec);
 }
 
 MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g,
-                              std::size_t num_shards) {
+                              const ExecPolicy& exec) {
   OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
   std::vector<std::uint64_t> degrees(g.num_nodes());
-  ForRange(g.num_nodes(), num_shards, [&](std::size_t lo, std::size_t hi) {
+  ForRange(g.num_nodes(), exec, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v) {
       degrees[v] = g.Degree(static_cast<NodeId>(v));
     }
   });
   MonitorValue r = AggregateOverTree(
       tree, degrees, [](std::uint64_t a, std::uint64_t b) { return a + b; },
-      num_shards);
+      exec);
   r.value /= 2;  // handshake
   return r;
 }
 
 MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g,
-                              std::size_t num_shards) {
+                              const ExecPolicy& exec) {
   OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
   std::vector<std::uint64_t> degrees(g.num_nodes());
-  ForRange(g.num_nodes(), num_shards, [&](std::size_t lo, std::size_t hi) {
+  ForRange(g.num_nodes(), exec, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v) {
       degrees[v] = g.Degree(static_cast<NodeId>(v));
     }
@@ -126,13 +126,13 @@ MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g,
   return AggregateOverTree(
       tree, degrees,
       [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); },
-      num_shards);
+      exec);
 }
 
 BipartitenessResult MonitorBipartiteness(const WellFormedTree& tree,
                                          const Graph& g,
                                          const std::vector<NodeId>& st_parent,
-                                         std::size_t num_shards) {
+                                         const ExecPolicy& exec) {
   const std::size_t n = g.num_nodes();
   OVERLAY_CHECK(st_parent.size() == n, "spanning-tree parent size mismatch");
   OVERLAY_CHECK(tree.num_nodes() == n, "graph/tree size mismatch");
@@ -169,7 +169,7 @@ BipartitenessResult MonitorBipartiteness(const WellFormedTree& tree,
   // Each node writes only violations[v] and reads shared color[] — the
   // ForEachNode shape, sharded over node blocks.
   std::vector<std::uint64_t> violations(n, 0);
-  ForRange(n, num_shards, [&](std::size_t lo, std::size_t hi) {
+  ForRange(n, exec, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       for (NodeId w : g.Neighbors(v)) {
@@ -179,7 +179,7 @@ BipartitenessResult MonitorBipartiteness(const WellFormedTree& tree,
   });
   const MonitorValue total = AggregateOverTree(
       tree, violations,
-      [](std::uint64_t a, std::uint64_t b) { return a + b; }, num_shards);
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, exec);
 
   BipartitenessResult result;
   result.violating_edges = total.value;

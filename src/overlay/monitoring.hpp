@@ -19,6 +19,7 @@
 
 #include "graph/graph.hpp"
 #include "overlay/well_formed_tree.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
@@ -32,27 +33,27 @@ struct MonitorValue {
 /// (associative, commutative) up the tree and reports the root value.
 /// Rounds charged: 2·(tree depth + 1) (convergecast + result broadcast).
 ///
-/// `num_shards` > 1 executes the convergecast level-synchronously on the
-/// persistent shard pool: within each tree level, parents fold their
+/// `exec.num_shards` > 1 executes the convergecast level-synchronously on
+/// `exec`'s shard pool: within each tree level, parents fold their
 /// children in parallel (distinct parents touch distinct accumulators).
 /// Because `combine` is associative and commutative, the reported value is
 /// identical for every shard count; 1 keeps the historical serial pass.
 MonitorValue AggregateOverTree(
     const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
     const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
-    std::size_t num_shards = 1);
+    const ExecPolicy& exec = {});
 
 /// Number of nodes in the overlay (sum of 1 over the tree).
 MonitorValue MonitorNodeCount(const WellFormedTree& tree,
-                              std::size_t num_shards = 1);
+                              const ExecPolicy& exec = {});
 
 /// Number of edges of the monitored graph `g` (sum of degrees / 2).
 MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g,
-                              std::size_t num_shards = 1);
+                              const ExecPolicy& exec = {});
 
 /// Maximum degree of `g` (max-aggregation).
 MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g,
-                              std::size_t num_shards = 1);
+                              const ExecPolicy& exec = {});
 
 struct BipartitenessResult {
   bool bipartite = false;
@@ -62,10 +63,10 @@ struct BipartitenessResult {
 
 /// Checks bipartiteness of connected `g` given a spanning tree of g as a
 /// parent array (e.g. from hybrid::BuildSpanningTree). The overlay `tree`
-/// carries the aggregation. `num_shards` parallelizes the local
+/// carries the aggregation. `exec` parallelizes the local
 /// color-comparison round and the aggregation (value-identical to serial).
 BipartitenessResult MonitorBipartiteness(
     const WellFormedTree& tree, const Graph& g,
-    const std::vector<NodeId>& st_parent, std::size_t num_shards = 1);
+    const std::vector<NodeId>& st_parent, const ExecPolicy& exec = {});
 
 }  // namespace overlay

@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
@@ -37,10 +38,9 @@ struct ExpanderParams {
   double target_spectral_gap = 0.0;
   /// Record walk paths for Theorem 1.3's unwinding (costs memory).
   bool record_paths = false;
-  /// Execution knob, not an algorithm parameter: worker shards for the
-  /// token-walk fast path (sim/token_engine.hpp). 1 = serial; results for
-  /// a fixed (seed, num_shards) pair are deterministic.
-  std::size_t num_shards = 1;
+  /// Execution context, not an algorithm parameter (see ExecPolicy in
+  /// sim/engine.hpp for the determinism contract).
+  ExecPolicy exec;
 
   /// Tokens each node launches per evolution (Δ/8 in the paper).
   std::size_t TokensPerNode() const { return delta / 8; }

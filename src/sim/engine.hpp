@@ -18,8 +18,8 @@
 //
 // Drivers are written against the `NetworkEngine` concept, so a protocol is
 // implemented once and can execute on any engine; engine-specific knobs
-// (max_delay, num_shards) live in the shared EngineConfig and are ignored by
-// engines they do not apply to.
+// (max_delay, the ExecPolicy) live in the shared EngineConfig and are
+// ignored by engines they do not apply to.
 #pragma once
 
 #include <concepts>
@@ -33,6 +33,40 @@
 #include "sim/message_soa.hpp"
 
 namespace overlay {
+
+class ShardPool;
+ShardPool& DefaultShardPool();
+
+/// The one execution-context struct of the simulator: how much parallelism
+/// to use and which worker pool to run it on. Every driver that used to
+/// carry its own `num_shards`/`pool` knob pair (token engine, rapid
+/// sampling, hybrid pipeline, monitoring, churn/adversary, scenario
+/// generators, engines) now embeds or accepts an ExecPolicy instead — this
+/// comment is the single home of the contract those knobs shared:
+///
+///   * Scheduling never affects results. For a fixed (seed, num_shards)
+///     pair every output is bit-identical regardless of how work lands on
+///     threads; randomized passes key their RNG streams off the shard or
+///     chunk *index*, never off the claiming worker.
+///   * num_shards = 1 is the historical serial stream: the caller's RNG is
+///     consumed directly, in the exact order the pre-sharding serial code
+///     consumed it.
+///   * pool = nullptr means DefaultShardPool(), the process-wide pool; a
+///     non-null pool only changes *where* work runs, never its outcome.
+struct ExecPolicy {
+  /// Worker shard count S (drivers clamp to their domain size).
+  std::size_t num_shards = 1;
+  /// Worker pool to execute on; nullptr = DefaultShardPool().
+  ShardPool* pool = nullptr;
+
+  /// The clamp every driver applies: at least 1, at most `domain`.
+  std::size_t ShardsFor(std::size_t domain) const {
+    const std::size_t s = num_shards < 1 ? 1 : num_shards;
+    return domain < 1 ? 1 : (s > domain ? domain : s);
+  }
+  /// The pool to run on (resolves the nullptr default).
+  ShardPool& Pool() const;
+};
 
 /// Telemetry the benchmarks report: totals, peaks, and drops.
 struct NetworkStats {
@@ -51,7 +85,7 @@ struct NetworkStats {
 };
 
 /// Shared configuration of all engines. Fields an engine does not use are
-/// ignored (e.g. max_delay outside AsyncNetwork, num_shards outside
+/// ignored (e.g. max_delay outside AsyncNetwork, exec outside
 /// ShardedNetwork), so one config type can parameterize any engine.
 struct EngineConfig {
   std::size_t num_nodes = 0;
@@ -60,8 +94,8 @@ struct EngineConfig {
   std::uint64_t seed = 1;
   /// AsyncNetwork: slowest message delay D, in time steps.
   std::size_t max_delay = 1;
-  /// ShardedNetwork: worker shard count S (clamped to num_nodes).
-  std::size_t num_shards = 1;
+  /// ShardedNetwork: shard count + pool (see ExecPolicy for the contract).
+  ExecPolicy exec;
 };
 
 /// Runtime engine selector for drivers that take the choice as data (e.g.

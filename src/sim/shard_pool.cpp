@@ -5,6 +5,8 @@
 #include <barrier>
 #include <cstddef>
 
+#include "sim/engine.hpp"
+
 namespace overlay {
 
 namespace {
@@ -274,6 +276,10 @@ void ShardPool::RunPhased(std::size_t count, std::size_t steps,
 ShardPool& DefaultShardPool() {
   static ShardPool pool;
   return pool;
+}
+
+ShardPool& ExecPolicy::Pool() const {
+  return pool != nullptr ? *pool : DefaultShardPool();
 }
 
 void RunShardedBlocks(

@@ -5,17 +5,17 @@
 
 namespace overlay {
 
-ShardedNetwork::ShardedNetwork(const Config& config, ShardPool* pool)
+ShardedNetwork::ShardedNetwork(const Config& config)
     : num_nodes_(config.num_nodes),
       capacity_(config.capacity),
-      pool_(pool != nullptr ? pool : &DefaultShardPool()),
+      pool_(&config.exec.Pool()),
       sent_this_round_(config.num_nodes, 0),
       total_sent_(config.num_nodes, 0) {
   OVERLAY_CHECK(config.num_nodes >= 1, "network needs at least one node");
   OVERLAY_CHECK(config.capacity >= 1, "capacity must be positive");
-  OVERLAY_CHECK(config.num_shards >= 1, "need at least one shard");
+  OVERLAY_CHECK(config.exec.num_shards >= 1, "need at least one shard");
 
-  const std::size_t s_count = std::min(config.num_shards, num_nodes_);
+  const std::size_t s_count = config.exec.ShardsFor(num_nodes_);
   base_ = num_nodes_ / s_count;
   rem_ = num_nodes_ % s_count;
 

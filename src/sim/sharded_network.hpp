@@ -57,14 +57,11 @@ class ShardedNetwork {
  public:
   using Config = EngineConfig;
 
-  explicit ShardedNetwork(const Config& config)
-      : ShardedNetwork(config, nullptr) {}
-
-  /// As above with an explicit worker pool (nullptr = DefaultShardPool()).
-  /// The pool may be shared across engines and shard counts; it only
-  /// schedules, so outputs for a fixed (seed, num_shards) are identical
-  /// whichever pool executes them.
-  ShardedNetwork(const Config& config, ShardPool* pool);
+  /// Shard count and worker pool come from `config.exec` (ExecPolicy): the
+  /// pool may be shared across engines and shard counts; it only schedules,
+  /// so outputs for a fixed (seed, num_shards) are identical whichever pool
+  /// executes them.
+  explicit ShardedNetwork(const Config& config);
 
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t capacity() const { return capacity_; }

@@ -1,4 +1,4 @@
-// Vectorized random-walk token engine (fast path of the simulator).
+// Walker-centric random-walk token engine (fast path of the simulator).
 //
 // CreateExpander moves n·Δ/8 tokens for ℓ rounds per evolution. Routing each
 // token as a generic Message through SyncNetwork works but dominates runtime
@@ -9,10 +9,34 @@
 // tests/token_engine_test.cpp verifies the endpoint distribution matches
 // the generic message-passing engine statistically.
 //
+// Execution layout (flashmob-style walker batching): above one shard the
+// engine keeps the active walkers *bucketed by current shard* — shard s owns
+// the contiguous node block [s·B, (s+1)·B) — and each step runs two
+// barrier-synchronized phases on the ShardPool:
+//
+//   phase A (by source shard): scan the shard's walker bucket in order,
+//     drawing each walker's next slot from the shard's split RNG stream —
+//     every neighbor-slot read falls inside the shard's node block, so the
+//     random-walk hot loop becomes a block-local scan instead of random
+//     access across the whole graph — then counting-sort the moved walkers
+//     into per-destination-shard runs (the same run-packed shape as the
+//     ShardedNetwork PackedRow staging);
+//   phase B (by destination shard): concatenate the incoming runs in fixed
+//     source-shard order into the shard's next bucket and count the
+//     per-node loads destination-side (the Lemma 3.2 accounting, exact per
+//     node per step, merged to max_load at the phase boundary).
+//
+// All buffers are hoisted before the step loop — the steady state is
+// allocation-free. num_shards = 1 is the historical token-major serial
+// stream (the caller's RNG consumed directly, token-index order); see
+// ExecPolicy in sim/engine.hpp for the determinism contract.
+//
 // Results are structure-of-arrays like the network arenas: arrivals are one
 // CSR (origins + offsets, no per-node vectors) and recorded paths are one
 // flat (tokens × (ℓ+1)) matrix — at Δ/8 tokens per node the per-token-vector
-// layout used to cost one allocation per token.
+// layout used to cost one allocation per token. The CSR is finalized in
+// token-index order regardless of engine: bucket order never leaks into the
+// output layout.
 #pragma once
 
 #include <cstdint>
@@ -23,10 +47,9 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "graph/multigraph.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
-
-class ShardPool;
 
 /// Result of running all walks of one evolution.
 struct TokenWalkResult {
@@ -46,23 +69,23 @@ struct TokenWalkResult {
     return arrival_offsets[v + 1] - arrival_offsets[v];
   }
   std::span<const std::uint32_t> ArrivalTokensAt(NodeId v) const {
-    OVERLAY_CHECK(!arrival_token.empty(),
+    // Keyed on path_stride (record_paths was requested), not on the join
+    // column being non-empty: a run whose tokens all happen to land
+    // elsewhere — or a zero-token run — legitimately has an empty bucket.
+    OVERLAY_CHECK(path_stride != 0,
                   "arrival->path join requires record_paths");
     return {arrival_token.data() + arrival_offsets[v],
             arrival_offsets[v + 1] - arrival_offsets[v]};
   }
-  /// Mutable forms (acceptance selection permutes a node's arrival bucket in
-  /// place, exactly as it permuted the per-node vectors).
-  std::span<NodeId> MutableArrivalsAt(NodeId v) {
-    return {arrival_origins.data() + arrival_offsets[v],
-            arrival_offsets[v + 1] - arrival_offsets[v]};
-  }
-  std::span<std::uint32_t> MutableArrivalTokensAt(NodeId v) {
-    OVERLAY_CHECK(!arrival_token.empty(),
-                  "arrival->path join requires record_paths");
-    return {arrival_token.data() + arrival_offsets[v],
-            arrival_offsets[v + 1] - arrival_offsets[v]};
-  }
+
+  /// Applies permutation `perm` to node v's arrival bucket in place:
+  /// entry i of the bucket becomes the old entry perm[i], for the origins
+  /// and — when paths are recorded — the parallel token column in lockstep,
+  /// so the arrival→path join cannot be torn apart by a caller permuting
+  /// one column and forgetting the other (acceptance selection in
+  /// evolution.cpp is the one caller). `perm` must be a permutation of
+  /// [0, ArrivalCountAt(v)).
+  void PermuteArrivalBucket(NodeId v, std::span<const std::uint32_t> perm);
 
   /// Maximum number of tokens co-located at any node after any single step
   /// (the Lemma 3.2 load; compare against 3Δ/8).
@@ -93,19 +116,12 @@ struct TokenWalkOptions {
   /// Record full node sequences (needed by the Theorem 1.3 spanning-tree
   /// unwinding); costs O(tokens · ℓ) memory.
   bool record_paths = false;
-  /// Worker count (same idiom as ShardedNetwork). Tokens are carved into
-  /// contiguous chunks — ~4 per worker, each with a private RNG stream
-  /// split off the caller's — claimed work-stealing on the pool, so skewed
-  /// per-chunk costs (degree-dependent RandomNeighbor) rebalance instead of
-  /// serializing on the slowest block. 1 = the exact historical serial
-  /// behavior (caller's RNG consumed directly); the chunk→stream map is
-  /// fixed by (num_tokens, num_shards), so a fixed (rng seed, num_shards)
-  /// is deterministic regardless of scheduling.
-  std::size_t num_shards = 1;
-  /// Persistent worker pool executing the sharded path (nullptr =
-  /// DefaultShardPool(), shared with ShardedNetwork). Scheduling only —
-  /// never affects results.
-  ShardPool* pool = nullptr;
+  /// Execution context (sim/engine.hpp): num_shards = 1 runs the exact
+  /// historical token-major serial stream; above 1 the walker-bucketed
+  /// engine keeps one split RNG stream per shard, keyed by shard index, so
+  /// a fixed (seed, num_shards) replays bit-identically regardless of
+  /// scheduling.
+  ExecPolicy exec;
 };
 
 /// Runs `tokens_per_node` independent lazy random walks of `walk_length`
@@ -113,5 +129,13 @@ struct TokenWalkOptions {
 /// the token's current node (self-loop slots keep it in place).
 TokenWalkResult RunTokenWalks(const Multigraph& g, const TokenWalkOptions& opts,
                               Rng& rng);
+
+/// The token-major serial reference engine: iterates tokens in index order
+/// each step, consuming the caller's RNG directly — the exact stream
+/// RunTokenWalks produces at num_shards = 1 (`opts.exec` is ignored). Kept
+/// as the differential baseline for the walker-bucketed engine and the
+/// bench_token_load throughput comparison.
+TokenWalkResult RunTokenWalksTokenMajor(const Multigraph& g,
+                                        const TokenWalkOptions& opts, Rng& rng);
 
 }  // namespace overlay

@@ -56,7 +56,7 @@ void RunCase(std::uint64_t seed) {
   Graph g = RandomOverlay(r);
   const std::size_t shards = std::size_t{1} << r.NextBelow(4);  // 1..8
   BfsTreeResult tree =
-      BuildBfsTree(g, EngineConfig{.seed = seed, .num_shards = shards});
+      BuildBfsTree(g, EngineConfig{.seed = seed, .exec = {.num_shards = shards}});
   ASSERT_TRUE(ValidateBfsTree(g, tree));
 
   const std::size_t strikes = 1 + r.NextBelow(3);
@@ -66,11 +66,11 @@ void RunCase(std::uint64_t seed) {
     const std::size_t budget = r.NextBelow(n / 2 + 1);
     const auto strat = MakeStrikeStrategy(kind);
     const StrikeResult strike = strat->SelectVictims(
-        g, {.budget = budget, .num_shards = shards}, r);
+        g, {.budget = budget, .exec = {.num_shards = shards}}, r);
     ASSERT_EQ(strike.victims.size(), std::min(budget, n))
         << "budget violated by " << StrikeKindName(kind);
 
-    const ChurnResult churn = ApplyStrike(g, strike.victims, shards);
+    const ChurnResult churn = ApplyStrike(g, strike.victims, {.num_shards = shards});
     // Cohesion accounting: survivors + victims partition the overlay, and
     // the largest component is exactly the cohesion share of survivors.
     ASSERT_EQ(churn.survivors + strike.victims.size(), n);
@@ -82,14 +82,14 @@ void RunCase(std::uint64_t seed) {
     const Graph& comp = churn.largest_component;
     const RepairResult rep =
         RepairBfsTree(comp, tree, churn.component_global,
-                      {.num_shards = shards});
+                      {.exec = {.num_shards = shards}});
     if (rep.repaired) {
       ASSERT_EQ(rep.orphans, rep.reattached)
           << "repair left an orphaned survivor";
       tree = rep.tree;
     } else {
       tree = BuildBfsTree(
-          comp, EngineConfig{.seed = seed + s, .num_shards = shards});
+          comp, EngineConfig{.seed = seed + s, .exec = {.num_shards = shards}});
     }
     ASSERT_TRUE(ValidateBfsTree(comp, tree))
         << (rep.repaired ? "repaired" : "rebuilt") << " tree invalid after "
@@ -123,7 +123,7 @@ TEST(AdversaryFuzz, RandomScenarioBookkeepingChains) {
     ScenarioOptions opts;
     opts.strike = RandomKind(r);
     opts.strike_opts.budget = r.NextBelow(start.num_nodes() / 3 + 1);
-    opts.strike_opts.num_shards = 1 + r.NextBelow(4);
+    opts.strike_opts.exec.num_shards = 1 + r.NextBelow(4);
     opts.epochs = 1 + r.NextBelow(3);
     opts.recovery =
         r.NextBool(0.5) ? RecoveryMode::kRepair : RecoveryMode::kRebuild;

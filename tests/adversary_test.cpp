@@ -29,7 +29,7 @@ std::vector<NodeId> Victims(StrikeKind kind, const Graph& g,
   Rng rng(seed);
   const auto strat = MakeStrikeStrategy(kind);
   return strat
-      ->SelectVictims(g, {.budget = budget, .num_shards = shards}, rng)
+      ->SelectVictims(g, {.budget = budget, .exec = {.num_shards = shards}}, rng)
       .victims;
 }
 
@@ -108,10 +108,10 @@ TEST(Adversary, CutTargetedSeversTheBarbellBridge) {
   Rng rng(5);
   const auto strat = MakeStrikeStrategy(StrikeKind::kCutTargeted);
   const StrikeResult strike =
-      strat->SelectVictims(g, {.budget = 3, .num_shards = 2}, rng);
+      strat->SelectVictims(g, {.budget = 3, .exec = {.num_shards = 2}}, rng);
   ASSERT_EQ(strike.victims.size(), 3u);
   EXPECT_GT(strike.cut_conductance, 0.0);
-  const ChurnResult churn = ApplyStrike(g, strike.victims, 2);
+  const ChurnResult churn = ApplyStrike(g, strike.victims, {.num_shards = 2});
   EXPECT_GE(churn.num_components, 2u);
   EXPECT_LT(churn.Cohesion(), 0.9);
 }
@@ -124,9 +124,9 @@ TEST(Adversary, CutTargetedBallSweepFindsSparseCutsAtScale) {
   Rng rng(9);
   const auto strat = MakeStrikeStrategy(StrikeKind::kCutTargeted);
   const StrikeResult strike =
-      strat->SelectVictims(g, {.budget = 8, .num_shards = 4}, rng);
+      strat->SelectVictims(g, {.budget = 8, .exec = {.num_shards = 4}}, rng);
   ASSERT_EQ(strike.victims.size(), 8u);
-  const ChurnResult churn = ApplyStrike(g, strike.victims, 4);
+  const ChurnResult churn = ApplyStrike(g, strike.victims, {.num_shards = 4});
   EXPECT_GE(churn.num_components, 2u);
   EXPECT_LT(churn.Cohesion(), 0.9);
 }
@@ -142,16 +142,16 @@ TEST(Adversary, RepairMatchesRebuildExactly) {
     Rng rng(seed);
     const auto strat = MakeStrikeStrategy(StrikeKind::kOblivious);
     auto victims =
-        strat->SelectVictims(g, {.budget = 40, .num_shards = 2}, rng).victims;
+        strat->SelectVictims(g, {.budget = 40, .exec = {.num_shards = 2}}, rng).victims;
     victims.erase(std::remove(victims.begin(), victims.end(), NodeId{0}),
                   victims.end());
-    const ChurnResult churn = ApplyStrike(g, victims, 2);
+    const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 2});
     ASSERT_GE(churn.component_global.size(), 2u);
     if (churn.component_global[0] != 0) continue;  // root fell out: rebuild
     for (const std::size_t shards : {1ul, 4ul}) {
       const RepairResult rep = RepairBfsTree(
           churn.largest_component, tree, churn.component_global,
-          {.num_shards = shards});
+          {.exec = {.num_shards = shards}});
       ASSERT_TRUE(rep.repaired) << "seed " << seed;
       EXPECT_TRUE(ValidateBfsTree(churn.largest_component, rep.tree))
           << "seed " << seed << " S " << shards;
@@ -173,10 +173,10 @@ TEST(Adversary, RepairIsShardCountInvariant) {
   Rng rng(77);
   const auto strat = MakeStrikeStrategy(StrikeKind::kDrip);
   auto victims =
-      strat->SelectVictims(g, {.budget = 30, .num_shards = 1}, rng).victims;
+      strat->SelectVictims(g, {.budget = 30, .exec = {.num_shards = 1}}, rng).victims;
   victims.erase(std::remove(victims.begin(), victims.end(), NodeId{0}),
                 victims.end());
-  const ChurnResult churn = ApplyStrike(g, victims, 1);
+  const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 1});
   ASSERT_GE(churn.component_global.size(), 2u);
   ASSERT_EQ(churn.component_global[0], 0u);
   const RepairResult want = RepairBfsTree(churn.largest_component, tree,
@@ -185,7 +185,7 @@ TEST(Adversary, RepairIsShardCountInvariant) {
   for (const std::size_t shards : {2ul, 4ul, 8ul}) {
     const RepairResult got =
         RepairBfsTree(churn.largest_component, tree, churn.component_global,
-                      {.num_shards = shards});
+                      {.exec = {.num_shards = shards}});
     ASSERT_TRUE(got.repaired);
     EXPECT_EQ(got.tree.parent, want.tree.parent) << "S " << shards;
     EXPECT_EQ(got.tree.depth, want.tree.depth) << "S " << shards;
@@ -199,7 +199,7 @@ TEST(Adversary, RepairRefusesWhenRootDies) {
   const Graph g = gen::ConnectedGnp(120, 0.06, 41);
   const BfsTreeResult tree = BuildBfsTree(g, 0, 1);
   const std::vector<NodeId> victims{0};  // kill exactly the root
-  const ChurnResult churn = ApplyStrike(g, victims, 1);
+  const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 1});
   ASSERT_GE(churn.component_global.size(), 2u);
   const RepairResult rep =
       RepairBfsTree(churn.largest_component, tree, churn.component_global, {});
@@ -215,7 +215,7 @@ TEST(Adversary, ScenarioDeterministicAndStrikeInvariantAcrossRecoveryModes) {
     ScenarioOptions opts;
     opts.strike = kind;
     opts.strike_opts.budget = 14;
-    opts.strike_opts.num_shards = 2;
+    opts.strike_opts.exec.num_shards = 2;
     opts.epochs = 3;
     opts.seed = 99;
     opts.recovery = RecoveryMode::kRebuild;

@@ -94,7 +94,7 @@ TEST(BfsTree, AllEnginesAgreeOnRootAndDepths) {
   ASSERT_TRUE(ValidateBfsTree(g, sync));
   for (const EngineKind kind : {EngineKind::kAsync, EngineKind::kSharded}) {
     const auto r = BuildBfsTree(
-        g, kind, {.seed = 11, .max_delay = 3, .num_shards = 4});
+        g, kind, {.seed = 11, .max_delay = 3, .exec = {.num_shards = 4}});
     EXPECT_TRUE(ValidateBfsTree(g, r));
     EXPECT_EQ(r.root, sync.root);
     EXPECT_EQ(r.depth, sync.depth);
@@ -102,9 +102,9 @@ TEST(BfsTree, AllEnginesAgreeOnRootAndDepths) {
   }
   // The sharded engine path is also deterministic run to run.
   const auto a = BuildBfsTree(g, EngineKind::kSharded,
-                              {.seed = 5, .num_shards = 4});
+                              {.seed = 5, .exec = {.num_shards = 4}});
   const auto b = BuildBfsTree(g, EngineKind::kSharded,
-                              {.seed = 5, .num_shards = 4});
+                              {.seed = 5, .exec = {.num_shards = 4}});
   EXPECT_EQ(a.parent, b.parent);
   EXPECT_EQ(a.stats, b.stats);
 }

@@ -21,7 +21,7 @@ TEST(Churn, SerialPathConsumesCallerRngInNodeOrder) {
   Rng expect_rng(77);
   Rng rng(77);
   const ChurnResult r =
-      ApplyChurn(g, {.failure_prob = 0.3, .num_shards = 1}, rng);
+      ApplyChurn(g, {.failure_prob = 0.3, .exec = {.num_shards = 1}}, rng);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_EQ(r.alive[v] != 0, !expect_rng.NextBool(0.3)) << "node " << v;
   }
@@ -33,9 +33,9 @@ TEST(Churn, DeterministicForFixedSeedAndShards) {
     Rng rng_a(9);
     Rng rng_b(9);
     const ChurnResult a =
-        ApplyChurn(g, {.failure_prob = 0.25, .num_shards = shards}, rng_a);
+        ApplyChurn(g, {.failure_prob = 0.25, .exec = {.num_shards = shards}}, rng_a);
     const ChurnResult b =
-        ApplyChurn(g, {.failure_prob = 0.25, .num_shards = shards}, rng_b);
+        ApplyChurn(g, {.failure_prob = 0.25, .exec = {.num_shards = shards}}, rng_b);
     EXPECT_EQ(a.alive, b.alive) << "shards " << shards;
     EXPECT_EQ(a.survivors, b.survivors);
     EXPECT_EQ(a.survivor_global, b.survivor_global);
@@ -48,7 +48,7 @@ TEST(Churn, SurvivorGraphIsTheInducedSubgraph) {
   const Graph g = gen::ConnectedGnp(150, 0.06, 11);
   Rng rng(123);
   const ChurnResult r =
-      ApplyChurn(g, {.failure_prob = 0.4, .num_shards = 4}, rng);
+      ApplyChurn(g, {.failure_prob = 0.4, .exec = {.num_shards = 4}}, rng);
 
   ASSERT_EQ(r.survivor_global.size(), r.survivors);
   EXPECT_EQ(r.survivor_graph.num_nodes(), r.survivors);
@@ -68,7 +68,7 @@ TEST(Churn, LargestComponentIsConnectedAndMaximal) {
   const Graph g = gen::ConnectedGnp(200, 0.02, 17);
   Rng rng(31);
   const ChurnResult r =
-      ApplyChurn(g, {.failure_prob = 0.5, .num_shards = 2}, rng);
+      ApplyChurn(g, {.failure_prob = 0.5, .exec = {.num_shards = 2}}, rng);
   if (r.component_global.empty()) {
     EXPECT_EQ(r.survivors, 0u);
     return;
@@ -92,7 +92,7 @@ TEST(Churn, ZeroFailureKeepsEverything) {
   for (const std::size_t shards : {1u, 3u}) {
     Rng rng(1);
     const ChurnResult r =
-        ApplyChurn(g, {.failure_prob = 0.0, .num_shards = shards}, rng);
+        ApplyChurn(g, {.failure_prob = 0.0, .exec = {.num_shards = shards}}, rng);
     EXPECT_EQ(r.survivors, g.num_nodes());
     EXPECT_EQ(r.survivor_graph.num_edges(), g.num_edges());
     EXPECT_EQ(r.num_components, 1u);
@@ -104,7 +104,7 @@ TEST(Churn, CertainFailureKillsEverything) {
   const Graph g = gen::Line(32);
   Rng rng(1);
   const ChurnResult r =
-      ApplyChurn(g, {.failure_prob = 1.0, .num_shards = 4}, rng);
+      ApplyChurn(g, {.failure_prob = 1.0, .exec = {.num_shards = 4}}, rng);
   EXPECT_EQ(r.survivors, 0u);
   EXPECT_EQ(r.survivor_graph.num_nodes(), 0u);
   EXPECT_DOUBLE_EQ(r.Cohesion(), 0.0);
@@ -118,9 +118,9 @@ TEST(Churn, EdgeFilterIsShardCountInvariantGivenSameAliveSet) {
   Rng rng_a(5);
   Rng rng_b(5);
   const ChurnResult a =
-      ApplyChurn(g, {.failure_prob = 0.3, .num_shards = 1}, rng_a);
+      ApplyChurn(g, {.failure_prob = 0.3, .exec = {.num_shards = 1}}, rng_a);
   const ChurnResult b =
-      ApplyChurn(g, {.failure_prob = 0.3, .num_shards = 1}, rng_b);
+      ApplyChurn(g, {.failure_prob = 0.3, .exec = {.num_shards = 1}}, rng_b);
   EXPECT_EQ(a.alive, b.alive);
   EXPECT_EQ(a.survivor_graph.EdgeList(), b.survivor_graph.EdgeList());
   EXPECT_EQ(a.largest_component.EdgeList(), b.largest_component.EdgeList());

@@ -87,7 +87,7 @@ TEST(EngineEquivalence, RawWorkloadAcrossSeedsAndShardCounts) {
     ASSERT_GT(sync.stats().messages_dropped, 0u) << "workload must drop";
     for (const std::size_t shards : kShardSweep) {
       ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
-                          .num_shards = shards});
+                          .exec = {.num_shards = shards}});
       const std::uint64_t got = DriveRawWorkload(net, 12, cap, seed);
       if (shards == 1) {
         // The tentpole guarantee: S=1 replays the reference engine bit for
@@ -96,7 +96,7 @@ TEST(EngineEquivalence, RawWorkloadAcrossSeedsAndShardCounts) {
       } else {
         // Different drop *choices* are legal; every stat is not.
         ShardedNetwork replay({.num_nodes = n, .capacity = cap, .seed = seed,
-                               .num_shards = shards});
+                               .exec = {.num_shards = shards}});
         EXPECT_EQ(DriveRawWorkload(replay, 12, cap, seed), got)
             << "seed " << seed << " S " << shards << " not deterministic";
       }
@@ -169,13 +169,13 @@ TEST(EngineEquivalence, HubSkewedWorkloadAcrossShardCounts) {
     ASSERT_GT(sync.stats().messages_dropped, 0u) << "hub must overflow";
     for (const std::size_t shards : kShardSweep) {
       ShardedNetwork net({.num_nodes = n, .capacity = cap, .seed = seed,
-                          .num_shards = shards});
+                          .exec = {.num_shards = shards}});
       const std::uint64_t got = DriveHubWorkload(net, 10, cap, seed);
       if (shards == 1) {
         EXPECT_EQ(got, want) << "seed " << seed;
       } else {
         ShardedNetwork replay({.num_nodes = n, .capacity = cap, .seed = seed,
-                               .num_shards = shards});
+                               .exec = {.num_shards = shards}});
         EXPECT_EQ(DriveHubWorkload(replay, 10, cap, seed), got)
             << "seed " << seed << " S " << shards << " not deterministic";
       }
@@ -240,7 +240,7 @@ TEST(EngineEquivalence, BfsTreeBitIdenticalOnEveryShardCount) {
     ASSERT_TRUE(ValidateBfsTree(g, want));
     for (const std::size_t shards : kShardSweep) {
       const BfsTreeResult got = BuildBfsTree<ShardedNetwork>(
-          g, EngineConfig{.seed = seed, .num_shards = shards});
+          g, EngineConfig{.seed = seed, .exec = {.num_shards = shards}});
       EXPECT_EQ(ChecksumBfs(got), ChecksumBfs(want))
           << "seed " << seed << " S " << shards;
       EXPECT_EQ(got.stats, want.stats) << "seed " << seed << " S " << shards;
@@ -284,7 +284,7 @@ TEST(EngineEquivalence, EvolutionMpMatchesSyncAtS1AndReplaysAboveS1) {
     const auto sync =
         RunEvolutionMessagePassing<SyncNetwork>(benign, params, {});
     for (const std::size_t shards : kShardSweep) {
-      const EngineConfig cfg{.num_shards = shards};
+      const EngineConfig cfg{.exec = {.num_shards = shards}};
       const auto got =
           RunEvolutionMessagePassing<ShardedNetwork>(benign, params, cfg);
       if (shards == 1) {
@@ -320,15 +320,15 @@ TEST(EngineEquivalence, MonitoringConvergecastShardCountInvariant) {
   for (const std::uint64_t seed : {3ull, 9ull}) {
     const Graph g = gen::ConnectedGnp(80, 0.08, seed);
     const WellFormedTree tree = ConstructWellFormedTree(g, seed).tree;
-    const MonitorValue nodes_serial = MonitorNodeCount(tree, 1);
-    const MonitorValue edges_serial = MonitorEdgeCount(tree, g, 1);
-    const MonitorValue deg_serial = MonitorMaxDegree(tree, g, 1);
+    const MonitorValue nodes_serial = MonitorNodeCount(tree, {.num_shards = 1});
+    const MonitorValue edges_serial = MonitorEdgeCount(tree, g, {.num_shards = 1});
+    const MonitorValue deg_serial = MonitorMaxDegree(tree, g, {.num_shards = 1});
     EXPECT_EQ(nodes_serial.value, 80u);
     for (const std::size_t shards : kShardSweep) {
       if (shards == 1) continue;
-      const MonitorValue nodes = MonitorNodeCount(tree, shards);
-      const MonitorValue edges = MonitorEdgeCount(tree, g, shards);
-      const MonitorValue deg = MonitorMaxDegree(tree, g, shards);
+      const MonitorValue nodes = MonitorNodeCount(tree, {.num_shards = shards});
+      const MonitorValue edges = MonitorEdgeCount(tree, g, {.num_shards = shards});
+      const MonitorValue deg = MonitorMaxDegree(tree, g, {.num_shards = shards});
       EXPECT_EQ(nodes.value, nodes_serial.value) << "S " << shards;
       EXPECT_EQ(edges.value, edges_serial.value) << "S " << shards;
       EXPECT_EQ(deg.value, deg_serial.value) << "S " << shards;
@@ -393,7 +393,7 @@ TEST(EngineEquivalence, AdversaryScenarioEngineInvariantAcrossShardCounts) {
       opts.seed = 1234;
       opts.recovery = recovery;
       for (const std::size_t shards : kShardSweep) {
-        opts.strike_opts.num_shards = shards;
+        opts.strike_opts.exec.num_shards = shards;
         opts.engine = EngineKind::kSync;
         const ScenarioResult sync = RunAdversaryScenario(start, opts);
         opts.engine = EngineKind::kSharded;
@@ -438,14 +438,14 @@ TEST(EngineEquivalence, ScenarioCatalogueShardCountInvariantAndEnginesAgree) {
   // is what lets bench_scenarios trust its round-count table.
   for (const std::uint64_t seed : {3ull, 71ull}) {
     for (const auto& entry : gen::DefaultCatalogue(600, seed)) {
-      const gen::ScenarioGraph ref = gen::BuildScenario(entry.spec, 1);
+      const gen::ScenarioGraph ref = gen::BuildScenario(entry.spec, {.num_shards = 1});
       const std::uint64_t want = ChecksumScenarioGraph(ref);
       for (const std::size_t shards : kShardSweep) {
-        const gen::ScenarioGraph got = gen::BuildScenario(entry.spec, shards);
+        const gen::ScenarioGraph got = gen::BuildScenario(entry.spec, {.num_shards = shards});
         EXPECT_EQ(ChecksumScenarioGraph(got), want)
             << entry.name << " seed " << seed << " S " << shards;
         const gen::ScenarioGraph replay =
-            gen::BuildScenario(entry.spec, shards);
+            gen::BuildScenario(entry.spec, {.num_shards = shards});
         EXPECT_EQ(ChecksumScenarioGraph(replay), want)
             << entry.name << " seed " << seed << " S " << shards
             << " not deterministic";
@@ -453,7 +453,7 @@ TEST(EngineEquivalence, ScenarioCatalogueShardCountInvariantAndEnginesAgree) {
 
       // BFS over the largest component (GNP/BA densities can leave a few
       // isolated nodes at n=600; measured, not assumed away).
-      const ChurnResult intact = ApplyStrike(ref.graph, {}, 4);
+      const ChurnResult intact = ApplyStrike(ref.graph, {}, {.num_shards = 4});
       const Graph& core = intact.largest_component;
       ASSERT_GT(core.num_nodes(), 0u) << entry.name;
       const BfsTreeResult want_tree =
@@ -461,7 +461,7 @@ TEST(EngineEquivalence, ScenarioCatalogueShardCountInvariantAndEnginesAgree) {
       ASSERT_TRUE(ValidateBfsTree(core, want_tree)) << entry.name;
       for (const std::size_t shards : kShardSweep) {
         const BfsTreeResult got_tree = BuildBfsTree<ShardedNetwork>(
-            core, EngineConfig{.seed = seed, .num_shards = shards});
+            core, EngineConfig{.seed = seed, .exec = {.num_shards = shards}});
         EXPECT_EQ(ChecksumBfs(got_tree), ChecksumBfs(want_tree))
             << entry.name << " seed " << seed << " S " << shards;
       }
@@ -474,9 +474,44 @@ TEST(EngineEquivalence, ScenarioCatalogueShardCountInvariantAndEnginesAgree) {
 std::uint64_t ChecksumTokenWalks(const TokenWalkResult& r) {
   std::uint64_t h = Checksum(kFnvOffsetBasis, r.arrival_origins);
   for (const std::size_t o : r.arrival_offsets) h = Fnv1a(h, o);
+  for (const std::uint32_t t : r.arrival_token) h = Fnv1a(h, t);
   h = Checksum(h, r.path_nodes);
   h = Fnv1a(h, r.max_load);
   return Fnv1a(h, r.token_steps);
+}
+
+Multigraph LazyRing(std::size_t n, std::size_t delta) {
+  Multigraph m(n);
+  for (NodeId v = 0; v < n; ++v) m.AddEdge(v, (v + 1) % n);
+  for (NodeId v = 0; v < n; ++v) {
+    while (m.Degree(v) < delta) m.AddSelfLoop(v);
+  }
+  return m;
+}
+
+TEST(EngineEquivalence, TokenWalksBucketedEngineMatchesTokenMajorAtS1) {
+  // The ExecPolicy contract applied to the walker-bucketed token engine:
+  // num_shards = 1 IS the historical serial stream. RunTokenWalks at S=1
+  // must be bit-identical to the token-major reference loop — same RNG
+  // consumption order, same CSR arrivals, join column, paths, telemetry.
+  const Multigraph m = LazyRing(40, 8);
+  for (const std::uint64_t seed : {13ull, 29ull, 57ull}) {
+    const TokenWalkOptions opts{.tokens_per_node = 2,
+                                .walk_length = 5,
+                                .record_paths = true};
+    Rng rng_fast(seed);
+    Rng rng_ref(seed);
+    const auto fast = RunTokenWalks(m, opts, rng_fast);
+    const auto ref = RunTokenWalksTokenMajor(m, opts, rng_ref);
+    EXPECT_EQ(ChecksumTokenWalks(fast), ChecksumTokenWalks(ref))
+        << "seed " << seed;
+    EXPECT_EQ(fast.arrival_origins, ref.arrival_origins);
+    EXPECT_EQ(fast.arrival_token, ref.arrival_token);
+    EXPECT_EQ(fast.token_origin, ref.token_origin);
+    // Both engines must have drained the caller's RNG identically: the next
+    // draw continues the same stream.
+    EXPECT_EQ(rng_fast.Next(), rng_ref.Next()) << "seed " << seed;
+  }
 }
 
 TEST(EngineEquivalence, TokenWalksReplayPerShardCountAndConserve) {
@@ -490,7 +525,7 @@ TEST(EngineEquivalence, TokenWalksReplayPerShardCountAndConserve) {
       const TokenWalkOptions opts{.tokens_per_node = 2,
                                   .walk_length = 5,
                                   .record_paths = true,
-                                  .num_shards = shards};
+                                  .exec = {.num_shards = shards}};
       Rng rng_a(seed);
       Rng rng_b(seed);
       const auto a = RunTokenWalks(m, opts, rng_a);

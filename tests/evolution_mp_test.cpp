@@ -107,7 +107,7 @@ TEST(EvolutionMp, ShardedDriveIsDeterministicAndBenignShaped) {
   // shard workers with split RNG streams. Two runs with the same
   // (seed, num_shards) must agree exactly; the output stays benign.
   auto s = MakeSetup(96);
-  EngineConfig cfg{.num_shards = 4};
+  EngineConfig cfg{.exec = {.num_shards = 4}};
   const auto a =
       RunEvolutionMessagePassing<ShardedNetwork>(s.benign, s.params, cfg);
   const auto b =
@@ -131,7 +131,7 @@ TEST(EvolutionMp, SingleShardShardedEngineMatchesSync) {
       RunEvolutionMessagePassing<SyncNetwork>(s.benign, s.params, {});
   const auto sharded =
       RunEvolutionMessagePassing<ShardedNetwork>(s.benign, s.params,
-                                                 {.num_shards = 1});
+                                                 {.exec = {.num_shards = 1}});
   EXPECT_EQ(sync.edges_created, sharded.edges_created);
   EXPECT_EQ(sync.tokens_without_edge, sharded.tokens_without_edge);
   EXPECT_EQ(sync.stats, sharded.stats);

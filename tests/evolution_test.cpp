@@ -103,7 +103,7 @@ TEST(Evolution, ShardedFastPathKeepsInvariantsAndDeterminism) {
   // pool) must preserve every structural invariant and be deterministic
   // for a fixed (seed, num_shards).
   auto s = MakeSetup(96);
-  s.params.num_shards = 4;
+  s.params.exec.num_shards = 4;
   Rng rng_a(11);
   Rng rng_b(11);
   const auto a = RunEvolution(s.benign, s.params, rng_a);
@@ -124,7 +124,7 @@ TEST(Evolution, ShardedFastPathKeepsInvariantsAndDeterminism) {
 TEST(Evolution, ShardedProvenanceMatchesEdges) {
   auto s = MakeSetup(64);
   s.params.record_paths = true;
-  s.params.num_shards = 3;
+  s.params.exec.num_shards = 3;
   Rng rng(7);
   const auto evo = RunEvolution(s.benign, s.params, rng);
   EXPECT_EQ(evo.provenance.size(), evo.telemetry.edges_created);

@@ -124,8 +124,8 @@ TEST(Monitoring, ShardedAggregationMatchesSerial) {
   const auto serial_sum = AggregateOverTree(f.tree, values, sum_combine);
   const auto serial_max = AggregateOverTree(f.tree, values, max_combine);
   for (const std::size_t shards : {2u, 4u, 7u}) {
-    const auto s = AggregateOverTree(f.tree, values, sum_combine, shards);
-    const auto m = AggregateOverTree(f.tree, values, max_combine, shards);
+    const auto s = AggregateOverTree(f.tree, values, sum_combine, {.num_shards = shards});
+    const auto m = AggregateOverTree(f.tree, values, max_combine, {.num_shards = shards});
     EXPECT_EQ(s.value, serial_sum.value) << "shards " << shards;
     EXPECT_EQ(s.rounds, serial_sum.rounds);
     EXPECT_EQ(m.value, serial_max.value) << "shards " << shards;
@@ -140,10 +140,10 @@ TEST(Monitoring, ShardedPrimitivesMatchSerial) {
   const auto deg1 = MonitorMaxDegree(f.tree, f.g);
   const auto bip1 = MonitorBipartiteness(f.tree, f.g, st.parent);
   for (const std::size_t shards : {2u, 4u}) {
-    EXPECT_EQ(MonitorNodeCount(f.tree, shards).value, nodes1.value);
-    EXPECT_EQ(MonitorEdgeCount(f.tree, f.g, shards).value, edges1.value);
-    EXPECT_EQ(MonitorMaxDegree(f.tree, f.g, shards).value, deg1.value);
-    const auto bip = MonitorBipartiteness(f.tree, f.g, st.parent, shards);
+    EXPECT_EQ(MonitorNodeCount(f.tree, {.num_shards = shards}).value, nodes1.value);
+    EXPECT_EQ(MonitorEdgeCount(f.tree, f.g, {.num_shards = shards}).value, edges1.value);
+    EXPECT_EQ(MonitorMaxDegree(f.tree, f.g, {.num_shards = shards}).value, deg1.value);
+    const auto bip = MonitorBipartiteness(f.tree, f.g, st.parent, {.num_shards = shards});
     EXPECT_EQ(bip.bipartite, bip1.bipartite);
     EXPECT_EQ(bip.violating_edges, bip1.violating_edges);
     EXPECT_EQ(bip.rounds, bip1.rounds);

@@ -140,7 +140,7 @@ TEST(RapidSampling, ShardedStitchDeterministicAtS1AndS4) {
     const RapidSamplingOptions opts{.walk_length = ell,
                                     .tokens_per_node = 32,
                                     .record_paths = true,
-                                    .num_shards = s};
+                                    .exec = {.num_shards = s}};
     Rng rng_a(21);
     Rng rng_b(21);
     const auto a = RunRapidSampling(m, opts, rng_a);

@@ -91,7 +91,7 @@ TEST(ScenarioGen, GnmRealizesExactlyMDistinctEdges) {
     spec.n = 2000;
     spec.edges = 6000;
     spec.seed = seed;
-    const ScenarioGraph built = BuildScenario(spec, 4);
+    const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
     EXPECT_EQ(built.graph.num_edges(), 6000u) << "seed " << seed;
     EXPECT_EQ(built.stats.edges_emitted, 6000u);
     EXPECT_EQ(built.stats.realized_edges, 6000u);
@@ -108,7 +108,7 @@ TEST(ScenarioGen, GnmCompleteGraphExtreme) {
   spec.n = 40;
   spec.edges = 40 * 39 / 2;
   spec.seed = 7;
-  const ScenarioGraph built = BuildScenario(spec, 4);
+  const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
   ASSERT_EQ(built.graph.num_edges(), 780u);
   for (NodeId v = 0; v < 40; ++v) {
     EXPECT_EQ(built.graph.Degree(v), 39u) << "node " << v;
@@ -128,7 +128,7 @@ TEST(ScenarioGen, GnpEdgeCountWithinTolerance) {
     spec.n = n;
     spec.p = p;
     spec.seed = seed;
-    const ScenarioGraph built = BuildScenario(spec, 4);
+    const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
     const double m = static_cast<double>(built.graph.num_edges());
     // Binomial(E, p): stddev ≈ 179, so ±10% (≈ 18σ) only fails on a broken
     // generator, never on seed luck.
@@ -146,9 +146,9 @@ TEST(ScenarioGen, GnpExtremeProbabilities) {
   spec.n = 64;
   spec.seed = 3;
   spec.p = 0.0;
-  EXPECT_EQ(BuildScenario(spec, 2).graph.num_edges(), 0u);
+  EXPECT_EQ(BuildScenario(spec, {.num_shards = 2}).graph.num_edges(), 0u);
   spec.p = 1.0;
-  EXPECT_EQ(BuildScenario(spec, 2).graph.num_edges(), 64u * 63u / 2u);
+  EXPECT_EQ(BuildScenario(spec, {.num_shards = 2}).graph.num_edges(), 64u * 63u / 2u);
 }
 
 // ---- RGG-2D: geometry is exact, density within tolerance -------------------
@@ -164,7 +164,7 @@ TEST(ScenarioGen, RggEdgesMatchBruteForceGeometry) {
   spec.n = n;
   spec.seed = seed;
   spec.radius = 0.08;
-  const ScenarioGraph built = BuildScenario(spec, 4);
+  const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
 
   std::vector<std::pair<NodeId, NodeId>> want;
   for (NodeId u = 0; u < n; ++u) {
@@ -191,7 +191,7 @@ TEST(ScenarioGen, RggDefaultRadiusHitsExpectedDegree) {
   spec.topology = Topology::kRgg2d;
   spec.n = n;
   spec.seed = 17;
-  const ScenarioGraph built = BuildScenario(spec, 4);
+  const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
   const double expected = 2.0 * std::log(static_cast<double>(n));  // ~19.8
   const double mean = MeanDegree(built.graph);
   EXPECT_GT(mean, 0.75 * expected);
@@ -207,7 +207,7 @@ TEST(ScenarioGen, BarabasiAlbertGrowsPowerLawHubs) {
   spec.n = n;
   spec.degree = 3;
   spec.seed = 23;
-  const ScenarioGraph built = BuildScenario(spec, 4);
+  const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
   // d attachment draws per node, some lost to self-loops/dedup.
   EXPECT_LE(built.graph.num_edges(), n * 3);
   EXPECT_GT(built.graph.num_edges(), n * 3 * 9 / 10);
@@ -237,13 +237,13 @@ TEST(ScenarioGen, GridAndTorusClosedFormEdgeCounts) {
   spec.seed = 1;
 
   spec.topology = Topology::kGrid2d;
-  const ScenarioGraph grid = BuildScenario(spec, 4);
+  const ScenarioGraph grid = BuildScenario(spec, {.num_shards = 4});
   EXPECT_EQ(grid.graph.num_nodes(), 63u);
   EXPECT_EQ(grid.graph.num_edges(), 7u * 8u + 9u * 6u);  // 110
   EXPECT_EQ(grid.stats.duplicate_edges, 0u);
 
   spec.topology = Topology::kTorus2d;
-  const ScenarioGraph torus = BuildScenario(spec, 4);
+  const ScenarioGraph torus = BuildScenario(spec, {.num_shards = 4});
   EXPECT_EQ(torus.graph.num_edges(), 2u * 63u);
   EXPECT_EQ(torus.stats.duplicate_edges, 0u);
   for (NodeId v = 0; v < 63; ++v) {
@@ -260,7 +260,7 @@ TEST(ScenarioGen, TorusWidthTwoDoesNotDoubleEmitWrapEdges) {
   spec.rows = 3;
   spec.cols = 2;
   spec.seed = 1;
-  const ScenarioGraph built = BuildScenario(spec, 2);
+  const ScenarioGraph built = BuildScenario(spec, {.num_shards = 2});
   EXPECT_EQ(built.graph.num_nodes(), 6u);
   // Horizontal: one edge per row (3). Vertical: each column is a 3-cycle
   // (6). No duplicates, no dedup reliance.
@@ -295,7 +295,7 @@ TEST(ScenarioGen, RingChordsMatchesHistoricalInlineBuilder) {
     spec.n = n;
     spec.degree = chords;
     spec.seed = seed;
-    const ScenarioGraph built = BuildScenario(spec, 4);
+    const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
     EXPECT_EQ(ChecksumEdges(built.graph), ChecksumEdges(want))
         << "seed " << seed;
     EXPECT_EQ(built.graph.num_edges(), want.num_edges());
@@ -312,7 +312,7 @@ TEST(ScenarioGen, RingChordsCountsDedupedAndSelfLoopDraws) {
   spec.n = 20000;
   spec.degree = 3;
   spec.seed = 42;
-  const ScenarioGraph built = BuildScenario(spec, 4);
+  const ScenarioGraph built = BuildScenario(spec, {.num_shards = 4});
   EXPECT_GT(built.stats.duplicate_edges, 0u);
   EXPECT_GT(built.stats.self_loops_skipped, 0u);
   EXPECT_EQ(built.stats.edges_emitted,
@@ -327,17 +327,17 @@ TEST(ScenarioGen, RingChordsCountsDedupedAndSelfLoopDraws) {
 TEST(ScenarioGen, EveryCatalogueEntryReplaysAndIsShardCountInvariant) {
   for (const std::uint64_t seed : {42ull, 1337ull}) {
     for (const auto& entry : gen::DefaultCatalogue(3000, seed)) {
-      const ScenarioGraph ref = BuildScenario(entry.spec, 1);
+      const ScenarioGraph ref = BuildScenario(entry.spec, {.num_shards = 1});
       const std::uint64_t want_edges = ChecksumEdges(ref.graph);
       const std::uint64_t want_stats = ChecksumStats(ref.stats);
       EXPECT_EQ(ref.stats.realized_edges, ref.graph.num_edges()) << entry.name;
       for (const std::size_t shards : kShardSweep) {
-        const ScenarioGraph got = BuildScenario(entry.spec, shards);
+        const ScenarioGraph got = BuildScenario(entry.spec, {.num_shards = shards});
         EXPECT_EQ(ChecksumEdges(got.graph), want_edges)
             << entry.name << " seed " << seed << " S " << shards;
         EXPECT_EQ(ChecksumStats(got.stats), want_stats)
             << entry.name << " seed " << seed << " S " << shards;
-        const ScenarioGraph replay = BuildScenario(entry.spec, shards);
+        const ScenarioGraph replay = BuildScenario(entry.spec, {.num_shards = shards});
         EXPECT_EQ(ChecksumEdges(replay.graph), ChecksumEdges(got.graph))
             << entry.name << " seed " << seed << " S " << shards
             << " not deterministic";
@@ -357,7 +357,7 @@ TEST(ScenarioGen, PeakShardBufferStaysStreamingAtEightShards) {
   const std::size_t shards = 8;
   const std::size_t n = 20000;
   for (const auto& entry : gen::DefaultCatalogue(n, 42)) {
-    const ScenarioGraph built = BuildScenario(entry.spec, shards);
+    const ScenarioGraph built = BuildScenario(entry.spec, {.num_shards = shards});
     const std::size_t bound =
         2 * built.stats.edges_emitted / shards + n / shards + 64;
     EXPECT_LE(built.stats.peak_shard_edges, bound) << entry.name;

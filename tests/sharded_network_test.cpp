@@ -57,7 +57,7 @@ void DriveRound(Net& net, std::size_t round, std::size_t sends) {
 
 TEST(ShardedNetwork, MessagesArriveNextRoundAcrossShards) {
   ShardedNetwork net({.num_nodes = 8, .capacity = 4, .seed = 1,
-                      .num_shards = 4});
+                      .exec = {.num_shards = 4}});
   EXPECT_EQ(net.num_shards(), 4u);
   net.Send(0, 7, Payload(11));  // shard 0 -> shard 3
   net.Send(7, 0, Payload(22));  // shard 3 -> shard 0
@@ -77,7 +77,7 @@ TEST(ShardedNetwork, MessagesArriveNextRoundAcrossShards) {
 
 TEST(ShardedNetwork, SendCapEnforced) {
   ShardedNetwork net({.num_nodes = 4, .capacity = 2, .seed = 1,
-                      .num_shards = 2});
+                      .exec = {.num_shards = 2}});
   net.Send(0, 1, Payload(1));
   net.Send(0, 2, Payload(2));
   EXPECT_THROW(net.Send(0, 3, Payload(3)), ContractViolation);
@@ -87,7 +87,7 @@ TEST(ShardedNetwork, OverCapacityDropsUnderFourShards) {
   // All 8 nodes flood node 5 (owned by shard 2): 8·3 = 24 offered, cap 3.
   const std::size_t cap = 3;
   ShardedNetwork net({.num_nodes = 8, .capacity = cap, .seed = 9,
-                      .num_shards = 4});
+                      .exec = {.num_shards = 4}});
   for (NodeId v = 0; v < 8; ++v) {
     for (std::size_t i = 0; i < cap; ++i) net.Send(v, 5, Payload(v * 10 + i));
   }
@@ -108,7 +108,7 @@ TEST(ShardedNetwork, DeterministicForFixedSeedAndShards) {
   // Two identical runs on a dropping workload: inbox contents and stats
   // must match bit for bit, every round.
   const EngineConfig cfg{.num_nodes = 24, .capacity = 3, .seed = 42,
-                         .num_shards = 4};
+                         .exec = {.num_shards = 4}};
   ShardedNetwork a(cfg);
   ShardedNetwork b(cfg);
   for (std::size_t round = 0; round < 12; ++round) {
@@ -128,7 +128,7 @@ TEST(ShardedNetwork, SingleShardBitIdenticalToSyncNetwork) {
   const std::uint64_t seed = 1234;
   SyncNetwork sync({.num_nodes = 50, .capacity = 4, .seed = seed});
   ShardedNetwork sharded({.num_nodes = 50, .capacity = 4, .seed = seed,
-                          .num_shards = 1});
+                          .exec = {.num_shards = 1}});
   for (std::size_t round = 0; round < 16; ++round) {
     DriveRound(sync, round, 4);
     DriveRound(sharded, round, 4);
@@ -150,7 +150,7 @@ TEST(ShardedNetwork, StatsInvariantUnderShardCount) {
   }();
   for (std::size_t shards : {1u, 2u, 3u, 8u}) {
     ShardedNetwork net({.num_nodes = 30, .capacity = 2, .seed = 5,
-                        .num_shards = shards});
+                        .exec = {.num_shards = shards}});
     for (std::size_t round = 0; round < 10; ++round) DriveRound(net, round, 2);
     EXPECT_EQ(net.stats(), reference) << "shards " << shards;
   }
@@ -162,7 +162,7 @@ TEST(ShardedNetwork, NoDropWorkloadDeliversSameMultisetAsSync) {
   // (ordering may legally differ across shard counts).
   SyncNetwork sync({.num_nodes = 40, .capacity = 8, .seed = 3});
   ShardedNetwork sharded({.num_nodes = 40, .capacity = 8, .seed = 3,
-                          .num_shards = 4});
+                          .exec = {.num_shards = 4}});
   for (std::size_t round = 0; round < 8; ++round) {
     DriveRound(sync, round, 2);  // 2 sends/node, cap 8: offered <= cap w.h.p.?
     DriveRound(sharded, round, 2);
@@ -182,7 +182,7 @@ TEST(ShardedNetwork, ForEachNodeMatchesSerialDrive) {
   // run a serial loop produces: all sends are keyed by (node, round), so
   // thread scheduling cannot leak into the outcome.
   const EngineConfig cfg{.num_nodes = 32, .capacity = 3, .seed = 77,
-                         .num_shards = 4};
+                         .exec = {.num_shards = 4}};
   ShardedNetwork serial(cfg);
   ShardedNetwork parallel(cfg);
   for (std::size_t round = 0; round < 10; ++round) {
@@ -208,11 +208,12 @@ TEST(ShardedNetwork, ReusedPoolReproducesFreshThreadStreams) {
   // own brand-new pool, whose workers have never run a task).
   ShardPool reused;
   for (const std::size_t shards : {1u, 2u, 4u}) {
-    const EngineConfig cfg{.num_nodes = 36, .capacity = 3, .seed = 99,
-                           .num_shards = shards};
     ShardPool fresh;
-    ShardedNetwork a(cfg, &reused);
-    ShardedNetwork b(cfg, &fresh);
+    EngineConfig cfg{.num_nodes = 36, .capacity = 3, .seed = 99,
+                     .exec = {.num_shards = shards, .pool = &reused}};
+    ShardedNetwork a(cfg);
+    cfg.exec.pool = &fresh;
+    ShardedNetwork b(cfg);
     for (std::size_t round = 0; round < 10; ++round) {
       const std::size_t sends = 3;
       a.ForEachNode([&](NodeId v) {
@@ -240,14 +241,11 @@ TEST(ShardedNetwork, SharedPoolAcrossShardCountReconfiguration) {
   const std::uint64_t seed = 4242;
   SyncNetwork sync({.num_nodes = 40, .capacity = 4, .seed = seed});
   ShardedNetwork s1({.num_nodes = 40, .capacity = 4, .seed = seed,
-                     .num_shards = 1},
-                    &pool);
+                     .exec = {.num_shards = 1, .pool = &pool}});
   ShardedNetwork s4({.num_nodes = 40, .capacity = 4, .seed = seed,
-                     .num_shards = 4},
-                    &pool);
+                     .exec = {.num_shards = 4, .pool = &pool}});
   ShardedNetwork s4b({.num_nodes = 40, .capacity = 4, .seed = seed,
-                      .num_shards = 4},
-                     &pool);
+                      .exec = {.num_shards = 4, .pool = &pool}});
   for (std::size_t round = 0; round < 12; ++round) {
     DriveRound(sync, round, 4);
     DriveRound(s1, round, 4);
@@ -266,7 +264,7 @@ TEST(ShardedNetwork, BatchedSendsMatchPerMessageAcrossShards) {
   // SendBatch from the shard workers must replay per-message Send exactly:
   // same outbox order per shard, so same delivery order and same drops.
   const EngineConfig cfg{.num_nodes = 24, .capacity = 3, .seed = 5,
-                         .num_shards = 4};
+                         .exec = {.num_shards = 4}};
   ShardedNetwork per_msg(cfg);
   ShardedNetwork batched(cfg);
   for (std::size_t round = 0; round < 8; ++round) {
@@ -291,7 +289,7 @@ TEST(ShardedNetwork, BatchedSendsMatchPerMessageAcrossShards) {
 
 TEST(ShardedNetwork, ShardCountClampedToNodes) {
   ShardedNetwork net({.num_nodes = 3, .capacity = 1, .seed = 1,
-                      .num_shards = 16});
+                      .exec = {.num_shards = 16}});
   EXPECT_LE(net.num_shards(), 3u);
   net.Send(0, 2, Payload(1));
   net.EndRound();
@@ -359,9 +357,9 @@ TEST(ShardedNetwork, StagedBytesAccountTheHopAtPackedRowSize) {
   const EngineConfig cfg{.num_nodes = 24, .capacity = 3, .seed = 5};
   SyncNetwork sync(cfg);
   ShardedNetwork s1{{.num_nodes = 24, .capacity = 3, .seed = 5,
-                     .num_shards = 1}};
+                     .exec = {.num_shards = 1}}};
   ShardedNetwork s4{{.num_nodes = 24, .capacity = 3, .seed = 5,
-                     .num_shards = 4}};
+                     .exec = {.num_shards = 4}}};
   for (std::size_t round = 0; round < 6; ++round) {
     DriveRound(sync, round, 3);
     DriveRound(s1, round, 3);
@@ -381,7 +379,7 @@ TEST(ShardedNetwork, BatchSendRollbackLeavesNothingEnqueued) {
   // batch must roll back every row already enqueued AND the counters, so a
   // caught violation leaves the engine exactly as before the call.
   ShardedNetwork net({.num_nodes = 8, .capacity = 4, .seed = 3,
-                      .num_shards = 2});
+                      .exec = {.num_shards = 2}});
   net.Send(1, 2, Payload(7));  // a pre-existing row that must survive
 
   const std::vector<Envelope> bad{{2, 1, 10}, {3, 1, 11}, {99, 1, 12}};
@@ -415,7 +413,7 @@ TEST(ShardedNetwork, RejectsInvalidConfig) {
                ContractViolation);
   EXPECT_THROW(
       ShardedNetwork({.num_nodes = 1, .capacity = 1, .seed = 1,
-                      .max_delay = 1, .num_shards = 0}),
+                      .max_delay = 1, .exec = {.num_shards = 0}}),
       ContractViolation);
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "common/check.hpp"
@@ -113,7 +114,7 @@ TEST(TokenEngine, ShardedWalksDeterministicAndConserving) {
   const TokenWalkOptions opts{.tokens_per_node = 3,
                               .walk_length = 6,
                               .record_paths = true,
-                              .num_shards = 4};
+                              .exec = {.num_shards = 4}};
   Rng rng_a(11);
   Rng rng_b(11);
   const auto a = RunTokenWalks(m, opts, rng_a);
@@ -135,6 +136,117 @@ TEST(TokenEngine, ShardedWalksDeterministicAndConserving) {
                   simple.HasEdge(path[s], path[s + 1]));
     }
   }
+}
+
+TEST(TokenEngine, BucketOrderNeverLeaksIntoArrivalOrder) {
+  // The walker-bucketed engine traverses walkers shard bucket by shard
+  // bucket, but the CSR contract is token-index order within every node's
+  // arrival bucket (the order the serial engine's per-node push_backs
+  // produced). The join column makes the contract checkable: it must be
+  // strictly ascending inside each bucket at every shard count.
+  const Multigraph m = LazyCycle(48, 8);
+  for (const std::size_t shards : {2ul, 4ul, 8ul}) {
+    Rng rng(21);
+    const auto r = RunTokenWalks(m,
+                                 {.tokens_per_node = 3,
+                                  .walk_length = 5,
+                                  .record_paths = true,
+                                  .exec = {.num_shards = shards}},
+                                 rng);
+    for (NodeId v = 0; v < 48; ++v) {
+      const auto tokens = r.ArrivalTokensAt(v);
+      const auto origins = r.ArrivalsAt(v);
+      for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        ASSERT_LT(tokens[i], tokens[i + 1])
+            << "bucket order leaked at node " << v << " S " << shards;
+      }
+      // Origins and the join column stay in lockstep.
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        ASSERT_EQ(origins[i], r.token_origin[tokens[i]]);
+      }
+    }
+  }
+}
+
+TEST(TokenEngine, ArrivalTokensReadableForEmptyBuckets) {
+  // The arrival→path join requires record_paths; the check keys on
+  // path_stride, not on per-bucket emptiness — a node nothing arrived at
+  // still reads an empty span instead of throwing.
+  const Multigraph m = LazyCycle(32, 4);
+  Rng rng(3);
+  const auto bare =
+      RunTokenWalks(m, {.tokens_per_node = 1, .walk_length = 2}, rng);
+  EXPECT_THROW(bare.ArrivalTokensAt(0), ContractViolation);
+  Rng rng2(3);
+  const auto rec = RunTokenWalks(
+      m, {.tokens_per_node = 1, .walk_length = 4, .record_paths = true}, rng2);
+  bool saw_empty = false;
+  for (NodeId v = 0; v < 32; ++v) {
+    const auto tokens = rec.ArrivalTokensAt(v);
+    saw_empty |= tokens.empty();
+    EXPECT_EQ(tokens.size(), rec.ArrivalCountAt(v));
+  }
+  EXPECT_TRUE(saw_empty) << "workload failed to produce an empty bucket";
+}
+
+TEST(TokenEngine, PermuteArrivalBucketKeepsOriginsAndJoinInLockstep) {
+  const Multigraph m = LazyCycle(12, 4);
+  Rng rng(17);
+  auto r = RunTokenWalks(
+      m, {.tokens_per_node = 4, .walk_length = 3, .record_paths = true}, rng);
+  NodeId v = 0;
+  for (NodeId u = 1; u < 12; ++u) {
+    if (r.ArrivalCountAt(u) > r.ArrivalCountAt(v)) v = u;
+  }
+  const std::size_t k = r.ArrivalCountAt(v);
+  ASSERT_GE(k, 2u);
+  const std::vector<NodeId> origins_before(r.ArrivalsAt(v).begin(),
+                                           r.ArrivalsAt(v).end());
+  const std::vector<std::uint32_t> tokens_before(r.ArrivalTokensAt(v).begin(),
+                                                 r.ArrivalTokensAt(v).end());
+  std::vector<std::uint32_t> perm(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    perm[i] = static_cast<std::uint32_t>(k - 1 - i);
+  }
+  r.PermuteArrivalBucket(v, perm);
+  const auto origins = r.ArrivalsAt(v);
+  const auto tokens = r.ArrivalTokensAt(v);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(origins[i], origins_before[k - 1 - i]);
+    EXPECT_EQ(tokens[i], tokens_before[k - 1 - i]);
+  }
+  // The permuted bucket still joins arrivals to their own paths.
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(r.PathOf(tokens[i]).back(), v);
+    EXPECT_EQ(r.token_origin[tokens[i]], origins[i]);
+  }
+  // A size-mismatched permutation is a contract violation.
+  EXPECT_THROW(
+      r.PermuteArrivalBucket(v, std::vector<std::uint32_t>(k + 1)),
+      ContractViolation);
+}
+
+TEST(TokenEngine, SmokeAtEnvShardCount) {
+  // CI's TSan shard-count matrix drives this test at S ∈ {1, 2, 4} via
+  // TOKEN_ENGINE_SMOKE_SHARDS, putting the bucketed phase machinery under
+  // the race detector at every shard shape; unset, it defaults to S=2.
+  std::size_t shards = 2;
+  if (const char* env = std::getenv("TOKEN_ENGINE_SMOKE_SHARDS")) {
+    const auto parsed = std::strtoull(env, nullptr, 10);
+    shards = parsed > 0 ? static_cast<std::size_t>(parsed) : 1;
+  }
+  const Multigraph m = LazyCycle(64, 8);
+  const TokenWalkOptions opts{.tokens_per_node = 4,
+                              .walk_length = 8,
+                              .exec = {.num_shards = shards}};
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto a = RunTokenWalks(m, opts, rng_a);
+  const auto b = RunTokenWalks(m, opts, rng_b);
+  EXPECT_EQ(a.arrival_origins, b.arrival_origins);
+  EXPECT_EQ(a.arrival_offsets, b.arrival_offsets);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.token_steps, 64u * 4u * 8u);
 }
 
 TEST(TokenEngine, RejectsDegenerateOptions) {
