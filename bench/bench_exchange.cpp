@@ -21,18 +21,42 @@
 // Defaults: 100k nodes, cap 8, 25 rounds. Override with --nodes (or --n) /
 // --cap / --rounds / --seed; restrict the sweep with --shards S; emit JSON
 // with --json out.json (recorded at the repo root as BENCH_exchange.json).
+//
+// --relabel appends a second table, `locality`: a neighbor-fanout workload
+// on a generated graph (--topology, default ba), run plain vs relabeled
+// through graph/partition.hpp at each S. Columns report the shard-local
+// send fraction and staged bytes before/after relabeling plus the
+// overlapped-flush telemetry (hidden_sec = pack work that ran during
+// compute, off the exchange critical path). The CI locality gate pins the
+// BA staged-bytes drop at >= 20% and the hidden fraction > 0.
 #include <cstdio>
 #include <thread>
 
 #include "bench_util.hpp"
 #include "exchange_workload.hpp"
+#include "graph/partition.hpp"
+#include "graph/scenario_gen.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded_network.hpp"
 
 using namespace overlay;
+using bench::HasFlag;
+using bench::RunGraphFanoutWorkload;
 using bench::RunHashedWorkload;
 using bench::RunResult;
 using bench::SizeFlag;
+
+namespace {
+
+/// local_rows / all rows sent through the engine — the shard-local send
+/// fraction the relabeling exists to raise.
+double LocalFraction(const ShardedNetwork& net) {
+  const double total =
+      static_cast<double>(net.local_rows() + net.staged_rows());
+  return total == 0 ? 0.0 : static_cast<double>(net.local_rows()) / total;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t n =
@@ -88,6 +112,61 @@ int main(int argc, char** argv) {
 
   t.Print();
   json.Add("exchange_phases", t);
+
+  if (HasFlag(argc, argv, "--relabel")) {
+    gen::Topology topo = gen::Topology::kBarabasiAlbert;
+    if (const char* name = bench::FlagValue(argc, argv, "--topology")) {
+      if (!gen::ParseTopology(name, &topo)) {
+        std::fprintf(stderr, "--topology: unknown topology '%s'\n", name);
+        return 2;
+      }
+    }
+    const std::size_t loc_rounds =
+        SizeFlag(argc, argv, "--relabel-rounds", rounds / 5 < 5 ? 5 : rounds / 5);
+    const gen::ScenarioSpec spec = gen::SpecForTopology(topo, n, seed);
+    const Graph g = gen::BuildScenario(spec, {}).graph;
+    const std::size_t cap_g = g.MaxDegree();  // drop-free flood
+    std::printf("\nlocality: topology=%s n=%zu m=%zu cap=%zu rounds=%zu "
+                "(neighbor fanout, plain vs relabeled ids)\n",
+                gen::TopologyName(topo), g.num_nodes(), g.num_edges(), cap_g,
+                loc_rounds);
+
+    SyncNetwork ref({.num_nodes = g.num_nodes(), .capacity = cap_g,
+                     .seed = seed});
+    const RunResult want = RunGraphFanoutWorkload(ref, g, loc_rounds);
+
+    bench::Table loc({"shards", "plain_local_frac", "rel_local_frac",
+                      "plain_staged_bytes", "rel_staged_bytes",
+                      "staged_drop_pct", "rel_local_rows", "rel_flush_sec",
+                      "rel_hidden_sec", "rel_barrier_sec", "rel_exchange_sec",
+                      "stats_match"});
+    for (const std::size_t shards : sweep) {
+      const EngineConfig cfg{.num_nodes = g.num_nodes(), .capacity = cap_g,
+                             .seed = seed, .exec = {.num_shards = shards}};
+      ShardedNetwork plain(cfg);
+      const RunResult p = RunGraphFanoutWorkload(plain, g, loc_rounds);
+      const Relabeling r = RelabelFor(g, shards, seed);
+      const Graph rg = ApplyRelabeling(g, r);
+      ShardedNetwork tuned(cfg);
+      const RunResult q = RunGraphFanoutWorkload(tuned, rg, loc_rounds);
+      // The fanout is drop-free and the relabeled graph isomorphic, so both
+      // runs must reproduce the SyncNetwork stats exactly.
+      const bool matches = p.stats == want.stats && q.stats == want.stats;
+      ok = ok && matches;
+      const double drop_pct =
+          plain.staged_bytes() == 0
+              ? 0.0
+              : 100.0 * (1.0 - static_cast<double>(tuned.staged_bytes()) /
+                                   static_cast<double>(plain.staged_bytes()));
+      loc.Row(shards, LocalFraction(plain), LocalFraction(tuned),
+              plain.staged_bytes(), tuned.staged_bytes(), drop_pct,
+              tuned.local_rows(), q.flush_sec, q.hidden_flush_sec,
+              q.barrier_sec, q.exchange_sec, matches);
+    }
+    loc.Print();
+    json.Add("locality", loc);
+  }
+
   if (!ok) {
     std::fprintf(stderr, "FAIL: a shard count diverged from SyncNetwork\n");
     return 1;

@@ -176,6 +176,14 @@ inline const char* FlagValue(int argc, char** argv, const char* flag) {
   return nullptr;
 }
 
+/// True when the bare switch `--flag` appears anywhere on the command line.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 /// Parses `--flag <v>` as a positive integer, exiting with a usage error on
 /// malformed input; returns `fallback` when the flag is absent. Nest calls
 /// to express flag aliases: SizeFlag(..., "--nodes", SizeFlag(..., "--n", d)).

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <type_traits>
 
+#include "graph/graph.hpp"
 #include "sim/inbox_checksum.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded_network.hpp"
@@ -34,6 +35,12 @@ struct RunResult {
   double flush_sec = 0;
   double exchange_sec = 0;
   double deliver_sec = 0;
+  /// Barrier handoff: exchange_sec minus the pack and deliver critical
+  /// paths — the synchronization cost the phase split exposes.
+  double barrier_sec = 0;
+  /// Pack work that ran eagerly during compute (sealed outbox segments),
+  /// off the exchange critical path entirely. The overlap win.
+  double hidden_flush_sec = 0;
 };
 
 /// Drives `rounds` rounds of the workload. The sharded engine processes the
@@ -72,6 +79,46 @@ RunResult RunHashedWorkload(Net& net, std::size_t rounds, std::size_t sends) {
     r.flush_sec = net.exchange_flush_seconds();
     r.exchange_sec = net.exchange_seconds();
     r.deliver_sec = net.exchange_deliver_seconds();
+    r.barrier_sec = net.exchange_barrier_seconds();
+    r.hidden_flush_sec = net.hidden_flush_seconds();
+  }
+  return r;
+}
+
+/// The locality workload: every node fanouts one one-word message to its
+/// full neighbor list each round — the flooding traffic shape the protocol
+/// drivers actually generate, where a locality-aware relabeling can turn
+/// cross-shard staging into same-shard bypass. Capacity must be >=
+/// g.MaxDegree() for the run to be drop-free (stats then depend only on the
+/// edge multiset, so plain and relabeled runs must agree with SyncNetwork).
+template <typename Net>
+RunResult RunGraphFanoutWorkload(Net& net, const Graph& g,
+                                 std::size_t rounds) {
+  std::uint64_t checksum = kFnvOffsetBasis;
+  RunResult r;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto drive = [&](NodeId v) {
+      net.SendFanout(v, g.Neighbors(v), /*kind=*/1, DestHash(v, round, 0));
+    };
+    const auto start = std::chrono::steady_clock::now();
+    if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+      net.ForEachNode(drive);
+    } else {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) drive(v);
+    }
+    net.EndRound();
+    const auto stop = std::chrono::steady_clock::now();
+    r.seconds += std::chrono::duration<double>(stop - start).count();
+    checksum = ChecksumInboxes(net, checksum);
+  }
+  r.checksum = checksum;
+  r.stats = net.stats();
+  if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+    r.flush_sec = net.exchange_flush_seconds();
+    r.exchange_sec = net.exchange_seconds();
+    r.deliver_sec = net.exchange_deliver_seconds();
+    r.barrier_sec = net.exchange_barrier_seconds();
+    r.hidden_flush_sec = net.hidden_flush_seconds();
   }
   return r;
 }

@@ -1,0 +1,276 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace overlay {
+namespace {
+
+/// ExecPolicy::ShardsFor, restated locally so graph/ does not depend on
+/// sim/: at least 1 block, at most one block per node.
+std::size_t ClampShards(std::size_t n, std::size_t num_shards) {
+  const std::size_t s = num_shards < 1 ? 1 : num_shards;
+  return n < 1 ? 1 : (s > n ? n : s);
+}
+
+/// Stateless seed-keyed hash for label-propagation tie-breaks.
+std::uint64_t TieHash(std::uint64_t seed, NodeId label) {
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (label + 1ULL));
+  return SplitMix64(state);
+}
+
+/// METIS-style partition validation (cf. SNIPPETS.md snippet 2): the blocks
+/// induced by `r` must cover [0, n) exactly, never intersect (both follow
+/// from new_of_old/old_of_new being inverse bijections), match the engine's
+/// contiguous split sizes, keep balance <= 1.05 (modulo the +1 a remainder
+/// block legitimately carries), and pin the minimum old id to new id 0.
+void ValidateRelabeling(const Relabeling& r) {
+  const std::size_t n = r.num_nodes();
+  const std::size_t s_count = r.num_shards;
+  OVERLAY_CHECK(r.old_of_new.size() == n, "relabeling arrays must match");
+  OVERLAY_CHECK(s_count == ClampShards(n, s_count),
+                "relabeling block count must be ShardsFor-clamped");
+
+  std::vector<char> seen(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId nv = r.new_of_old[v];
+    OVERLAY_CHECK(nv < n, "relabeling maps outside [0, n)");
+    OVERLAY_CHECK(!seen[nv], "relabeling blocks must not intersect");
+    seen[nv] = 1;
+    OVERLAY_CHECK(r.old_of_new[nv] == v, "old_of_new must invert new_of_old");
+  }
+  // `seen` all set <=> exact cover; with the bijection checked above the
+  // contiguous blocks [ShardBase(s), ShardBase(s+1)) partition [0, n) by
+  // construction, in exactly the engine's sizes.
+  if (n > 0) {
+    OVERLAY_CHECK(r.new_of_old[0] == 0,
+                  "minimum old id must keep new id 0 (root-election pin)");
+  }
+  const double mean = static_cast<double>(n) / static_cast<double>(s_count);
+  const double max_block =
+      static_cast<double>(n / s_count + (n % s_count ? 1 : 0));
+  OVERLAY_CHECK(max_block <= 1.05 * mean + 1.0,
+                "partition balance factor must stay within 1.05");
+}
+
+}  // namespace
+
+bool Relabeling::IsIdentity() const {
+  for (std::size_t v = 0; v < new_of_old.size(); ++v) {
+    if (new_of_old[v] != v) return false;
+  }
+  return true;
+}
+
+std::size_t ContiguousShardOf(NodeId v, std::size_t n,
+                              std::size_t num_shards) {
+  const std::size_t s_count = ClampShards(n, num_shards);
+  const std::size_t base = n / s_count;
+  const std::size_t rem = n % s_count;
+  const std::size_t big = rem * (base + 1);
+  return v < big ? v / (base + 1) : rem + (v - big) / base;
+}
+
+NodeId ContiguousShardBase(std::size_t s, std::size_t n,
+                           std::size_t num_shards) {
+  const std::size_t s_count = ClampShards(n, num_shards);
+  const std::size_t base = n / s_count;
+  const std::size_t rem = n % s_count;
+  return static_cast<NodeId>(s * base + std::min(s, rem));
+}
+
+Relabeling IdentityRelabeling(std::size_t n, std::size_t num_shards) {
+  Relabeling r;
+  r.num_shards = ClampShards(n, num_shards);
+  r.new_of_old.resize(n);
+  std::iota(r.new_of_old.begin(), r.new_of_old.end(), NodeId{0});
+  r.old_of_new = r.new_of_old;
+  return r;
+}
+
+Relabeling RelabelFor(const Graph& g, std::size_t num_shards,
+                      std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t s_count = ClampShards(n, num_shards);
+  if (s_count <= 1) return IdentityRelabeling(n, num_shards);
+
+  const std::size_t base = n / s_count;
+  const std::size_t rem = n % s_count;
+  // Clusters may grow to the largest block size: anything bigger would have
+  // to be split at pack time no matter where it lands.
+  const std::size_t cluster_cap = base + (rem ? 1 : 0);
+
+  // Size-capped asynchronous label propagation, ascending node order, a
+  // bounded number of sweeps. Every decision is a pure function of
+  // (adjacency, seed): ties break by (count, seed-keyed hash, label), so the
+  // pass is deterministic and different seeds explore different clusterings.
+  std::vector<NodeId> label(n);
+  std::iota(label.begin(), label.end(), NodeId{0});
+  std::vector<std::size_t> cluster_size(n, 1);
+  std::vector<std::size_t> count(n, 0);   // per-label scratch, reset via touch
+  std::vector<NodeId> touched;            // labels seen at the current node
+  constexpr int kMaxSweeps = 5;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    std::size_t moved = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      touched.clear();
+      for (const NodeId u : g.Neighbors(v)) {
+        const NodeId lu = label[u];
+        if (count[lu] == 0) touched.push_back(lu);
+        ++count[lu];
+      }
+      const NodeId cur = label[v];
+      NodeId best = cur;
+      std::size_t best_count = count[cur];  // 0 when no neighbor shares it
+      std::uint64_t best_hash = TieHash(seed, cur);
+      for (const NodeId cand : touched) {
+        if (cand == cur) continue;
+        if (cluster_size[cand] + 1 > cluster_cap) continue;
+        const std::uint64_t h = TieHash(seed, cand);
+        if (count[cand] > best_count ||
+            (count[cand] == best_count &&
+             (h < best_hash || (h == best_hash && cand < best)))) {
+          best = cand;
+          best_count = count[cand];
+          best_hash = h;
+        }
+      }
+      for (const NodeId lu : touched) count[lu] = 0;
+      if (best != cur) {
+        --cluster_size[cur];
+        ++cluster_size[best];
+        label[v] = best;
+        ++moved;
+      }
+    }
+    if (moved == 0) break;
+  }
+
+  // Collect clusters as member lists, indexed in order of first appearance
+  // (ascending old id), members ascending within a cluster.
+  std::vector<std::size_t> dense_of_label(n, n);  // n = unassigned
+  std::vector<std::vector<NodeId>> members;
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t& idx = dense_of_label[label[v]];
+    if (idx == n) {
+      idx = members.size();
+      members.emplace_back();
+    }
+    members[idx].push_back(v);
+  }
+
+  // Deterministic first-fit-decreasing bin-pack into the engine's exact
+  // block sizes: biggest clusters first into the emptiest block; a cluster
+  // that does not fit whole is split across the emptiest blocks. Ties on
+  // remaining capacity resolve to the lowest block index, ties on cluster
+  // size to the cluster with the smallest first member.
+  std::vector<std::size_t> order(members.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (members[a].size() != members[b].size()) {
+                       return members[a].size() > members[b].size();
+                     }
+                     return members[a].front() < members[b].front();
+                   });
+  std::vector<std::size_t> remaining(s_count);
+  for (std::size_t s = 0; s < s_count; ++s) {
+    remaining[s] = base + (s < rem ? 1 : 0);
+  }
+  std::vector<std::vector<NodeId>> assigned(s_count);
+  for (const std::size_t c : order) {
+    std::span<const NodeId> left(members[c]);
+    while (!left.empty()) {
+      std::size_t pick = 0;
+      for (std::size_t s = 1; s < s_count; ++s) {
+        if (remaining[s] > remaining[pick]) pick = s;
+      }
+      const std::size_t take = std::min(left.size(), remaining[pick]);
+      OVERLAY_CHECK(take > 0, "bin-pack ran out of block capacity");
+      assigned[pick].insert(assigned[pick].end(), left.begin(),
+                            left.begin() + take);
+      remaining[pick] -= take;
+      left = left.subspan(take);
+    }
+  }
+
+  // Layout: block by block, assignment order within a block — each block is
+  // exactly one contiguous new-id range of the engine's split.
+  Relabeling r;
+  r.num_shards = s_count;
+  r.new_of_old.assign(n, kInvalidNode);
+  r.old_of_new.assign(n, kInvalidNode);
+  NodeId next = 0;
+  for (std::size_t s = 0; s < s_count; ++s) {
+    OVERLAY_CHECK(remaining[s] == 0, "bin-pack must fill every block");
+    for (const NodeId v : assigned[s]) {
+      r.new_of_old[v] = next;
+      r.old_of_new[next] = v;
+      ++next;
+    }
+  }
+
+  // Pin the minimum old id (0 — ids are dense) to new id 0 so min-id root
+  // elections agree across the two id spaces. A two-node swap perturbs
+  // locality by at most two nodes.
+  if (r.new_of_old[0] != 0) {
+    const NodeId displaced = r.old_of_new[0];
+    const NodeId slot = r.new_of_old[0];
+    r.new_of_old[0] = 0;
+    r.new_of_old[displaced] = slot;
+    r.old_of_new[0] = 0;
+    r.old_of_new[slot] = displaced;
+  }
+
+  ValidateRelabeling(r);
+  return r;
+}
+
+Graph ApplyRelabeling(const Graph& g, const Relabeling& r) {
+  OVERLAY_CHECK(r.num_nodes() == g.num_nodes(),
+                "relabeling built for a different node count");
+  return g.Permuted(r.new_of_old);
+}
+
+PartitionStats MeasurePartition(const Graph& g, std::size_t num_shards) {
+  const std::size_t n = g.num_nodes();
+  PartitionStats stats;
+  stats.num_blocks = ClampShards(n, num_shards);
+  const std::size_t base = n / stats.num_blocks;
+  const std::size_t rem = n % stats.num_blocks;
+  const std::size_t big = rem * (base + 1);
+  const auto block_of = [&](NodeId v) {
+    return v < big ? v / (base + 1) : rem + (v - big) / base;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t bv = block_of(v);
+    for (const NodeId u : g.Neighbors(v)) {
+      if (u <= v) continue;  // count each undirected edge once
+      if (block_of(u) == bv) {
+        ++stats.local_edges;
+      } else {
+        ++stats.cut_edges;
+      }
+    }
+  }
+  const double mean = static_cast<double>(n) / stats.num_blocks;
+  stats.balance = mean == 0.0 ? 1.0 : (base + (rem ? 1 : 0)) / mean;
+  return stats;
+}
+
+std::vector<NodeId> MapIdsBack(const Relabeling& r,
+                               std::span<const NodeId> by_new) {
+  OVERLAY_CHECK(by_new.size() == r.num_nodes(),
+                "per-node vector size must match the relabeling");
+  std::vector<NodeId> by_old(by_new.size());
+  for (std::size_t v = 0; v < by_new.size(); ++v) {
+    const NodeId value = by_new[r.new_of_old[v]];
+    by_old[v] = value == kInvalidNode ? kInvalidNode : r.old_of_new[value];
+  }
+  return by_old;
+}
+
+}  // namespace overlay

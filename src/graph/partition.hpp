@@ -1,0 +1,120 @@
+// Locality-aware shard relabeling (METIS-style min-edge-cut coarsening).
+//
+// The sharded engine partitions nodes into S *contiguous* id blocks
+// (ShardedNetwork::ShardOf), so cross-shard traffic is whatever the node
+// numbering dictates: a community-heavy graph whose communities are scattered
+// across the id space pays the staging hop for almost every edge. This module
+// computes a deterministic, seed-keyed bijective renumbering that packs
+// densely connected node clusters into the same contiguous block, so most
+// edges — and therefore most protocol messages, which travel along edges —
+// become shard-local and skip the staging hop entirely.
+//
+// The pass is greedy label-propagation coarsening with a cluster-size cap,
+// followed by a deterministic bin-pack of the clusters into the *exact* block
+// sizes the engine uses (first n % S blocks get one extra node). That makes
+// the balance trivially tight, and the METIS partition invariants — blocks
+// cover every node exactly once, never intersect, balance factor <= 1.05 —
+// are still enforced by OVERLAY_CHECK on every result rather than assumed.
+//
+// Contract (the ExecPolicy::relabel opt-in builds on this):
+//   * RelabelFor(g, S, seed) is a pure function of (edge multiset, S, seed):
+//     bit-identical across runs, machines, and shard pools.
+//   * new_of_old/old_of_new are inverse bijections over [0, n).
+//   * The minimum old id keeps new id 0, so min-id root elections elect the
+//     same physical node in both id spaces.
+//   * Relabeling changes *where* messages travel, never what a protocol
+//     computes: id-invariant outputs (BFS depths, component structure,
+//     survivor masks) mapped back through `old_of_new` are bit-identical to
+//     the unrelabeled run. Arrival-order-dependent outputs (e.g. which valid
+//     BFS parent a flood picks) may differ but stay valid.
+//   * S <= 1, n <= 1, or S > n clamp exactly like ExecPolicy::ShardsFor, so
+//     the relabeling's block map always agrees with the engine's shard map.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace overlay {
+
+/// A bijective renumbering of [0, n) keyed to an S-block contiguous
+/// partition. `new_of_old[v]` is node v's new id; `old_of_new` is the
+/// inverse. Produced by RelabelFor (validated) or IdentityRelabeling.
+struct Relabeling {
+  std::vector<NodeId> new_of_old;
+  std::vector<NodeId> old_of_new;
+  /// Effective block count (ShardsFor-clamped: >= 1, <= max(n, 1)).
+  std::size_t num_shards = 1;
+
+  std::size_t num_nodes() const { return new_of_old.size(); }
+
+  /// True iff the renumbering is the identity (S = 1 and tiny graphs).
+  bool IsIdentity() const;
+};
+
+/// Edge-cut accounting of the contiguous S-block partition over a graph's
+/// *current* ids — measure before and after ApplyRelabeling to see the win.
+struct PartitionStats {
+  std::size_t local_edges = 0;  ///< both endpoints in one block
+  std::size_t cut_edges = 0;    ///< endpoints in different blocks
+  /// max block size / mean block size (1.0 = perfectly balanced).
+  double balance = 1.0;
+  std::size_t num_blocks = 1;
+
+  double LocalFraction() const {
+    const std::size_t m = local_edges + cut_edges;
+    return m == 0 ? 1.0 : static_cast<double>(local_edges) / m;
+  }
+};
+
+/// Block owning node `v` under the engine's contiguous split of `n` nodes
+/// into `num_shards` blocks — the standalone twin of ShardedNetwork::ShardOf
+/// (same ShardsFor clamp, same first-rem-blocks-get-one-extra layout).
+std::size_t ContiguousShardOf(NodeId v, std::size_t n, std::size_t num_shards);
+
+/// First node id of block `s` under the same split.
+NodeId ContiguousShardBase(std::size_t s, std::size_t n,
+                           std::size_t num_shards);
+
+/// The identity relabeling over `n` nodes (what RelabelFor returns when the
+/// clamp leaves a single block).
+Relabeling IdentityRelabeling(std::size_t n, std::size_t num_shards);
+
+/// Computes the locality-aware renumbering of `g` for `num_shards` blocks.
+/// Deterministic and seed-keyed: label-propagation ties break through a
+/// SplitMix64 hash of (seed, label), so a fixed (graph, S, seed) triple
+/// always yields the same bijection. The result satisfies the invariants in
+/// the header comment (enforced by OVERLAY_CHECK before returning).
+Relabeling RelabelFor(const Graph& g, std::size_t num_shards,
+                      std::uint64_t seed = 1);
+
+/// `g` with node ids renamed through `r` (new graph; `r.num_nodes()` must
+/// match). Edge {u, v} becomes {new_of_old[u], new_of_old[v]}.
+Graph ApplyRelabeling(const Graph& g, const Relabeling& r);
+
+/// Cut/local edge counts of the contiguous `num_shards`-block partition of
+/// `g`'s current ids (no relabeling applied — measure g and
+/// ApplyRelabeling(g, r) to quantify the improvement).
+PartitionStats MeasurePartition(const Graph& g, std::size_t num_shards);
+
+/// Maps an id-valued per-node vector computed in the relabeled space back to
+/// the original space: result[v] = old_of_new[by_new[new_of_old[v]]], with
+/// kInvalidNode passing through untranslated (e.g. a BFS parent vector).
+std::vector<NodeId> MapIdsBack(const Relabeling& r,
+                               std::span<const NodeId> by_new);
+
+/// Maps a plain per-node value vector computed in the relabeled space back:
+/// result[v] = by_new[new_of_old[v]] (e.g. depths, alive masks).
+template <typename T>
+std::vector<T> MapValuesBack(const Relabeling& r, std::span<const T> by_new) {
+  std::vector<T> by_old(by_new.size());
+  for (std::size_t v = 0; v < by_new.size(); ++v) {
+    by_old[v] = by_new[r.new_of_old[v]];
+  }
+  return by_old;
+}
+
+}  // namespace overlay

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "graph/metrics.hpp"
+#include "graph/partition.hpp"
 #include "sim/async_network.hpp"
 #include "sim/shard_pool.hpp"
 #include "sim/sharded_network.hpp"
@@ -127,8 +128,24 @@ BfsTreeResult BuildBfsTree(const Graph& g, EngineKind kind, EngineConfig cfg) {
   switch (kind) {
     case EngineKind::kAsync:
       return BuildBfsTree<AsyncNetwork>(g, cfg);
-    case EngineKind::kSharded:
-      return BuildBfsTree<ShardedNetwork>(g, cfg);
+    case EngineKind::kSharded: {
+      if (!cfg.exec.relabel) return BuildBfsTree<ShardedNetwork>(g, cfg);
+      // Locality opt-in (ExecPolicy::relabel): build on the relabeled graph
+      // so most flood messages stay shard-local, then map back through
+      // old_of_new. Root and depths are bit-identical to the direct run —
+      // the relabeling pins the minimum id, and hop distances are
+      // id-invariant — while parents stay a valid BFS tree of `g` (which
+      // exact parent a flood picks is arrival-order-dependent either way).
+      const Relabeling r =
+          RelabelFor(g, cfg.exec.ShardsFor(g.num_nodes()), cfg.seed);
+      if (r.IsIdentity()) return BuildBfsTree<ShardedNetwork>(g, cfg);
+      BfsTreeResult out =
+          BuildBfsTree<ShardedNetwork>(ApplyRelabeling(g, r), cfg);
+      out.root = r.old_of_new[out.root];
+      out.parent = MapIdsBack(r, out.parent);
+      out.depth = MapValuesBack<std::uint32_t>(r, out.depth);
+      return out;
+    }
     case EngineKind::kSync:
       break;
   }

@@ -58,6 +58,16 @@ struct ExecPolicy {
   std::size_t num_shards = 1;
   /// Worker pool to execute on; nullptr = DefaultShardPool().
   ShardPool* pool = nullptr;
+  /// Opt-in locality pass (graph/partition.hpp): a graph-driven driver may
+  /// first renumber node ids with RelabelFor(g, num_shards, seed) so most
+  /// edges fall shard-local, run on the relabeled graph, and map results
+  /// back through Relabeling::old_of_new. Relabeling changes where messages
+  /// travel, never what a protocol computes: id-invariant outputs (depths,
+  /// components, mapped-back checksums) are bit-identical to the unrelabeled
+  /// run. Engines themselves ignore the flag (they never see a graph);
+  /// honored by the runtime-dispatched BuildBfsTree(EngineKind) form and the
+  /// bench workloads.
+  bool relabel = false;
 
   /// The clamp every driver applies: at least 1, at most `domain`.
   std::size_t ShardsFor(std::size_t domain) const {
@@ -96,6 +106,12 @@ struct EngineConfig {
   std::size_t max_delay = 1;
   /// ShardedNetwork: shard count + pool (see ExecPolicy for the contract).
   ExecPolicy exec;
+  /// ShardedNetwork: outbox rows a shard buffers before it eagerly packs the
+  /// segment into staging runs *while protocol compute continues* — the
+  /// overlap that hides flush work behind compute. Determinism keys off
+  /// logical send order, never arrival order, so the cut points cannot
+  /// affect results; tests shrink this to force multi-segment rounds.
+  std::size_t outbox_segment_rows = 4096;
 };
 
 /// Runtime engine selector for drivers that take the choice as data (e.g.
@@ -169,7 +185,8 @@ concept NetworkEngine =
       // Bytes moved through message arenas over the whole execution:
       // kSoaRowBytes per delivered message + kSpillBytes per spilled one,
       // plus — on the sharded engine above S = 1 — kPackedRowBytes per
-      // message crossing the staging hop. Deliberately outside
+      // message crossing *between shards* on the staging hop (same-shard
+      // sends bypass the hop and pay nothing). Deliberately outside
       // NetworkStats: the stats counters are part of the cross-engine
       // bit-identity contract and stay byte-for-byte unchanged by layout
       // and transport work.

@@ -205,10 +205,10 @@ class MessageSoA {
   /// `spill_out` and re-referenced through the packed `ext`, so the packed
   /// rows plus the `spill_out` they were packed against are independent of
   /// this buffer (it may be cleared or reused while they are in flight).
-  /// Note the caller typically shares one `spill_out` across all of a
-  /// shard's destination runs, interleaved in pack order — a consumer of a
-  /// single run needs that whole buffer (or a per-destination re-index) to
-  /// resolve `ext`.
+  /// Callers keep one `spill_out` *per destination run* (the sharded
+  /// engine's spill_by_dst), so every run plus its own side buffer is
+  /// self-contained — resolvable, and shippable to a remote rank, without
+  /// any other destination's spill entries.
   PackedRow PackRow(NodeId to, std::size_t i,
                     std::vector<ExtWords>& spill_out) const {
     PackedRow row{to, src_[i], kind_[i], kNoExt, word0_[i]};

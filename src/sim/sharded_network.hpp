@@ -4,34 +4,51 @@
 //   - a flat SoA inbox arena (parallel src/kind/word0/ext columns plus a
 //     spill arena for the rare multi-word payloads — sim/message_soa.hpp —
 //     with per-node offsets, replacing per-node vectors),
-//   - an SoA outbox of this round's sends from the shard's nodes (routing
+//   - an SoA outbox *segment* of its nodes' most recent sends (routing
 //     `to` column kept separate so partitioning touches 4 bytes/message),
+//   - staging state for the inter-shard hop: sealed 24-byte PackedRow runs
+//     laid out per (segment, destination shard), one spill side buffer *per
+//     destination* so every run is self-contained, and the same-shard rows
+//     diverted past the hop entirely,
 //   - a private RNG stream that drives its capacity-drop choices.
 //
+// Overlapped flush: when a shard's outbox segment reaches
+// EngineConfig::outbox_segment_rows it is sealed on the owning worker —
+// counting-sorted into per-destination PackedRow runs — *while protocol
+// compute continues*, so most pack work hides behind compute instead of
+// serializing at the EndRound barrier (hidden_flush_seconds() reports it).
+// EndRound's phase 1 only seals the tail segment; per-segment ready flags
+// are consumed (OVERLAY_CHECK) at the barrier before phase 2 reads a peer's
+// runs. Same-shard sends (`ShardOf(to) == ShardOf(from)`) skip the staging
+// hop: they are packed to a shard-local side list and delivered directly,
+// which is what makes locality-aware relabeling (graph/partition.hpp) cut
+// staged bytes — staged_rows/staged_bytes count only rows that actually
+// cross shards; local_rows() counts the bypass.
+//
 // EndRound is a two-phase exchange executed by one worker thread per shard:
-//   phase 1 (parallel over *source* shards): each shard packs its outbox
-//     once into 24-byte PackedRow staging runs laid out contiguously per
-//     destination shard (row ops want AoS — one store per staged row — while
-//     arena scans stay SoA) and folds its nodes' send counters into the
-//     send-load stats;
-//   phase 2 (parallel over *destination* shards): each shard walks the
-//     staging runs addressed to it (in fixed source-shard order), gathers
-//     the packed rows into per-node bucket order — one 24-byte row move per
-//     message instead of a 4-column scatter — unpacks them column-wise into
+//   phase 1 (parallel over *source* shards): each shard seals its tail
+//     segment and folds its nodes' send counters into the send-load stats;
+//   phase 2 (parallel over *destination* shards): each shard walks the runs
+//     addressed to it in fixed (source shard, segment, send order) — its own
+//     shard-local bypass rows slot in at source == destination — gathers the
+//     packed rows into per-node bucket order, unpacks them column-wise into
 //     its arena, enforces the receive cap with a uniformly random drop from
 //     its own RNG stream, and compacts survivors in place.
 //
-// Determinism: for a fixed (seed, num_shards) the execution is bit-identical
-// regardless of thread scheduling — message order per node is fixed by
-// (source shard, send order) and each drop decision uses the destination
-// shard's private stream. With num_shards = 1 the engine consumes randomness
-// in exactly SyncNetwork's order, so delivered inboxes, drops, and stats are
-// bit-identical to the reference engine on the same seed (tested, and gated
-// by tests/engine_equivalence_test.cpp).
+// Determinism: keyed off *logical send order*, never arrival order or
+// segment cut points — per-node message order is fixed by (source shard,
+// send order), each drop decision uses the destination shard's private
+// stream, and outbox_segment_rows can only change when pack work happens,
+// not what it produces. For a fixed (seed, num_shards) the execution is
+// bit-identical regardless of thread scheduling. With num_shards = 1 the
+// engine consumes randomness in exactly SyncNetwork's order, so delivered
+// inboxes, drops, and stats are bit-identical to the reference engine on the
+// same seed (tested, and gated by tests/engine_equivalence_test.cpp).
 //
 // Protocol compute can also be sharded: ForEachNode(f) runs f(v) for every
 // node on the owning shard's worker. Within f, a node may freely read its
-// Inbox and Send from itself; all engine state touched is shard-private.
+// Inbox and Send from itself; all engine state touched is shard-private
+// (eager seals included — a shard only ever packs its own outbox).
 #pragma once
 
 #include <algorithm>
@@ -100,24 +117,42 @@ class ShardedNetwork {
   /// Bytes moved through message arenas across all shards: delivered inbox
   /// rows plus the inter-shard staging hop (staged_bytes). With S = 1 there
   /// is no staging hop and this replays SyncNetwork's accounting exactly;
-  /// above S = 1 every sent message additionally pays kPackedRowBytes on
-  /// the hop (plus kSpillBytes when it spills).
+  /// above S = 1 every message that crosses shards additionally pays
+  /// kPackedRowBytes on the hop (plus kSpillBytes when it spills) —
+  /// same-shard sends bypass the hop and pay nothing extra.
   std::uint64_t arena_bytes_moved() const;
 
   /// Rows / bytes the multi-shard staging hop moved over the whole
-  /// execution (0 when S = 1 — the hop is skipped). bytes/rows is the
-  /// staged bytes-per-row metric the bench gate pins at kPackedRowBytes
-  /// for spill-free workloads.
+  /// execution (0 when S = 1 — the hop is skipped). Only rows crossing
+  /// shards count; bytes/rows is the staged bytes-per-row metric the bench
+  /// gate pins at kPackedRowBytes for spill-free workloads.
   std::uint64_t staged_rows() const;
   std::uint64_t staged_bytes() const;
 
-  /// Cumulative wall-clock seconds inside EndRound, split at the phase
-  /// barrier: flush = outbox→staging pack (phase 1), deliver =
-  /// gather/unpack/cap (phase 2), exchange = the whole EndRound (flush +
-  /// barrier handoff + deliver). Telemetry only — never affects results.
+  /// Sent rows that stayed on their own shard and bypassed the staging hop
+  /// (0 when S = 1, where every row is trivially local and uncounted).
+  /// staged_rows() + local_rows() == total rows sent at S > 1; the
+  /// shard-local fraction is the locality metric relabeling improves.
+  std::uint64_t local_rows() const;
+
+  /// Cumulative wall-clock seconds of the exchange, split by where the time
+  /// went. Per round: flush = the slowest shard's phase-1 tail-seal pack
+  /// (pack work only — barrier idle is *not* folded in), deliver = the
+  /// slowest shard's phase-2 gather/unpack/cap, barrier = the EndRound
+  /// residual (barrier waits + pool handoff), exchange = the whole EndRound
+  /// wall time. flush + deliver + barrier == exchange up to the clock
+  /// granularity of the per-shard samples. Telemetry only — never affects
+  /// results.
   double exchange_flush_seconds() const { return flush_seconds_; }
   double exchange_deliver_seconds() const { return deliver_seconds_; }
+  double exchange_barrier_seconds() const { return barrier_seconds_; }
   double exchange_seconds() const { return exchange_seconds_; }
+
+  /// Cumulative seconds of eager segment-seal pack work that ran overlapped
+  /// with protocol compute (summed over shards) — flush cost hidden behind
+  /// compute rather than paid at the barrier. The flush-hidden fraction is
+  /// hidden / (hidden + exchange_flush_seconds()).
+  double hidden_flush_seconds() const;
 
   std::uint64_t TotalSentBy(NodeId v) const { return total_sent_[v]; }
   std::uint64_t MaxTotalSentPerNode() const;
@@ -156,30 +191,48 @@ class ShardedNetwork {
  private:
   /// All mutable state a worker touches in a phase is shard-private. Every
   /// scratch buffer is hoisted here and reused capacity-preserving across
-  /// rounds — the round loop allocates nothing in steady state. The staged
-  /// run of the previous round is only overwritten by the next FlushOutbox
+  /// rounds — the round loop allocates nothing in steady state. The staging
+  /// state of the previous round is only reset lazily at the next seal
   /// (phase 2 of *other* shards reads it, so its owner must not touch it
-  /// after the phase barrier).
+  /// after the phase barrier; `staging_stale` marks the handoff).
   struct Shard {
     Rng rng;
-    std::vector<NodeId> outbox_to;               ///< this round's routing
-    MessageSoA outbox;                           ///< this round's sends
-    std::vector<PackedRow> staged;               ///< phase 1 out: packed rows,
-                                                 ///< contiguous per dst shard
-    std::vector<ExtWords> staged_spill;          ///< side buffer of `staged`
-    std::vector<std::size_t> staged_offsets;     ///< [dst shard], +1 slot
-    std::vector<PackedRow> gather;               ///< phase 2 scratch: my rows
-                                                 ///< in per-node bucket order
-    std::vector<ExtWords> gather_spill;          ///< side buffer of `gather`
-    MessageSoA arena;                            ///< delivered inbox storage
-                                                 ///< (compacted in place)
-    std::vector<std::size_t> offsets;            ///< per local node, +1 slot
-    std::vector<std::size_t> cursor;             ///< count/cursor scratch,
-                                                 ///< >= max(S, local_n) slots
-    NetworkStats partial;                        ///< rounds field unused
-    std::uint64_t bytes_moved = 0;               ///< delivered + staged bytes
-    std::uint64_t staged_rows = 0;               ///< rows through the hop
-    std::uint64_t staged_bytes = 0;              ///< bytes through the hop
+    std::vector<NodeId> outbox_to;            ///< active segment routing
+    MessageSoA outbox;                        ///< active segment sends
+    std::vector<PackedRow> staged;            ///< sealed cross-shard rows,
+                                              ///< runs per (segment, dst)
+    std::vector<std::size_t> run_offsets;     ///< run (g, d) spans
+                                              ///< [g*S + d, g*S + d + 1);
+                                              ///< segments*S + 1 slots
+    std::vector<std::vector<ExtWords>> spill_by_dst;  ///< per-destination
+                                              ///< side buffers: every run
+                                              ///< ships self-contained
+    std::vector<PackedRow> self_rows;         ///< same-shard bypass rows,
+                                              ///< logical send order
+    std::vector<ExtWords> self_spill;         ///< side buffer of self_rows
+    std::vector<std::uint8_t> segment_ready;  ///< per sealed segment, set at
+                                              ///< seal, consumed at the
+                                              ///< phase barrier
+    bool staging_stale = false;               ///< last round's staging still
+                                              ///< in place; reset at next
+                                              ///< seal
+    std::vector<PackedRow> gather;            ///< phase 2 scratch: my rows
+                                              ///< in per-node bucket order
+    std::vector<ExtWords> gather_spill;       ///< side buffer of `gather`
+    MessageSoA arena;                         ///< delivered inbox storage
+                                              ///< (compacted in place)
+    std::vector<std::size_t> offsets;         ///< per local node, +1 slot
+    std::vector<std::size_t> cursor;          ///< count/cursor scratch,
+                                              ///< >= max(S, local_n) slots
+    NetworkStats partial;                     ///< rounds field unused
+    std::uint64_t bytes_moved = 0;            ///< delivered + staged bytes
+    std::uint64_t staged_rows = 0;            ///< rows through the hop
+    std::uint64_t staged_bytes = 0;           ///< bytes through the hop
+    std::uint64_t local_rows = 0;             ///< rows that bypassed the hop
+    double hidden_pack_seconds = 0;           ///< cumulative eager-seal pack
+                                              ///< time (overlapped)
+    double phase_pack_seconds = 0;            ///< this round's phase-1 pack
+    double phase_deliver_seconds = 0;         ///< this round's phase-2 work
   };
 
   NodeId ShardBase(std::size_t s) const {
@@ -189,15 +242,29 @@ class ShardedNetwork {
 
   /// Shared head of every send path: validates `from` and the cap for
   /// `count` messages, folds the counters/stats (throws with nothing
-  /// enqueued), and returns `from`'s shard for the enqueue loop.
-  Shard& ReserveSends(NodeId from, std::size_t count);
+  /// enqueued), and returns `from`'s shard index for the enqueue loop.
+  std::size_t ReserveSends(NodeId from, std::size_t count);
 
   /// Undoes ReserveSends plus any rows the single-pass batch loops already
   /// enqueued, restoring the outbox to (`rows`, `spill`) — the batch send
   /// paths' throws-with-nothing-enqueued contract without a pre-validation
-  /// pass over the targets.
+  /// pass over the targets. Safe against eager seals: a segment is only
+  /// sealed *after* a send path completed, so the rollback marks always
+  /// refer to the still-active segment.
   void RollbackSends(Shard& shard, NodeId from, std::size_t count,
                      std::size_t rows, std::size_t spill);
+
+  /// Clears last round's staging state on first touch of the new round.
+  void ResetStagingIfStale(Shard& shard);
+
+  /// Counting-sorts the active outbox segment into per-destination staged
+  /// runs (self rows to the bypass list), appends the segment's run offsets
+  /// and ready flag, and clears the outbox for the next segment.
+  void SealSegment(std::size_t s);
+
+  /// Eager-seal check at the tail of every send path: full segments are
+  /// packed immediately, on the owning thread, overlapped with compute.
+  void MaybeSealSegment(std::size_t s);
 
   void FlushOutbox(std::size_t s);    ///< phase 1 body
   void DeliverInboxes(std::size_t s); ///< phase 2 body
@@ -206,9 +273,11 @@ class ShardedNetwork {
   std::size_t capacity_;
   std::size_t base_;  ///< nodes per shard; first `rem_` shards get one more
   std::size_t rem_;
+  std::size_t segment_rows_;     ///< eager-seal threshold (config)
   std::uint64_t rounds_ = 0;
-  double flush_seconds_ = 0;     ///< cumulative phase-1 wall time
-  double deliver_seconds_ = 0;   ///< cumulative phase-2 wall time
+  double flush_seconds_ = 0;     ///< cumulative critical-path phase-1 pack
+  double deliver_seconds_ = 0;   ///< cumulative critical-path phase-2 work
+  double barrier_seconds_ = 0;   ///< cumulative EndRound residual
   double exchange_seconds_ = 0;  ///< cumulative EndRound wall time
   ShardPool* pool_;  ///< never null; executes every parallel phase
   std::vector<Shard> shards_;

@@ -351,9 +351,11 @@ TEST(MessageSoAPacked, TruncateToUndoesAppendedRows) {
 }
 
 TEST(ShardedNetwork, StagedBytesAccountTheHopAtPackedRowSize) {
-  // Every sent message crosses the staging hop exactly once above S=1, at
-  // kPackedRowBytes for one-word payloads; S=1 skips the hop entirely and
-  // keeps SyncNetwork's exact byte accounting.
+  // A message crosses the staging hop exactly once above S=1 — at
+  // kPackedRowBytes for one-word payloads — *unless* source and destination
+  // share a shard, in which case it bypasses the hop and is counted in
+  // local_rows() instead. S=1 skips the hop entirely and keeps SyncNetwork's
+  // exact byte accounting.
   const EngineConfig cfg{.num_nodes = 24, .capacity = 3, .seed = 5};
   SyncNetwork sync(cfg);
   ShardedNetwork s1{{.num_nodes = 24, .capacity = 3, .seed = 5,
@@ -367,11 +369,95 @@ TEST(ShardedNetwork, StagedBytesAccountTheHopAtPackedRowSize) {
   }
   EXPECT_EQ(s1.staged_rows(), 0u);
   EXPECT_EQ(s1.staged_bytes(), 0u);
+  EXPECT_EQ(s1.local_rows(), 0u);
   EXPECT_EQ(s1.arena_bytes_moved(), sync.arena_bytes_moved());
   const std::uint64_t sent = s4.stats().messages_sent;
-  EXPECT_EQ(s4.staged_rows(), sent);
-  EXPECT_EQ(s4.staged_bytes(), sent * kPackedRowBytes);  // one-word workload
+  EXPECT_GT(s4.staged_rows(), 0u);
+  EXPECT_GT(s4.local_rows(), 0u);  // the workload has same-shard targets
+  EXPECT_EQ(s4.staged_rows() + s4.local_rows(), sent);
+  EXPECT_EQ(s4.staged_bytes(),
+            s4.staged_rows() * kPackedRowBytes);  // one-word workload
   EXPECT_EQ(s4.staged_bytes() / s4.staged_rows(), kPackedRowBytes);
+}
+
+TEST(ShardedNetwork, PhaseTimersSplitBarrierFromPackAndDeliver) {
+  // exchange_flush_seconds() measures phase-1 pack work only and
+  // exchange_deliver_seconds() phase-2 work only; whatever remains of the
+  // EndRound wall time is reported as exchange_barrier_seconds(). The three
+  // must reassemble the exchange wall time (up to per-sample steady_clock
+  // granularity), so barrier waits can never masquerade as pack cost.
+  ShardedNetwork net{{.num_nodes = 64, .capacity = 8, .seed = 11,
+                      .exec = {.num_shards = 4},
+                      .outbox_segment_rows = 16}};
+  for (std::size_t round = 0; round < 8; ++round) {
+    DriveRound(net, round, 8);
+  }
+  EXPECT_GT(net.exchange_seconds(), 0.0);
+  EXPECT_GE(net.exchange_barrier_seconds(), 0.0);
+  EXPECT_GE(net.hidden_flush_seconds(), 0.0);
+  const double reassembled = net.exchange_flush_seconds() +
+                             net.exchange_deliver_seconds() +
+                             net.exchange_barrier_seconds();
+  // 8 rounds x 2 phases x a handful of clock samples each: allow a few
+  // microseconds of absolute slack plus a small relative term.
+  EXPECT_NEAR(reassembled, net.exchange_seconds(),
+              1e-5 + 0.01 * net.exchange_seconds());
+  // Phase cost can never exceed the whole exchange.
+  EXPECT_LE(net.exchange_flush_seconds(), net.exchange_seconds());
+  EXPECT_LE(net.exchange_deliver_seconds(), net.exchange_seconds());
+}
+
+TEST(ShardedNetwork, SpillRunsSelfContainedPerDestination) {
+  // Satellite regression: multi-word (spilling) messages at S in {2,4,8}
+  // with a tiny segment size, so runs are sealed eagerly across several
+  // segments per round. Each destination run resolves its spill entries
+  // from its own per-destination side buffer; a shared cross-destination
+  // buffer would scramble word[1..2] payloads between shards. Delivered
+  // multisets must match SyncNetwork exactly (drop-free workload).
+  constexpr std::size_t kNodes = 48;
+  constexpr std::size_t kRounds = 5;
+  const auto drive = [&](auto& net, std::size_t round) {
+    for (NodeId v = 0; v < kNodes; ++v) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        const NodeId to =
+            static_cast<NodeId>((v * 7 + j * 11 + round * 5) % kNodes);
+        Message m = Payload(v * 100 + j);
+        m.kind = static_cast<std::uint32_t>(round + 1);
+        m.words[1] = (v * 1000003ULL) ^ (round * 97 + j);  // forces a spill
+        m.words[2] = ~m.words[1];
+        net.Send(v, to, m);
+      }
+    }
+    net.EndRound();
+  };
+  const EngineConfig base{.num_nodes = kNodes, .capacity = 16, .seed = 9};
+  SyncNetwork sync(base);
+  std::vector<std::vector<std::vector<Flat>>> want(kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    drive(sync, round);
+    want[round] = Snapshot(sync);
+    for (auto& inbox : want[round]) std::sort(inbox.begin(), inbox.end());
+  }
+  ASSERT_EQ(sync.stats().messages_dropped, 0u);  // drop-free by construction
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    EngineConfig cfg = base;
+    cfg.exec.num_shards = shards;
+    cfg.outbox_segment_rows = 8;  // several eager seals per shard per round
+    ShardedNetwork net(cfg);
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      drive(net, round);
+      auto got = Snapshot(net);
+      for (NodeId v = 0; v < kNodes; ++v) {
+        std::sort(got[v].begin(), got[v].end());
+        EXPECT_EQ(got[v], want[round][v])
+            << "S=" << shards << " round=" << round << " node=" << v;
+      }
+    }
+    // Spilling rows that crossed shards pay kSpillBytes on top of the
+    // packed row; the bypassed same-shard rows pay nothing.
+    EXPECT_EQ(net.staged_bytes(),
+              net.staged_rows() * (kPackedRowBytes + kSpillBytes));
+  }
 }
 
 TEST(ShardedNetwork, BatchSendRollbackLeavesNothingEnqueued) {
