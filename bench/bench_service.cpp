@@ -1,0 +1,244 @@
+// Long-running service SLO driver: sustained drip churn + continuous
+// monitoring for thousands of epochs.
+//
+// The steady-state experiment behind BENCH_service.json: one overlay lives
+// through --epochs (default 1000) service epochs of drip churn (default
+// 0.1% of the current overlay per epoch), with every --byz-every-th epoch
+// swapped for a Byzantine lying-node campaign. Each epoch the BFS tree is
+// repaired incrementally (root re-election + liar quarantine included), the
+// well-formed tree is repaired bit-identically to re-contraction, and the
+// three standing monitoring queries (node count, edge count, max degree)
+// are answered incrementally and re-checked against full re-aggregation.
+//
+// The `service_slo` table reports p50/p99/max recovery rounds, messages,
+// and wall time over the run, judged against the rebuild flood on the final
+// overlay — the per-epoch price of NOT having incremental repair. The
+// process exits non-zero when any SLO gate fails: an invalid tree or
+// well-formed tree, a wrong monitor value, an accepted Byzantine lie, or
+// p99 repair rounds not beating the rebuild baseline.
+//
+// Input topology: any catalogue entry of src/graph/scenario_gen.hpp via
+// --topology ring|gnm|gnp|rgg|grid|torus|ba (default ring). Defaults: 1M
+// nodes, 3 chords, 1000 epochs, 8 shards, drip strike. Override with
+// --topology, --nodes/--n, --chords, --epochs, --shards, --seed,
+// --budgetpm (per-mille of the current overlay per epoch), --byz-every,
+// --strike oblivious|degree|cut|drip|frontier|byzantine; emit JSON with
+// --json out.json (recorded at the repo root as BENCH_service.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "overlay/churn.hpp"
+#include "overlay/service.hpp"
+#include "scenario_workload.hpp"
+
+using namespace overlay;
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted sample (copies + sorts).
+template <typename T>
+T Percentile(std::vector<T> sample, double p) {
+  if (sample.empty()) return T{};
+  std::sort(sample.begin(), sample.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(sample.size() - 1) + 0.5);
+  return sample[rank];
+}
+
+bool ParseStrike(const char* name, StrikeKind* out) {
+  constexpr StrikeKind kKinds[] = {
+      StrikeKind::kOblivious, StrikeKind::kDegreeTargeted,
+      StrikeKind::kCutTargeted, StrikeKind::kDrip,
+      StrikeKind::kRepairFrontier, StrikeKind::kByzantine};
+  for (const StrikeKind k : kKinds) {
+    if (std::strcmp(name, StrikeKindName(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::SizeFlag;
+  const std::size_t n =
+      SizeFlag(argc, argv, "--nodes", SizeFlag(argc, argv, "--n", 1000000));
+  const std::size_t chords = SizeFlag(argc, argv, "--chords", 3);
+  const std::size_t epochs = SizeFlag(argc, argv, "--epochs", 1000);
+  const std::size_t shards = SizeFlag(argc, argv, "--shards", 8);
+  const std::uint64_t seed = SizeFlag(argc, argv, "--seed", 42);
+  const std::size_t budget_pm = SizeFlag(argc, argv, "--budgetpm", 1);
+  const std::size_t byz_every = SizeFlag(argc, argv, "--byz-every", 10);
+  if (budget_pm >= 1000) {
+    std::fprintf(stderr, "--budgetpm must be < 1000\n");
+    return 2;
+  }
+  StrikeKind strike = StrikeKind::kDrip;
+  if (const char* s = bench::FlagValue(argc, argv, "--strike")) {
+    if (!ParseStrike(s, &strike)) {
+      std::fprintf(stderr, "unknown --strike '%s'\n", s);
+      return 2;
+    }
+  }
+
+  bench::Banner(
+      "Service SLOs: sustained churn + self-healing + continuous monitoring",
+      "claim: the repaired overlay serves monitoring queries exactly for "
+      "thousands of epochs — every tree validator-clean, every Byzantine "
+      "lie quarantined, and p99 repair rounds below the rebuild flood");
+
+  gen::ScenarioSpec spec = bench::TopologyFlagSpec(
+      bench::FlagValue(argc, argv, "--topology"), n, seed);
+  if (spec.topology == gen::Topology::kRingChords) spec.degree = chords;
+  const auto t_build0 = std::chrono::steady_clock::now();
+  gen::ScenarioGraph built = gen::BuildScenario(spec, {.num_shards = shards});
+  const auto t_build1 = std::chrono::steady_clock::now();
+  bench::PrintScenarioGraph(gen::TopologyName(spec.topology), built, shards,
+                            bench::Seconds(t_build0, t_build1));
+  Graph start = std::move(built.graph);
+  if (spec.topology != gen::Topology::kRingChords) {
+    ChurnResult intact = ApplyStrike(start, {}, {.num_shards = shards});
+    if (intact.num_components > 1) {
+      std::printf(
+          "using largest component: %zu of %zu nodes (%zu components)\n\n",
+          intact.largest_component.num_nodes(), start.num_nodes(),
+          intact.num_components);
+    }
+    start = std::move(intact.largest_component);
+  }
+
+  ServiceOptions opts;
+  opts.scenario.strike = strike;
+  opts.scenario.strike_opts.exec.num_shards = shards;
+  opts.scenario.budget_fraction = static_cast<double>(budget_pm) / 1000.0;
+  opts.scenario.epochs = epochs;
+  opts.scenario.recovery = RecoveryMode::kRepair;
+  opts.scenario.engine = EngineKind::kSharded;
+  opts.scenario.seed = seed;
+  opts.epochs = epochs;
+  opts.byzantine_every = byz_every;
+
+  const auto t_run0 = std::chrono::steady_clock::now();
+  const ServiceResult res = RunServiceScenario(start, opts);
+  const auto t_run1 = std::chrono::steady_clock::now();
+
+  bench::JsonReport json(argc, argv, "bench_service");
+  const std::vector<std::string> epoch_cols = {
+      "epoch", "nodes", "edges", "killed", "survivors", "byz", "liars",
+      "quarantined", "liars_accepted", "reelected", "repair_used", "orphans",
+      "reattached", "rounds", "messages", "tree_valid", "wft_changed",
+      "wft_rounds", "wft_valid", "mon_nodes", "mon_edges", "mon_maxdeg",
+      "mon_rounds", "mon_rounds_full", "mon_dirty", "mon_exact",
+      "strike_sec", "recovery_sec", "service_sec"};
+  bench::Table per_epoch(epoch_cols);
+  bench::Table preview(epoch_cols);
+
+  std::vector<std::uint64_t> rounds, messages;
+  std::vector<double> recovery_sec;
+  bool all_tree_valid = true;
+  bool all_wft_valid = true;
+  bool all_monitor_exact = true;
+  std::size_t repair_fallbacks = 0;
+  const std::size_t stride = std::max<std::size_t>(1, epochs / 20);
+  for (const ServiceEpochStats& s : res.epochs) {
+    const EpochStats& e = s.epoch;
+    per_epoch.Row(e.epoch, e.nodes_before, e.edges_before, e.killed,
+                  e.survivors, s.byzantine, e.liars, e.quarantined,
+                  e.liars_accepted, e.root_reelected, e.repair_used, e.orphans,
+                  e.reattached, e.recovery_rounds, e.recovery_messages,
+                  e.tree_valid, s.wft_changed, s.wft_rounds, s.wft_valid,
+                  s.monitor_nodes, s.monitor_edges, s.monitor_max_degree,
+                  s.monitor_rounds, s.monitor_rounds_full, s.monitor_dirty,
+                  s.monitor_exact, e.strike_seconds, e.recovery_seconds,
+                  s.service_seconds);
+    if (e.epoch % stride == 0 || &s == &res.epochs.back()) {
+      preview.Row(e.epoch, e.nodes_before, e.edges_before, e.killed,
+                  e.survivors, s.byzantine, e.liars, e.quarantined,
+                  e.liars_accepted, e.root_reelected, e.repair_used, e.orphans,
+                  e.reattached, e.recovery_rounds, e.recovery_messages,
+                  e.tree_valid, s.wft_changed, s.wft_rounds, s.wft_valid,
+                  s.monitor_nodes, s.monitor_edges, s.monitor_max_degree,
+                  s.monitor_rounds, s.monitor_rounds_full, s.monitor_dirty,
+                  s.monitor_exact, e.strike_seconds, e.recovery_seconds,
+                  s.service_seconds);
+    }
+    const bool last_and_collapsed = res.collapsed && &s == &res.epochs.back();
+    if (last_and_collapsed) continue;
+    rounds.push_back(e.recovery_rounds);
+    messages.push_back(e.recovery_messages);
+    recovery_sec.push_back(e.recovery_seconds);
+    all_tree_valid = all_tree_valid && e.tree_valid;
+    all_wft_valid = all_wft_valid && s.wft_valid;
+    all_monitor_exact = all_monitor_exact && s.monitor_exact;
+    if (!e.repair_used) ++repair_fallbacks;
+  }
+
+  const std::uint64_t p99_rounds = Percentile(rounds, 0.99);
+  bench::Table slo({"metric", "p50", "p99", "max", "rebuild_baseline"});
+  slo.Row("recovery_rounds", Percentile(rounds, 0.50), p99_rounds,
+          Percentile(rounds, 1.0), res.final_rebuild_rounds);
+  slo.Row("recovery_messages", Percentile(messages, 0.50),
+          Percentile(messages, 0.99), Percentile(messages, 1.0),
+          res.final_rebuild_messages);
+  slo.Row("recovery_sec", Percentile(recovery_sec, 0.50),
+          Percentile(recovery_sec, 0.99), Percentile(recovery_sec, 1.0), 0.0);
+
+  bench::Table summary({"epochs", "collapsed", "byz_epochs", "liars",
+                        "quarantined", "liars_accepted", "fallbacks",
+                        "final_nodes", "all_tree_valid", "all_wft_valid",
+                        "all_monitor_exact", "total_sec"});
+  const std::size_t final_nodes =
+      res.epochs.empty() ? 0 : res.epochs.back().epoch.survivors;
+  summary.Row(res.epochs.size(), res.collapsed, res.byzantine_epochs,
+              res.total_liars, res.total_quarantined, res.total_liars_accepted,
+              repair_fallbacks, final_nodes, all_tree_valid, all_wft_valid,
+              all_monitor_exact, bench::Seconds(t_run0, t_run1));
+
+  preview.Print();
+  std::printf("\n");
+  slo.Print();
+  std::printf("\n");
+  summary.Print();
+  json.Add("service_epochs", per_epoch);
+  json.Add("service_slo", slo);
+  json.Add("service_summary", summary);
+
+  bool ok = true;
+  if (res.collapsed) {
+    std::fprintf(stderr, "FAIL: the service collapsed\n");
+    ok = false;
+  }
+  if (!all_tree_valid || !all_wft_valid) {
+    std::fprintf(stderr, "FAIL: an epoch produced an invalid tree\n");
+    ok = false;
+  }
+  if (!all_monitor_exact) {
+    std::fprintf(stderr,
+                 "FAIL: an incremental monitor diverged from the full "
+                 "re-aggregation\n");
+    ok = false;
+  }
+  if (res.total_liars_accepted != 0) {
+    std::fprintf(stderr, "FAIL: %zu Byzantine lies were accepted\n",
+                 res.total_liars_accepted);
+    ok = false;
+  }
+  if (strike == StrikeKind::kDrip && !rounds.empty() &&
+      p99_rounds >= res.final_rebuild_rounds) {
+    std::fprintf(stderr,
+                 "FAIL: p99 repair rounds (%llu) did not beat the rebuild "
+                 "baseline (%llu)\n",
+                 static_cast<unsigned long long>(p99_rounds),
+                 static_cast<unsigned long long>(res.final_rebuild_rounds));
+    ok = false;
+  }
+  const int rc = json.Finish();
+  return ok ? rc : 1;
+}

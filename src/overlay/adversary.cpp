@@ -314,6 +314,106 @@ class DripChurnStrike final : public StrikeStrategy {
   }
 };
 
+// ---- repair-frontier (adaptive) --------------------------------------------
+
+class RepairFrontierStrike final : public StrikeStrategy {
+ public:
+  const char* name() const override { return "frontier"; }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             Rng& rng) const override {
+    // No recovery telemetry yet: open with the degree-targeted blast (the
+    // strongest static aim), which also keeps this path randomness-free.
+    return DegreeTargetedStrike{}.SelectVictims(g, opts, rng);
+  }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             const RecoveryState& recovery,
+                             Rng& rng) const override {
+    const std::size_t n = g.num_nodes();
+    if (recovery.reattach_wave.size() != n || recovery.waves == 0) {
+      return SelectVictims(g, opts, rng);
+    }
+    const std::size_t budget = std::min(opts.budget, n);
+    StrikeResult out;
+    if (budget == 0) return out;
+    // The adversary watched the repair: it knows which nodes the patch
+    // waves just re-attached (the frontier — wave ordinal descending, the
+    // freshest wounds first) and which intact nodes border them (the wound
+    // boundary the next repair must transmit from). Killing exactly those
+    // nodes re-opens the wound the repair just closed. Randomness-free, so
+    // the victim set is shard-count-invariant.
+    std::vector<char> tier(n, 2);
+    for (NodeId v = 0; v < n; ++v) {
+      if (recovery.reattach_wave[v] > 0) tier[v] = 0;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (tier[v] != 0) continue;
+      for (const NodeId w : g.Neighbors(v)) {
+        if (tier[w] == 2) tier[w] = 1;
+      }
+    }
+    std::vector<NodeId> ids(n);
+    for (NodeId v = 0; v < n; ++v) ids[v] = v;
+    const auto by_frontier = [&](NodeId a, NodeId b) {
+      if (tier[a] != tier[b]) return tier[a] < tier[b];
+      const std::uint32_t wa = recovery.reattach_wave[a];
+      const std::uint32_t wb = recovery.reattach_wave[b];
+      if (wa != wb) return wa > wb;
+      const std::size_t da = g.Degree(a), db = g.Degree(b);
+      return da > db || (da == db && a < b);
+    };
+    std::nth_element(ids.begin(),
+                     ids.begin() + static_cast<std::ptrdiff_t>(budget),
+                     ids.end(), by_frontier);
+    ids.resize(budget);
+    std::sort(ids.begin(), ids.end());
+    out.victims = std::move(ids);
+    return out;
+  }
+};
+
+// ---- byzantine -------------------------------------------------------------
+
+class ByzantineStrike final : public StrikeStrategy {
+ public:
+  const char* name() const override { return "byzantine"; }
+
+  StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                             Rng& rng) const override {
+    const std::size_t n = g.num_nodes();
+    const std::size_t budget = std::min(opts.budget, n);
+    StrikeResult out;
+    if (budget == 0) return out;
+    // The budget splits between kills and lies: liars stay alive and feed
+    // corrupted (depth, parent) claims into the very repair their partners'
+    // kills triggered — the strike shape the runtime defense exists for.
+    // One priority draw serves both halves (kills take the smallest
+    // (priority, id) pairs, liars the next smallest among survivors), so
+    // the RNG consumption is a fixed function of (n, S).
+    const double share = std::clamp(opts.byzantine_liar_share, 0.0, 1.0);
+    const std::size_t liar_budget =
+        static_cast<std::size_t>(static_cast<double>(budget) * share + 0.5);
+    const std::size_t kill_budget = budget - liar_budget;
+    const std::size_t shards = ClampShards(opts.exec.num_shards, n);
+    const auto pri = DrawPriorities(n, shards, opts.exec.Pool(), rng);
+    out.victims = SmallestByPriority(pri, kill_budget, nullptr);
+    // Liars come from the survivors, minus the minimum surviving id: its
+    // root identity is certified by the election, so lying there is wasted
+    // budget (and the repair contract forbids it).
+    std::vector<char> eligible(n, 1);
+    for (const NodeId v : out.victims) eligible[v] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (eligible[v]) {
+        eligible[v] = 0;  // the minimum surviving id — the next root
+        break;
+      }
+    }
+    out.liars = SmallestByPriority(pri, liar_budget, &eligible);
+    return out;
+  }
+};
+
 }  // namespace
 
 const char* StrikeKindName(StrikeKind kind) {
@@ -326,6 +426,10 @@ const char* StrikeKindName(StrikeKind kind) {
       return "cut";
     case StrikeKind::kDrip:
       return "drip";
+    case StrikeKind::kRepairFrontier:
+      return "frontier";
+    case StrikeKind::kByzantine:
+      return "byzantine";
   }
   return "unknown";
 }
@@ -340,9 +444,186 @@ std::unique_ptr<StrikeStrategy> MakeStrikeStrategy(StrikeKind kind) {
       return std::make_unique<CutTargetedStrike>();
     case StrikeKind::kDrip:
       return std::make_unique<DripChurnStrike>();
+    case StrikeKind::kRepairFrontier:
+      return std::make_unique<RepairFrontierStrike>();
+    case StrikeKind::kByzantine:
+      return std::make_unique<ByzantineStrike>();
   }
   OVERLAY_CHECK(false, "unknown strike kind");
   return nullptr;
+}
+
+ScenarioState BeginScenario(const Graph& start, const ScenarioOptions& opts) {
+  OVERLAY_CHECK(start.num_nodes() >= 2, "scenario needs at least two nodes");
+  OVERLAY_CHECK(opts.budget_fraction >= 0.0 && opts.budget_fraction <= 1.0,
+                "budget fraction must be in [0, 1]");
+  OVERLAY_CHECK(opts.strike_opts.exec.num_shards >= 1,
+                "need at least one shard");
+  for (const StrikePhase& p : opts.plan.phases) {
+    OVERLAY_CHECK(p.budget_share >= 0.0, "phase budget share must be >= 0");
+  }
+
+  ScenarioState st;
+  st.overlay = start;
+  st.rng = Rng(opts.seed);
+  // Repair chains off an existing tree, so the scenario enters epoch 0 with
+  // the intact overlay's tree already built (the steady state a long-lived
+  // network would be in). Rebuild mode reconstructs from scratch each epoch
+  // and never reads it.
+  if (opts.recovery == RecoveryMode::kRepair) {
+    st.tree = BuildBfsTree(
+        st.overlay, opts.engine,
+        EngineConfig{.seed = opts.seed, .exec = opts.strike_opts.exec});
+  }
+  return st;
+}
+
+bool RunScenarioEpoch(ScenarioState& st, const StrikeStrategy& strategy,
+                      const ScenarioOptions& opts, std::size_t epoch,
+                      EpochStats& e) {
+  OVERLAY_CHECK(!st.collapsed, "scenario already collapsed");
+  const ExecPolicy& exec = opts.strike_opts.exec;
+
+  e = EpochStats{};
+  e.epoch = epoch;
+  e.nodes_before = st.overlay.num_nodes();
+  e.edges_before = st.overlay.num_edges();
+
+  st.last_epoch_map.resize(e.nodes_before);
+  for (NodeId i = 0; i < e.nodes_before; ++i) st.last_epoch_map[i] = i;
+
+  // Epoch budget: the fixed strike budget, or the fraction of the *current*
+  // overlay. A non-zero fraction always strikes at least one node — on a
+  // tiny surviving overlay the rounding would otherwise hit 0 and stall the
+  // scenario in no-op epochs instead of driving it to collapse.
+  std::size_t budget = opts.strike_opts.budget;
+  if (opts.budget_fraction > 0.0) {
+    budget = static_cast<std::size_t>(
+        opts.budget_fraction * static_cast<double>(e.nodes_before) + 0.5);
+    if (budget == 0) budget = 1;
+  }
+
+  // Phase schedule: the classic epoch is a single full-budget phase. The
+  // cumulative-rounding split hands phase i exactly
+  // round(B·cum_i) − round(B·cum_{i−1}) victims, so the shares telescope to
+  // exactly the epoch budget regardless of rounding.
+  static const StrikePhase kClassicPhase{};
+  std::span<const StrikePhase> phases(opts.plan.phases);
+  if (phases.empty()) phases = std::span<const StrikePhase>(&kClassicPhase, 1);
+  double total_share = 0.0;
+  for (const StrikePhase& p : phases) total_share += p.budget_share;
+  OVERLAY_CHECK(total_share > 0.0, "plan needs a positive total budget share");
+  e.phases = phases.size();
+
+  bool all_repaired = true;
+  double cum_share = 0.0;
+  std::size_t used = 0;
+  for (std::size_t phase = 0; phase < phases.size(); ++phase) {
+    cum_share += phases[phase].budget_share;
+    const std::size_t cum_budget = static_cast<std::size_t>(
+        static_cast<double>(budget) * (cum_share / total_share) + 0.5);
+    const std::size_t phase_budget = cum_budget - used;
+    used = cum_budget;
+    if (phase_budget == 0 && phases.size() > 1) continue;
+
+    StrikeOptions strike_opts = opts.strike_opts;
+    strike_opts.budget = phase_budget;
+    const auto t0 = std::chrono::steady_clock::now();
+    const StrikeResult strike =
+        strategy.SelectVictims(st.overlay, strike_opts, st.recovery, st.rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    ChurnResult churn = ApplyStrike(st.overlay, strike.victims, exec);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    e.killed += strike.victims.size();
+    e.survivors = churn.survivors;
+    e.num_components = churn.num_components;
+    e.cohesion = churn.Cohesion();
+    e.cut_conductance = std::max(e.cut_conductance, strike.cut_conductance);
+    e.strike_seconds += Seconds(t0, t1);
+    e.extract_seconds += Seconds(t1, t2);
+
+    if (churn.component_global.size() < 2) {
+      st.collapsed = true;
+      return false;
+    }
+
+    // Compose this phase's re-indexing into the epoch map (post-phase local
+    // id -> pre-epoch local id).
+    {
+      std::vector<NodeId> composed(churn.component_global.size());
+      for (NodeId i = 0; i < churn.component_global.size(); ++i) {
+        composed[i] = st.last_epoch_map[churn.component_global[i]];
+      }
+      st.last_epoch_map = std::move(composed);
+    }
+
+    // Map the strike's liars into the surviving component: dead and
+    // out-of-component liars drop out, and so does a liar landing on local
+    // id 0 — the re-elected root's identity is certified. component_global
+    // ascends, so the mapped list stays ascending.
+    std::vector<NodeId> liars;
+    if (!strike.liars.empty()) {
+      std::vector<NodeId> old_to_new(e.nodes_before, kInvalidNode);
+      for (NodeId i = 0; i < churn.component_global.size(); ++i) {
+        old_to_new[churn.component_global[i]] = i;
+      }
+      for (const NodeId l : strike.liars) {
+        const NodeId m = old_to_new[l];
+        if (m != kInvalidNode && m != 0) liars.push_back(m);
+      }
+    }
+    e.liars += liars.size();
+
+    // Recovery: incremental repair when asked (re-electing the root if it
+    // died, quarantining liars), else the full rebuild flood. The rebuild
+    // re-floods authenticated ids from scratch, so depth lies have nothing
+    // to poison there — and it leaves no frontier telemetry behind.
+    const auto t3 = std::chrono::steady_clock::now();
+    bool repaired = false;
+    if (opts.recovery == RecoveryMode::kRepair) {
+      const std::uint64_t lie_seed =
+          opts.seed + 0x517cc1b727220a95ULL * (epoch + 1) + phase;
+      RepairResult rep = RepairBfsTree(
+          churn.largest_component, st.tree, churn.component_global,
+          {.exec = exec, .liars = liars, .lie_seed = lie_seed});
+      e.orphans += rep.orphans;
+      if (rep.repaired) {
+        e.reattached += rep.reattached;
+        e.quarantined += rep.quarantined.size();
+        e.liars_accepted += rep.liars_accepted;
+        e.root_reelected = e.root_reelected || rep.reelected;
+        st.tree = std::move(rep.tree);
+        st.recovery.reattach_wave = std::move(rep.reattach_wave);
+        st.recovery.waves =
+            static_cast<std::uint32_t>(st.tree.stats.rounds);
+        repaired = true;
+      }
+    }
+    if (!repaired) {
+      st.tree = BuildBfsTree(
+          churn.largest_component, opts.engine,
+          EngineConfig{.seed = opts.seed + epoch + 1, .exec = exec});
+      st.recovery = RecoveryState{};
+      all_repaired = false;
+    }
+    const auto t4 = std::chrono::steady_clock::now();
+
+    e.recovery_rounds += st.tree.stats.rounds;
+    e.recovery_messages += st.tree.stats.messages_sent;
+    e.recovery_seconds += Seconds(t3, t4);
+
+    st.overlay = std::move(churn.largest_component);
+  }
+
+  e.repair_used = opts.recovery == RecoveryMode::kRepair && all_repaired;
+  e.tree_height = st.tree.height;
+  if (opts.measure_diameter) {
+    e.diameter = ApproxDiameter(st.overlay, opts.diameter_sweeps);
+  }
+  e.tree_valid =
+      !opts.validate_trees || ValidateBfsTree(st.overlay, st.tree);
+  return true;
 }
 
 ScenarioResult RunAdversaryScenario(const Graph& start,
@@ -354,97 +635,20 @@ ScenarioResult RunAdversaryScenario(const Graph& start,
                                     const StrikeStrategy& strategy,
                                     const ScenarioOptions& opts) {
   OVERLAY_CHECK(opts.epochs >= 1, "need at least one epoch");
-  OVERLAY_CHECK(start.num_nodes() >= 2, "scenario needs at least two nodes");
-  OVERLAY_CHECK(opts.budget_fraction >= 0.0 && opts.budget_fraction <= 1.0,
-                "budget fraction must be in [0, 1]");
-  const ExecPolicy& exec = opts.strike_opts.exec;
-  const std::size_t shards = exec.num_shards;
-  OVERLAY_CHECK(shards >= 1, "need at least one shard");
+  ScenarioState st = BeginScenario(start, opts);
 
   ScenarioResult out;
-  out.overlay = start;
-  Rng rng(opts.seed);
-
-  // Repair chains off an existing tree, so the scenario enters epoch 0 with
-  // the intact overlay's tree already built (the steady state a long-lived
-  // network would be in). Rebuild mode reconstructs from scratch each epoch
-  // and never reads it.
-  if (opts.recovery == RecoveryMode::kRepair) {
-    out.tree =
-        BuildBfsTree(out.overlay, opts.engine,
-                     EngineConfig{.seed = opts.seed, .exec = exec});
-  }
-
   for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
     EpochStats e;
-    e.epoch = epoch;
-    e.nodes_before = out.overlay.num_nodes();
-    e.edges_before = out.overlay.num_edges();
-
-    StrikeOptions strike_opts = opts.strike_opts;
-    if (opts.budget_fraction > 0.0) {
-      strike_opts.budget = static_cast<std::size_t>(
-          opts.budget_fraction * static_cast<double>(e.nodes_before) + 0.5);
-    }
-    const auto t0 = std::chrono::steady_clock::now();
-    const StrikeResult strike =
-        strategy.SelectVictims(out.overlay, strike_opts, rng);
-    const auto t1 = std::chrono::steady_clock::now();
-    ChurnResult churn = ApplyStrike(out.overlay, strike.victims, exec);
-    const auto t2 = std::chrono::steady_clock::now();
-
-    e.killed = strike.victims.size();
-    e.survivors = churn.survivors;
-    e.num_components = churn.num_components;
-    e.cohesion = churn.Cohesion();
-    e.cut_conductance = strike.cut_conductance;
-    e.strike_seconds = Seconds(t0, t1);
-    e.extract_seconds = Seconds(t1, t2);
-
-    if (churn.component_global.size() < 2) {
+    const bool ok = RunScenarioEpoch(st, strategy, opts, epoch, e);
+    out.epochs.push_back(e);
+    if (!ok) {
       out.collapsed = true;
-      out.epochs.push_back(e);
       break;
     }
-    if (opts.measure_diameter) {
-      e.diameter =
-          ApproxDiameter(churn.largest_component, opts.diameter_sweeps);
-    }
-
-    // Recovery: incremental repair when asked and possible (the old root
-    // must have survived as the component's minimum id), else the full
-    // rebuild flood.
-    const auto t3 = std::chrono::steady_clock::now();
-    bool repaired = false;
-    if (opts.recovery == RecoveryMode::kRepair) {
-      RepairResult rep =
-          RepairBfsTree(churn.largest_component, out.tree,
-                        churn.component_global, {.exec = exec});
-      e.orphans = rep.orphans;
-      if (rep.repaired) {
-        e.reattached = rep.reattached;
-        out.tree = std::move(rep.tree);
-        repaired = true;
-      }
-    }
-    if (!repaired) {
-      out.tree = BuildBfsTree(
-          churn.largest_component, opts.engine,
-          EngineConfig{.seed = opts.seed + epoch + 1, .exec = exec});
-    }
-    const auto t4 = std::chrono::steady_clock::now();
-
-    e.repair_used = repaired;
-    e.recovery_rounds = out.tree.stats.rounds;
-    e.recovery_messages = out.tree.stats.messages_sent;
-    e.tree_height = out.tree.height;
-    e.recovery_seconds = Seconds(t3, t4);
-    e.tree_valid = !opts.validate_trees ||
-                   ValidateBfsTree(churn.largest_component, out.tree);
-
-    out.overlay = std::move(churn.largest_component);
-    out.epochs.push_back(e);
   }
+  out.overlay = std::move(st.overlay);
+  out.tree = std::move(st.tree);
   return out;
 }
 

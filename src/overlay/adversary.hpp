@@ -41,10 +41,23 @@
 
 namespace overlay {
 
-enum class StrikeKind { kOblivious, kDegreeTargeted, kCutTargeted, kDrip };
+enum class StrikeKind {
+  kOblivious,
+  kDegreeTargeted,
+  kCutTargeted,
+  kDrip,
+  /// Adaptive: re-aims at the repair frontier using the previous recovery's
+  /// telemetry (latest-patched nodes first, then the wound boundary);
+  /// degrades to the degree-targeted strike before any repair has run.
+  kRepairFrontier,
+  /// Byzantine: spends part of the budget marking surviving nodes as liars
+  /// that inject corrupted (depth, parent) claims into the repair protocol
+  /// instead of killing them (see RepairOptions::liars for the defense).
+  kByzantine,
+};
 
-/// Stable lowercase name ("oblivious", "degree", "cut", "drip") — bench
-/// table keys and CLI values.
+/// Stable lowercase name ("oblivious", "degree", "cut", "drip", "frontier",
+/// "byzantine") — bench table keys and CLI values.
 const char* StrikeKindName(StrikeKind kind);
 
 struct StrikeOptions {
@@ -63,13 +76,34 @@ struct StrikeOptions {
   /// Cut-targeted: up to this many nodes the exact Stoer–Wagner side is
   /// used instead of the ball sweep (O(n³) — keep small).
   std::size_t exact_cut_max_nodes = 160;
+  /// Byzantine: fraction of the budget spent marking liars rather than
+  /// killing (the remainder kills uniformly). Liar candidates exclude the
+  /// minimum surviving id — its root identity is certified by the election,
+  /// so lying there is wasted budget.
+  double byzantine_liar_share = 0.5;
 };
 
 struct StrikeResult {
-  /// Victim ids, ascending, exactly min(budget, n) of them.
+  /// Victim ids, ascending, exactly min(budget, n) of them (the Byzantine
+  /// strike spends part of its budget on liars instead).
   std::vector<NodeId> victims;
+  /// Byzantine strike: surviving ids marked as liars (ascending, disjoint
+  /// from victims). Empty for every other strategy.
+  std::vector<NodeId> liars;
   /// Cut-targeted diagnostics: conductance of the chosen cut (0 elsewhere).
   double cut_conductance = 0.0;
+};
+
+/// Telemetry of the previous recovery that adaptive strategies re-aim with.
+/// Ids are local to the overlay the next strike selects over (the repaired
+/// component); empty/zero means "no repair observed yet" (fresh scenario or
+/// a rebuild epoch, which re-floods everything and leaves no frontier).
+struct RecoveryState {
+  /// Active patch wave (1-based) that re-attached each node in the last
+  /// repair; 0 = intact. Straight from RepairResult::reattach_wave.
+  std::vector<std::uint32_t> reattach_wave;
+  /// Waves the last repair ran — the frontier's wave ordinal.
+  std::uint32_t waves = 0;
 };
 
 /// Pluggable victim-selection policy. Implementations must honor the budget
@@ -80,6 +114,14 @@ class StrikeStrategy {
   virtual const char* name() const = 0;
   virtual StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
                                      Rng& rng) const = 0;
+  /// Adaptive entry point: strategies that re-aim mid-epoch read the
+  /// previous recovery's telemetry here. The default ignores it, so the
+  /// classic strategies behave identically under the adaptive driver.
+  virtual StrikeResult SelectVictims(const Graph& g, const StrikeOptions& opts,
+                                     const RecoveryState& /*recovery*/,
+                                     Rng& rng) const {
+    return SelectVictims(g, opts, rng);
+  }
 };
 
 /// Factory for the built-in strategies.
@@ -92,6 +134,27 @@ enum class RecoveryMode {
              ///< old root died or no tree exists yet)
 };
 
+/// One phase of a scheduled mid-epoch strike: the adversary lets the
+/// epoch's recovery run, observes its telemetry, then spends
+/// `budget_share` of the epoch budget re-aimed with what it saw.
+/// `after_waves` records when in the recovery the phase logically fires
+/// (the wave count the adversary watched before striking) — scheduling
+/// metadata for the bench tables; phase 0 always fires pre-recovery.
+struct StrikePhase {
+  double budget_share = 1.0;
+  std::uint32_t after_waves = 0;
+};
+
+/// Schedule of mid-epoch strike phases. Empty = the classic single-strike
+/// epoch. With k phases, each epoch runs k strike → extract → recover
+/// sub-steps; the epoch budget is split across phases proportionally to
+/// budget_share (cumulative rounding, so the shares always sum to exactly
+/// the epoch budget), and every phase after the first sees the previous
+/// recovery's RecoveryState — the seam adaptive strategies re-aim through.
+struct AdaptiveStrikePlan {
+  std::vector<StrikePhase> phases;
+};
+
 struct ScenarioOptions {
   StrikeKind strike = StrikeKind::kOblivious;
   /// Per-epoch strike parameters; the ExecPolicy here also drives the
@@ -102,6 +165,8 @@ struct ScenarioOptions {
   /// epoch" shape the multi-epoch benches sweep. Must be <= 1.
   double budget_fraction = 0.0;
   std::size_t epochs = 1;
+  /// Mid-epoch strike schedule (see AdaptiveStrikePlan). Empty = classic.
+  AdaptiveStrikePlan plan;
   RecoveryMode recovery = RecoveryMode::kRebuild;
   /// Engine the rebuild flood runs on (repair is engine-free compute).
   EngineKind engine = EngineKind::kSharded;
@@ -142,6 +207,16 @@ struct EpochStats {
   std::uint64_t recovery_messages = 0;
   std::uint32_t tree_height = 0;
   bool tree_valid = false;
+  /// Strike phases the adaptive plan ran this epoch (1 = classic epoch).
+  std::size_t phases = 1;
+  /// Byzantine accounting: liars injected into this epoch's repairs (after
+  /// mapping into the surviving component), liars the defense quarantined,
+  /// and liars accepted as intact — undetected corruptions, must stay 0.
+  std::size_t liars = 0;
+  std::size_t quarantined = 0;
+  std::size_t liars_accepted = 0;
+  /// True when a repair this epoch re-elected the root (the old one died).
+  bool root_reelected = false;
   double strike_seconds = 0.0;
   double extract_seconds = 0.0;
   double recovery_seconds = 0.0;
@@ -157,6 +232,39 @@ struct ScenarioResult {
   /// scenario stopped early (the final epoch record is still emitted).
   bool collapsed = false;
 };
+
+/// Persistent state the epoch-step driver threads between epochs — the
+/// seam RunServiceScenario (overlay/service.hpp) uses to interleave
+/// monitoring queries and well-formed-tree maintenance with the
+/// strike/recovery loop.
+struct ScenarioState {
+  Graph overlay;
+  BfsTreeResult tree;
+  Rng rng{1};
+  /// Last repair's telemetry (overlay-local ids) — what adaptive
+  /// strategies re-aim with; cleared by rebuild epochs.
+  RecoveryState recovery;
+  /// Composed re-indexing of the last completed epoch: entry i maps node i
+  /// of the post-epoch overlay to its id in the pre-epoch overlay (the
+  /// composition of every phase's ChurnResult::component_global). The
+  /// service layer remaps its well-formed tree and monitor caches through
+  /// this. Identity before the first epoch.
+  std::vector<NodeId> last_epoch_map;
+  bool collapsed = false;
+};
+
+/// Validates `opts` against `start` and initializes the scenario state
+/// (building the initial tree when recovery is kRepair, the steady state a
+/// long-lived network enters an epoch in).
+ScenarioState BeginScenario(const Graph& start, const ScenarioOptions& opts);
+
+/// Runs one epoch — every phase of opts.plan — against `st`, writing its
+/// record into `e`. Returns false when a strike left fewer than two
+/// connected survivors (st.collapsed set; `e` still carries the fatal
+/// epoch's record). Deterministic for fixed (opts.seed, shard count).
+bool RunScenarioEpoch(ScenarioState& st, const StrikeStrategy& strategy,
+                      const ScenarioOptions& opts, std::size_t epoch,
+                      EpochStats& e);
 
 /// Runs `opts.epochs` epochs of strike → measure → recover starting from
 /// `start` (must be connected). Each epoch strikes the current overlay,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "graph/metrics.hpp"
 #include "graph/partition.hpp"
 #include "sim/async_network.hpp"
@@ -167,10 +168,18 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
     OVERLAY_CHECK(new_to_old[i] < old_n, "repair mapping target out of range");
     old_to_new[new_to_old[i]] = i;
   }
-  // Repair keeps the old root's election: it must have survived into the new
-  // overlay as the minimum id (local 0). Anything else re-elects a root and
-  // shifts every depth — that is a rebuild, not a repair.
-  if (old_tree.root >= old_n || old_to_new[old_tree.root] != 0) return out;
+  // Root election: the repair keeps the old root when it survived into the
+  // new overlay as the minimum id (local 0 — component ids ascend, so a
+  // surviving minimum always lands there). When the old root died (or sits
+  // in another component) the minimum-id survivor is re-elected
+  // deterministically: old depths are anchored at the dead root and carry
+  // no information about distances from the new one, so the whole component
+  // re-layers from local 0 via the same frontier waves — still cheaper than
+  // the rebuild flood, which additionally pays the every-node id election
+  // storm and its quiescence rounds.
+  const bool root_alive =
+      old_tree.root < old_n && old_to_new[old_tree.root] == 0;
+  out.reelected = !root_alive;
 
   // Map the old tree onto the survivors: provisional (parent, depth) per new
   // node; a dead or out-of-component parent maps to kInvalidNode.
@@ -187,29 +196,164 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
                                                         : old_to_new[p_old];
   }
 
-  // Intact pass, ascending provisional depth (counting sort): a node is
-  // intact iff it is the root or its mapped parent is intact — i.e. its
-  // whole old root path survived. Intact depths are exact in g: deletions
-  // only lengthen shortest paths, and the intact path still achieves the
-  // old distance.
-  std::vector<std::size_t> cursor(max_depth + 1, 0);
-  for (NodeId i = 0; i < n; ++i) ++cursor[depth[i]];
-  std::vector<std::size_t> start(max_depth + 2, 0);
-  for (std::uint32_t d = 0; d <= max_depth; ++d) {
-    start[d + 1] = start[d] + cursor[d];
+  std::vector<char> is_liar(n, 0);
+  for (const NodeId l : opts.liars) {
+    OVERLAY_CHECK(l < n, "liar id out of range");
+    OVERLAY_CHECK(l != 0, "the minimum-id root's identity is certified — it "
+                          "cannot be marked a liar");
+    is_liar[l] = 1;
   }
-  std::vector<NodeId> by_depth(n);
-  cursor.assign(start.begin(), start.end() - 1);
-  for (NodeId i = 0; i < n; ++i) by_depth[cursor[depth[i]]++] = i;
 
   std::vector<char> intact(n, 0);
-  for (const NodeId i : by_depth) {
-    if (i == 0) {
-      intact[0] = depth[0] == 0;
-      continue;
+  std::vector<char> quarantined(n, 0);
+  if (opts.liars.empty() && root_alive) {
+    // Honest intact pass, ascending provisional depth (counting sort): a
+    // node is intact iff it is the root or its mapped parent is intact —
+    // i.e. its whole old root path survived. Intact depths are exact in g:
+    // deletions only lengthen shortest paths, and the intact path still
+    // achieves the old distance.
+    std::vector<std::size_t> cursor(max_depth + 1, 0);
+    for (NodeId i = 0; i < n; ++i) ++cursor[depth[i]];
+    std::vector<std::size_t> start(max_depth + 2, 0);
+    for (std::uint32_t d = 0; d <= max_depth; ++d) {
+      start[d + 1] = start[d] + cursor[d];
     }
-    const NodeId p = parent[i];
-    if (p != kInvalidNode && intact[p]) intact[i] = 1;
+    std::vector<NodeId> by_depth(n);
+    cursor.assign(start.begin(), start.end() - 1);
+    for (NodeId i = 0; i < n; ++i) by_depth[cursor[depth[i]]++] = i;
+
+    for (const NodeId i : by_depth) {
+      if (i == 0) {
+        intact[0] = depth[0] == 0;
+        continue;
+      }
+      const NodeId p = parent[i];
+      if (p != kInvalidNode && intact[p]) intact[i] = 1;
+    }
+  } else if (!opts.liars.empty()) {
+    // Byzantine-defended intact pass. Every node broadcasts an advertised
+    // (depth, parent) claim — honest nodes their mapped stored state, the
+    // certified root its fresh (0, none) claim, liars a deterministic
+    // corruption — and each claim is re-validated by the local consistency
+    // checks ValidateBfsTree implies before anyone keeps its depth:
+    //
+    //   anchor      only local id 0 may claim depth 0 — ids are
+    //               authenticated, so a root impostor is a provable lie;
+    //   edge rule   a claimed parent must be an actual neighbor in g — an
+    //               honest survivor's stored parent always is (tree edges
+    //               live in the induced subgraph), so a phantom parent is a
+    //               provable lie;
+    //   arithmetic  a claim must be exactly one deeper than its *accepted*
+    //               parent's claim — accepted claims are true (they chain
+    //               to the certified root through consistent claims), and
+    //               honest tree arithmetic never misses, so a mismatch
+    //               against an accepted parent is a provable lie.
+    //
+    // Provable lies quarantine the claimer. A claim that merely fails to
+    // chain (dead or unaccepted parent) demotes the claimer to an orphan —
+    // it may be an honest victim of a liar upstream, so it is re-patched
+    // around, never quarantined. Acceptance processes claims in ascending
+    // (claimed depth, id) order, is randomness-free, and therefore replays
+    // bit-identically at every shard count.
+    std::vector<std::uint32_t> adv_depth = depth;
+    std::vector<NodeId> adv_parent = parent;
+    adv_depth[0] = 0;
+    adv_parent[0] = kInvalidNode;
+    for (const NodeId l : opts.liars) {
+      std::uint64_t h_state =
+          opts.lie_seed ^ (0x9e3779b97f4a7c15ULL *
+                           (static_cast<std::uint64_t>(new_to_old[l]) + 1));
+      const std::uint64_t h = SplitMix64(h_state);
+      std::uint32_t variant = static_cast<std::uint32_t>(h % 3);
+      if (variant == 1) {
+        // Phantom parent: keep the depth claim, name a non-neighbor.
+        NodeId fake = kInvalidNode;
+        for (NodeId x = 0; x < n; ++x) {
+          if (x != l && !g.HasEdge(l, x)) {
+            fake = x;
+            break;
+          }
+        }
+        if (fake != kInvalidNode) {
+          adv_parent[l] = fake;
+        } else {
+          variant = 2;  // adjacent to everyone: fall through to the shear
+        }
+      }
+      if (variant == 0) {
+        // Root impostor: claim the anchor.
+        adv_depth[l] = 0;
+        adv_parent[l] = kInvalidNode;
+      } else if (variant == 2) {
+        // Depth shear: name a real neighbor but break the arithmetic.
+        // Neighbor stored depths differ by at most 1, so +3 can never be
+        // accidentally consistent with any accepted neighbor claim.
+        NodeId p = adv_parent[l];
+        if (p == kInvalidNode || !g.HasEdge(l, p)) p = g.Neighbors(l)[0];
+        adv_parent[l] = p;
+        adv_depth[l] = depth[l] + 3;
+      }
+    }
+
+    // Provable-lie sweeps that need no chaining: anchor + edge rule.
+    for (NodeId i = 1; i < n; ++i) {
+      if (adv_depth[i] == 0) {
+        quarantined[i] = 1;
+      } else if (adv_parent[i] != kInvalidNode &&
+                 !g.HasEdge(i, adv_parent[i])) {
+        quarantined[i] = 1;
+      }
+    }
+
+    // Acceptance: only meaningful while the old anchor stands — when the
+    // root was re-elected no stored claim can chain to it, so every
+    // non-root node is an orphan regardless of honesty.
+    intact[0] = 1;
+    if (root_alive) {
+      std::uint32_t max_adv = 0;
+      for (NodeId i = 0; i < n; ++i) max_adv = std::max(max_adv, adv_depth[i]);
+      std::vector<std::size_t> cursor(max_adv + 1, 0);
+      for (NodeId i = 0; i < n; ++i) ++cursor[adv_depth[i]];
+      std::vector<std::size_t> start(max_adv + 2, 0);
+      for (std::uint32_t d = 0; d <= max_adv; ++d) {
+        start[d + 1] = start[d] + cursor[d];
+      }
+      std::vector<NodeId> by_adv(n);
+      cursor.assign(start.begin(), start.end() - 1);
+      for (NodeId i = 0; i < n; ++i) by_adv[cursor[adv_depth[i]]++] = i;
+
+      for (const NodeId i : by_adv) {
+        if (i == 0 || quarantined[i]) continue;
+        const NodeId p = adv_parent[i];
+        if (p == kInvalidNode) continue;  // honest orphan: parent died
+        if (intact[p] && adv_depth[p] + 1 == adv_depth[i]) {
+          intact[i] = 1;
+        } else if (intact[p] && adv_depth[p] + 1 != adv_depth[i]) {
+          quarantined[i] = 1;  // arithmetic rule against an accepted claim
+        }
+        // else: suspect (unaccepted parent) — demoted to orphan, no verdict.
+      }
+      // Accepted claims are true, so accepted depths are the stored exact
+      // ones; adopt them (the advertised array, since accepted ⟹ adv ==
+      // stored for every lie shape the synthesis emits).
+      for (NodeId i = 0; i < n; ++i) {
+        if (intact[i]) {
+          depth[i] = adv_depth[i];
+          parent[i] = adv_parent[i];
+        }
+        if (intact[i] && is_liar[i]) ++out.liars_accepted;
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (quarantined[i]) out.quarantined.push_back(i);
+    }
+  } else {
+    // Honest strike that killed the root: only the re-elected root anchors.
+    intact[0] = 1;
+  }
+  if (out.reelected) {
+    depth[0] = 0;
+    parent[0] = kInvalidNode;
   }
 
   std::vector<NodeId> orphan_list;
@@ -238,6 +382,7 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
   // yields exact distances.
   const std::size_t shards = std::max<std::size_t>(1, opts.exec.num_shards);
   std::uint32_t waves = 0;
+  out.reattach_wave.assign(n, 0);
   std::vector<NodeId> remaining = orphan_list;
   std::vector<std::vector<std::pair<NodeId, NodeId>>> attach;
   for (std::uint32_t d = 0; !remaining.empty(); ++d) {
@@ -270,6 +415,7 @@ RepairResult RepairBfsTree(const Graph& g, const BfsTreeResult& old_tree,
         parent[j] = p;
         depth[j] = d + 1;
         max_patched = std::max(max_patched, d + 1);
+        out.reattach_wave[j] = waves + 1;
         ++out.reattached;
         any = true;
       }

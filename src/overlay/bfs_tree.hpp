@@ -57,17 +57,55 @@ bool ValidateBfsTree(const Graph& g, const BfsTreeResult& r);
 struct RepairOptions {
   /// Execution context for the frontier-patching passes (sim/engine.hpp).
   ExecPolicy exec;
+  /// Byzantine liars: local ids in `g` (ascending, never the component's
+  /// minimum id 0 — the root's identity is certified by the election) whose
+  /// repair messages advertise corrupted (depth, parent) state. Non-empty
+  /// turns on the runtime defense: every advertised claim is re-validated
+  /// by the per-wave local consistency checks ValidateBfsTree implies
+  /// (anchor: only the minimum id may claim depth 0; edge rule: a claimed
+  /// parent must be a real neighbor; arithmetic: a claim must be exactly
+  /// one deeper than its accepted parent's claim). Provable lies quarantine
+  /// the claimer; suspect-but-unprovable claims merely demote the claimer
+  /// to an orphan, so no honest node is ever quarantined. Quarantined and
+  /// demoted nodes are re-patched around — their final depths are assigned
+  /// by the trusted frontier waves, not by their own claims — so the final
+  /// tree is validator-clean whenever the repair succeeds.
+  std::span<const NodeId> liars = {};
+  /// Keys the deterministic lie synthesis (what wrong values a liar
+  /// injects). Lies are a pure function of (new_to_old[liar], lie_seed), so
+  /// a fixed seed replays bit-identically at every shard count.
+  std::uint64_t lie_seed = 0;
 };
 
 /// Outcome of RepairBfsTree. When `repaired` is false no repair was
-/// possible (the old root died or never mapped into the new overlay) and
-/// `tree` is untouched — the caller falls back to BuildBfsTree.
+/// possible (the component is empty, or it was not connected — a contract
+/// violation) and `tree` is untouched — the caller falls back to
+/// BuildBfsTree.
 struct RepairResult {
   BfsTreeResult tree;
   bool repaired = false;
+  /// True when the old root died (or landed in another component) and the
+  /// repair deterministically re-elected the minimum-id survivor (local 0)
+  /// instead of refusing: old depths are anchored at the dead root, so the
+  /// re-elected repair re-layers the whole component from the new root —
+  /// still cheaper than the rebuild flood, which additionally pays the
+  /// every-node id election storm and quiescence detection.
+  bool reelected = false;
   /// Survivors whose old root path lost a node (the re-attachment work).
   std::size_t orphans = 0;
   std::size_t reattached = 0;
+  /// Per-node recovery telemetry: the active patch wave (1-based) that
+  /// re-attached each node, 0 for intact nodes. This is the state the
+  /// adaptive adversary re-aims with (the repair frontier = the highest
+  /// waves). Empty when the repair failed.
+  std::vector<std::uint32_t> reattach_wave;
+  /// Byzantine defense: local ids the per-wave checks quarantined
+  /// (ascending). Always a subset of opts.liars — quarantine is sound.
+  std::vector<NodeId> quarantined;
+  /// Liars the defended pass accepted as intact — undetected corruptions.
+  /// Structurally 0 for every lie the synthesis can emit; counted so
+  /// callers can gate on it rather than trust the argument.
+  std::size_t liars_accepted = 0;
 };
 
 /// Incrementally repairs a BFS tree after a strike instead of rebuilding.
@@ -87,6 +125,13 @@ struct RepairResult {
 /// so the pass draws no randomness and the result is bit-identical for
 /// every shard count. The patched tree has exact shortest-path depths and
 /// passes ValidateBfsTree.
+///
+/// When the old root died, the repair does not refuse: the minimum-id
+/// survivor (local 0 — component ids are ascending global ids, and
+/// ValidateBfsTree requires exactly that root) is re-elected
+/// deterministically and the component re-layers from it via the same
+/// frontier waves (intact set = the new root alone). See
+/// RepairResult::reelected for the cost argument.
 ///
 /// Cost accounting in tree.stats: `rounds` counts the active patch waves
 /// (waves in which at least one orphan attached — the rounds a distributed

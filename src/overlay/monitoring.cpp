@@ -25,6 +25,35 @@ void ForRange(std::size_t n, const ExecPolicy& exec,
                    });
 }
 
+/// BFS order grouped by depth, with level_start[d] marking where depth d
+/// begins (level_start.back() == n).
+struct TreeLevels {
+  std::vector<NodeId> order;
+  std::vector<std::size_t> level_start;
+};
+
+TreeLevels BfsLevels(const WellFormedTree& tree) {
+  const std::size_t n = tree.num_nodes();
+  TreeLevels out;
+  out.order.reserve(n);
+  out.level_start = {0};
+  out.order.push_back(tree.root);
+  std::size_t level_end = 1;
+  for (std::size_t i = 0; i < out.order.size(); ++i) {
+    if (i == level_end) {
+      out.level_start.push_back(i);
+      level_end = out.order.size();
+    }
+    const NodeId v = out.order[i];
+    for (const NodeId c : {tree.left_child[v], tree.right_child[v]}) {
+      if (c != kInvalidNode) out.order.push_back(c);
+    }
+  }
+  OVERLAY_CHECK(out.order.size() == n, "tree does not span all nodes");
+  out.level_start.push_back(n);
+  return out;
+}
+
 }  // namespace
 
 MonitorValue AggregateOverTree(
@@ -35,25 +64,9 @@ MonitorValue AggregateOverTree(
   OVERLAY_CHECK(per_node.size() == n, "per-node input size mismatch");
   OVERLAY_CHECK(n >= 1, "empty tree");
 
-  // BFS order doubles as the level structure: order is grouped by depth,
-  // with level_start[d] marking where depth d begins.
-  std::vector<NodeId> order;
-  order.reserve(n);
-  std::vector<std::size_t> level_start{0};
-  order.push_back(tree.root);
-  std::size_t level_end = 1;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (i == level_end) {
-      level_start.push_back(i);
-      level_end = order.size();
-    }
-    const NodeId v = order[i];
-    for (const NodeId c : {tree.left_child[v], tree.right_child[v]}) {
-      if (c != kInvalidNode) order.push_back(c);
-    }
-  }
-  OVERLAY_CHECK(order.size() == n, "tree does not span all nodes");
-  level_start.push_back(n);
+  const TreeLevels levels = BfsLevels(tree);
+  const std::vector<NodeId>& order = levels.order;
+  const std::vector<std::size_t>& level_start = levels.level_start;
 
   std::vector<std::uint64_t> acc = per_node;
   if (exec.num_shards <= 1) {
@@ -88,6 +101,200 @@ MonitorValue AggregateOverTree(
   result.value = acc[tree.root];
   result.rounds = 2ull * (tree.Depth() + 1);
   return result;
+}
+
+void MonitorCache::Remap(std::span<const NodeId> new_to_old) {
+  const std::size_t old_n = parent.size();
+  const std::size_t n = new_to_old.size();
+  std::vector<NodeId> old_to_new(old_n, kInvalidNode);
+  for (NodeId i = 0; i < n; ++i) {
+    if (new_to_old[i] < old_n) old_to_new[new_to_old[i]] = i;
+  }
+  // A pointer whose target DIED must not silently become kInvalidNode: the
+  // new tree may also have no child in that slot, which would make the
+  // triple look unchanged while the cached accumulator still folds the dead
+  // subtree. Any lost pointer invalidates the whole entry instead.
+  bool lost = false;
+  const auto map = [&](NodeId p) {
+    if (p == kInvalidNode || p >= old_n) return kInvalidNode;
+    const NodeId m = old_to_new[p];
+    if (m == kInvalidNode) lost = true;
+    return m;
+  };
+  MonitorCache out;
+  out.parent.assign(n, kInvalidNode);
+  out.left_child.assign(n, kInvalidNode);
+  out.right_child.assign(n, kInvalidNode);
+  out.input.assign(n, 0);
+  out.acc.assign(n, 0);
+  out.valid.assign(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId o = new_to_old[i];
+    if (o >= old_n || !valid[o]) continue;
+    lost = false;
+    const NodeId p = map(parent[o]);
+    const NodeId l = map(left_child[o]);
+    const NodeId r = map(right_child[o]);
+    if (lost) continue;
+    out.valid[i] = 1;
+    out.input[i] = input[o];
+    out.acc[i] = acc[o];
+    out.parent[i] = p;
+    out.left_child[i] = l;
+    out.right_child[i] = r;
+  }
+  out.root = (root != kInvalidNode && root < old_n) ? old_to_new[root]
+                                                    : kInvalidNode;
+  *this = std::move(out);
+}
+
+MonitorValue AggregateOverTreeIncremental(
+    const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
+    MonitorCache& cache, const ExecPolicy& exec) {
+  const std::size_t n = tree.num_nodes();
+  OVERLAY_CHECK(per_node.size() == n, "per-node input size mismatch");
+  OVERLAY_CHECK(n >= 1, "empty tree");
+
+  // A cache of the wrong size can't be diffed — full fold, seed the cache.
+  if (cache.parent.size() != n) {
+    const MonitorValue full = AggregateOverTree(tree, per_node, combine, exec);
+    cache.root = tree.root;
+    cache.parent = tree.parent;
+    cache.left_child = tree.left_child;
+    cache.right_child = tree.right_child;
+    cache.input = per_node;
+    cache.valid.assign(n, 1);
+    cache.last_dirty = n;
+    cache.last_recomputed = n;
+    // Recover the accumulators with the same serial fold shape (cheap; the
+    // sharded AggregateOverTree already produced the identical values, but
+    // it does not expose them).
+    const TreeLevels levels = BfsLevels(tree);
+    cache.acc = per_node;
+    for (auto it = levels.order.rbegin(); it != levels.order.rend(); ++it) {
+      const NodeId v = *it;
+      if (tree.parent[v] != kInvalidNode) {
+        cache.acc[tree.parent[v]] = combine(cache.acc[tree.parent[v]],
+                                            cache.acc[v]);
+      }
+    }
+    return full;
+  }
+
+  // Local staleness: a node is dirty when its snapshot no longer matches —
+  // input changed, or its (parent, left, right) triple was re-wired. A
+  // child-set change always shows in the parent's own left/right pointers,
+  // so the purely local test sees every structural edit.
+  std::vector<std::uint8_t> dirty(n, 0);
+  ForRange(n, exec, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      dirty[i] = !cache.valid[i] || per_node[i] != cache.input[i] ||
+                 tree.parent[i] != cache.parent[i] ||
+                 tree.left_child[i] != cache.left_child[i] ||
+                 tree.right_child[i] != cache.right_child[i];
+    }
+  });
+  if (tree.root != cache.root) dirty[tree.root] = 1;
+
+  // Fused upward propagation + re-fold, level-synchronous deepest-first:
+  // a parent whose child is dirty is itself dirty (its subtree changed),
+  // and every dirty node re-folds input-then-right-then-left — the full
+  // pass's order. Each node writes only its own dirty/acc slots and reads
+  // children finalized at the deeper level, so levels shard freely.
+  const TreeLevels levels = BfsLevels(tree);
+  const std::size_t num_levels = levels.level_start.size() - 1;
+  for (std::size_t d = num_levels; d-- > 0;) {
+    const std::size_t lo = levels.level_start[d];
+    const std::size_t hi = levels.level_start[d + 1];
+    ForRange(hi - lo, exec, [&](std::size_t a, std::size_t b) {
+      for (std::size_t i = lo + a; i < lo + b; ++i) {
+        const NodeId v = levels.order[i];
+        if (!dirty[v]) {
+          for (const NodeId c : {tree.left_child[v], tree.right_child[v]}) {
+            if (c != kInvalidNode && dirty[c]) dirty[v] = 1;
+          }
+        }
+        if (dirty[v]) {
+          std::uint64_t a_v = per_node[v];
+          for (const NodeId c : {tree.right_child[v], tree.left_child[v]}) {
+            if (c != kInvalidNode) a_v = combine(a_v, cache.acc[c]);
+          }
+          cache.acc[v] = a_v;
+        }
+      }
+    });
+  }
+
+  // Telemetry + the incremental round bill: the convergecast only has to
+  // rise from the deepest stale level.
+  std::size_t dirty_count = 0;
+  std::size_t deepest = 0;
+  for (std::size_t d = 0; d < num_levels; ++d) {
+    for (std::size_t i = levels.level_start[d]; i < levels.level_start[d + 1];
+         ++i) {
+      if (dirty[levels.order[i]]) {
+        ++dirty_count;
+        deepest = d;
+      }
+    }
+  }
+  cache.last_dirty = dirty_count;
+  cache.last_recomputed = dirty_count;
+
+  cache.root = tree.root;
+  cache.parent = tree.parent;
+  cache.left_child = tree.left_child;
+  cache.right_child = tree.right_child;
+  cache.input = per_node;
+  cache.valid.assign(n, 1);
+
+  MonitorValue result;
+  result.value = cache.acc[tree.root];
+  result.rounds = dirty_count == 0 ? 0 : 2ull * (deepest + 1);
+  return result;
+}
+
+MonitorValue MonitorNodeCountIncremental(const WellFormedTree& tree,
+                                         MonitorCache& cache,
+                                         const ExecPolicy& exec) {
+  const std::vector<std::uint64_t> ones(tree.num_nodes(), 1);
+  return AggregateOverTreeIncremental(
+      tree, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      cache, exec);
+}
+
+MonitorValue MonitorEdgeCountIncremental(const WellFormedTree& tree,
+                                         const Graph& g, MonitorCache& cache,
+                                         const ExecPolicy& exec) {
+  OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
+  std::vector<std::uint64_t> degrees(g.num_nodes());
+  ForRange(g.num_nodes(), exec, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      degrees[v] = g.Degree(static_cast<NodeId>(v));
+    }
+  });
+  MonitorValue r = AggregateOverTreeIncremental(
+      tree, degrees, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      cache, exec);
+  r.value /= 2;  // handshake
+  return r;
+}
+
+MonitorValue MonitorMaxDegreeIncremental(const WellFormedTree& tree,
+                                         const Graph& g, MonitorCache& cache,
+                                         const ExecPolicy& exec) {
+  OVERLAY_CHECK(g.num_nodes() == tree.num_nodes(), "graph/tree size mismatch");
+  std::vector<std::uint64_t> degrees(g.num_nodes());
+  ForRange(g.num_nodes(), exec, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      degrees[v] = g.Degree(static_cast<NodeId>(v));
+    }
+  });
+  return AggregateOverTreeIncremental(
+      tree, degrees,
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); }, cache,
+      exec);
 }
 
 MonitorValue MonitorNodeCount(const WellFormedTree& tree,

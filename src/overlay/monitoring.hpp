@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -54,6 +55,57 @@ MonitorValue MonitorEdgeCount(const WellFormedTree& tree, const Graph& g,
 /// Maximum degree of `g` (max-aggregation).
 MonitorValue MonitorMaxDegree(const WellFormedTree& tree, const Graph& g,
                               const ExecPolicy& exec = {});
+
+// ---- incremental re-aggregation ----
+
+/// Cross-epoch state for AggregateOverTreeIncremental: a snapshot of the
+/// tree pointers and per-node inputs the accumulators were folded over.
+/// A node whose snapshot still matches — same (parent, left, right) triple,
+/// same input, every descendant clean — keeps its cached subtree
+/// accumulator; everything else is re-folded. Carry the cache across a
+/// churn re-indexing with Remap() before the next aggregation.
+struct MonitorCache {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent, left_child, right_child;  ///< tree snapshot
+  std::vector<std::uint64_t> input;  ///< per-node inputs last folded
+  std::vector<std::uint64_t> acc;    ///< subtree accumulators
+  std::vector<std::uint8_t> valid;   ///< entry is backed by a snapshot
+  std::size_t last_dirty = 0;        ///< telemetry: stale nodes last call
+  std::size_t last_recomputed = 0;   ///< telemetry: accumulators re-folded
+
+  bool Empty() const { return parent.empty(); }
+  /// Re-indexes the cache after churn: entry i of the remapped cache is old
+  /// node `new_to_old[i]` (ChurnResult::component_global). Pointers map
+  /// through the re-indexing; a pointer to a dead or out-of-component node
+  /// becomes kInvalidNode, which forces a structure mismatch — and thus a
+  /// re-fold — at that node on the next aggregation.
+  void Remap(std::span<const NodeId> new_to_old);
+};
+
+/// AggregateOverTree with cross-call reuse: produces the SAME value as the
+/// full aggregation, bit for bit (`combine` is associative + commutative,
+/// so fold order cannot matter), but only re-folds accumulators on the
+/// paths from changed nodes to the root. Rounds charged:
+/// 2·(deepest stale level + 1) — the convergecast only has to rise from the
+/// deepest change — and 0 when nothing changed (the root still holds the
+/// value). A cache of the wrong size (first call, or Remap was skipped)
+/// falls back to the full fold and seeds the cache. All passes are
+/// level-synchronous own-slot writes: shard-count-invariant.
+MonitorValue AggregateOverTreeIncremental(
+    const WellFormedTree& tree, const std::vector<std::uint64_t>& per_node,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
+    MonitorCache& cache, const ExecPolicy& exec = {});
+
+/// Incremental forms of the monitors (one cache per monitored quantity).
+MonitorValue MonitorNodeCountIncremental(const WellFormedTree& tree,
+                                         MonitorCache& cache,
+                                         const ExecPolicy& exec = {});
+MonitorValue MonitorEdgeCountIncremental(const WellFormedTree& tree,
+                                         const Graph& g, MonitorCache& cache,
+                                         const ExecPolicy& exec = {});
+MonitorValue MonitorMaxDegreeIncremental(const WellFormedTree& tree,
+                                         const Graph& g, MonitorCache& cache,
+                                         const ExecPolicy& exec = {});
 
 struct BipartitenessResult {
   bool bipartite = false;

@@ -1,0 +1,113 @@
+#include "overlay/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ServiceResult RunServiceScenario(const Graph& start,
+                                 const ServiceOptions& opts) {
+  OVERLAY_CHECK(opts.epochs >= 1, "need at least one epoch");
+  ScenarioState st = BeginScenario(start, opts.scenario);
+  const ExecPolicy& exec = opts.scenario.strike_opts.exec;
+
+  const auto base = MakeStrikeStrategy(opts.scenario.strike);
+  const auto byz = MakeStrikeStrategy(StrikeKind::kByzantine);
+
+  // Service layers exist once a tree does. Repair mode enters epoch 0 in
+  // the steady state — well-formed tree contracted and every standing query
+  // answered once, so epoch 0 is already incremental. Rebuild mode has no
+  // tree yet; the layers seed themselves on the first epoch's full pass.
+  WellFormedTree wft;
+  MonitorCache nodes_cache, edges_cache, maxdeg_cache;
+  if (opts.scenario.recovery == RecoveryMode::kRepair) {
+    wft = ContractToWellFormedTree(st.tree);
+    (void)MonitorNodeCountIncremental(wft, nodes_cache, exec);
+    (void)MonitorEdgeCountIncremental(wft, st.overlay, edges_cache, exec);
+    (void)MonitorMaxDegreeIncremental(wft, st.overlay, maxdeg_cache, exec);
+  }
+
+  ServiceResult out;
+  out.epochs.reserve(opts.epochs);
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    ServiceEpochStats s;
+    s.byzantine =
+        opts.byzantine_every > 0 && (epoch + 1) % opts.byzantine_every == 0;
+    const StrikeStrategy& strategy = s.byzantine ? *byz : *base;
+    const bool ok =
+        RunScenarioEpoch(st, strategy, opts.scenario, epoch, s.epoch);
+    if (s.byzantine) ++out.byzantine_epochs;
+    out.total_liars += s.epoch.liars;
+    out.total_quarantined += s.epoch.quarantined;
+    out.total_liars_accepted += s.epoch.liars_accepted;
+    if (!ok) {
+      out.epochs.push_back(s);
+      out.collapsed = true;
+      break;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Well-formed tree maintenance: incremental repair against the
+    // pre-epoch tree, carried across the epoch's re-indexing.
+    WftRepairResult wr =
+        RepairWellFormedTree(st.tree, wft, st.last_epoch_map, exec);
+    s.wft_carried = wr.carried;
+    s.wft_changed = wr.changed;
+    s.wft_rounds = wr.tree.rounds_charged;
+    wft = std::move(wr.tree);
+    s.wft_valid = ValidateWellFormedTree(wft, 0);
+
+    // Standing monitoring queries: remap the caches through the same
+    // re-indexing, then answer incrementally.
+    nodes_cache.Remap(st.last_epoch_map);
+    edges_cache.Remap(st.last_epoch_map);
+    maxdeg_cache.Remap(st.last_epoch_map);
+    const MonitorValue mn = MonitorNodeCountIncremental(wft, nodes_cache, exec);
+    const MonitorValue me =
+        MonitorEdgeCountIncremental(wft, st.overlay, edges_cache, exec);
+    const MonitorValue md =
+        MonitorMaxDegreeIncremental(wft, st.overlay, maxdeg_cache, exec);
+    s.monitor_nodes = mn.value;
+    s.monitor_edges = me.value;
+    s.monitor_max_degree = md.value;
+    s.monitor_rounds = mn.rounds + me.rounds + md.rounds;
+    s.monitor_rounds_full = 3ull * 2ull * (wft.Depth() + 1);
+    s.monitor_dirty = nodes_cache.last_dirty + edges_cache.last_dirty +
+                      maxdeg_cache.last_dirty;
+    if (opts.verify_monitors) {
+      s.monitor_exact =
+          mn.value == MonitorNodeCount(wft, exec).value &&
+          me.value == MonitorEdgeCount(wft, st.overlay, exec).value &&
+          md.value == MonitorMaxDegree(wft, st.overlay, exec).value;
+    }
+
+    s.service_seconds = Seconds(t0, std::chrono::steady_clock::now());
+    out.epochs.push_back(s);
+  }
+
+  // The SLO baseline: what a rebuild flood costs on the overlay the service
+  // ended with (the per-epoch price of NOT having incremental repair).
+  if (!st.collapsed && st.overlay.num_nodes() >= 2) {
+    const BfsTreeResult rebuilt = BuildBfsTree(
+        st.overlay, opts.scenario.engine,
+        EngineConfig{.seed = opts.scenario.seed + opts.epochs + 1,
+                     .exec = exec});
+    out.final_rebuild_rounds = rebuilt.stats.rounds;
+    out.final_rebuild_messages = rebuilt.stats.messages_sent;
+  }
+  return out;
+}
+
+}  // namespace overlay

@@ -1,0 +1,93 @@
+// Long-running service layer: the full maintenance loop a deployed overlay
+// runs, epoch after epoch.
+//
+// Each service epoch chains the subsystems the paper composes: the
+// adversary strikes (possibly adaptively, possibly with Byzantine liars),
+// the BFS tree recovers (incremental repair with root re-election and liar
+// quarantine, or the rebuild flood), the well-formed tree is repaired
+// incrementally (bit-identical to re-contraction, billed by the wound), and
+// the monitoring aggregations answer their standing queries incrementally
+// (bit-identical to full re-aggregation, billed by the dirty paths). The
+// service is what bench_service drives for thousands of epochs to measure
+// steady-state SLOs, and what the differential harness replays across
+// engines and shard counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "overlay/adversary.hpp"
+#include "overlay/monitoring.hpp"
+#include "overlay/well_formed_tree.hpp"
+
+namespace overlay {
+
+struct ServiceOptions {
+  /// Strike/recovery configuration (see ScenarioOptions). The service adds
+  /// its own layers on top of every epoch.
+  ScenarioOptions scenario;
+  std::size_t epochs = 1000;
+  /// Every k-th epoch (k > 0) swaps the strike for the Byzantine strategy —
+  /// sustained churn with periodic lying-node campaigns. 0 = never.
+  std::size_t byzantine_every = 0;
+  /// Re-check every incremental monitor value against the full
+  /// re-aggregation (the in-loop differential gate). O(n) per epoch.
+  bool verify_monitors = true;
+};
+
+/// One service epoch: the scenario record plus the well-formed-tree and
+/// monitoring layers' accounting. Wall-clock fields are measurement-only;
+/// the differential tests compare everything else.
+struct ServiceEpochStats {
+  EpochStats epoch;
+  /// True when this epoch's strike ran the Byzantine strategy.
+  bool byzantine = false;
+
+  // Well-formed tree maintenance (RepairWellFormedTree).
+  std::size_t wft_carried = 0;
+  std::size_t wft_changed = 0;
+  std::uint64_t wft_rounds = 0;
+  bool wft_valid = false;
+
+  // Standing monitoring queries (incremental aggregation).
+  std::uint64_t monitor_nodes = 0;
+  std::uint64_t monitor_edges = 0;
+  std::uint64_t monitor_max_degree = 0;
+  /// Incremental rounds billed across the three monitors this epoch.
+  std::uint64_t monitor_rounds = 0;
+  /// What three full aggregations would have billed (the saving's baseline).
+  std::uint64_t monitor_rounds_full = 0;
+  /// Dirty accumulators re-folded across the three monitors.
+  std::size_t monitor_dirty = 0;
+  /// True when every incremental value matched the full re-aggregation
+  /// (always true when verify_monitors is off — nothing was checked).
+  bool monitor_exact = true;
+
+  double service_seconds = 0.0;  ///< wall time of the wft + monitor layers
+};
+
+struct ServiceResult {
+  std::vector<ServiceEpochStats> epochs;
+  bool collapsed = false;
+  /// Epochs that ran the Byzantine strategy.
+  std::size_t byzantine_epochs = 0;
+  /// Totals across the run (the CI gate reads these).
+  std::size_t total_liars = 0;
+  std::size_t total_quarantined = 0;
+  std::size_t total_liars_accepted = 0;
+  /// Rebuild-flood rounds on the final overlay — the per-epoch baseline the
+  /// repair SLO is judged against (what NOT having repair would cost).
+  std::uint64_t final_rebuild_rounds = 0;
+  std::uint64_t final_rebuild_messages = 0;
+};
+
+/// Runs `opts.epochs` service epochs from `start` (connected, >= 2 nodes).
+/// Deterministic for a fixed (opts.scenario.seed, shard count): strikes
+/// replay bit-identically, and the repair/monitoring layers are
+/// shard-count-invariant outright. Stops early (collapsed = true) when a
+/// strike disconnects the overlay below two survivors.
+ServiceResult RunServiceScenario(const Graph& start,
+                                 const ServiceOptions& opts);
+
+}  // namespace overlay

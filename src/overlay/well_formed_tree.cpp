@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace overlay {
 
@@ -107,6 +108,53 @@ WellFormedTree ContractToWellFormedTree(const BfsTreeResult& bfs) {
   // tour + segment-midpoint selection — 2·⌈log₂(2n)⌉ + 4 rounds.
   tree.rounds_charged = 2ull * CeilLog2(2 * static_cast<std::uint64_t>(n)) + 4;
   return tree;
+}
+
+WftRepairResult RepairWellFormedTree(const BfsTreeResult& new_bfs,
+                                     const WellFormedTree& old_wft,
+                                     std::span<const NodeId> new_to_old,
+                                     const ExecPolicy& exec) {
+  WftRepairResult out;
+  // The balanced-preorder contraction is a pure function of the BFS tree,
+  // so exactness costs nothing: recompute the shape, then bill only the
+  // re-wired tour segments.
+  out.tree = ContractToWellFormedTree(new_bfs);
+  const std::size_t n = out.tree.num_nodes();
+  OVERLAY_CHECK(new_to_old.size() == n, "new_to_old size mismatch");
+  const std::size_t old_n = old_wft.num_nodes();
+
+  std::vector<NodeId> old_to_new(old_n, kInvalidNode);
+  for (NodeId i = 0; i < n; ++i) {
+    if (new_to_old[i] < old_n) old_to_new[new_to_old[i]] = i;
+  }
+  const auto map = [&](NodeId p) {
+    return (p == kInvalidNode || p >= old_n) ? kInvalidNode : old_to_new[p];
+  };
+
+  // Sharded diff: each node compares its new triple against the old one
+  // mapped through the re-indexing. Own-slot writes only, randomness-free —
+  // shard-count-invariant.
+  std::vector<std::uint8_t> same(n, 0);
+  const std::size_t shards = exec.ShardsFor(n);
+  RunDynamicBlocks(exec.Pool(), n, shards, shards * kStealChunksPerWorker,
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       const NodeId o = new_to_old[i];
+                       if (o >= old_n) continue;
+                       same[i] =
+                           map(old_wft.parent[o]) == out.tree.parent[i] &&
+                           map(old_wft.left_child[o]) ==
+                               out.tree.left_child[i] &&
+                           map(old_wft.right_child[o]) ==
+                               out.tree.right_child[i];
+                     }
+                   });
+  for (std::size_t i = 0; i < n; ++i) out.carried += same[i];
+  out.changed = n - out.carried;
+  // Detection handshake + pointer doubling over the changed tour segments.
+  out.tree.rounds_charged =
+      2ull * CeilLog2(2 * static_cast<std::uint64_t>(out.changed + 1)) + 4;
+  return out;
 }
 
 bool ValidateWellFormedTree(const WellFormedTree& t, std::uint32_t max_depth) {

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "overlay/bfs_tree.hpp"
+#include "sim/engine.hpp"
 
 namespace overlay {
 
@@ -42,5 +44,39 @@ WellFormedTree ContractToWellFormedTree(const BfsTreeResult& bfs);
 /// and child pointers are mutually consistent, degree <= 3, and depth <=
 /// `max_depth` (pass e.g. ceil(log2 n) + 1; 0 skips the depth check).
 bool ValidateWellFormedTree(const WellFormedTree& t, std::uint32_t max_depth);
+
+// ---- incremental repair after churn ----
+
+/// Outcome of RepairWellFormedTree. `tree` is EXACTLY the tree
+/// ContractToWellFormedTree(new_bfs) would build — exactness is the
+/// contract, enforced bit-for-bit by the differential harness — but its
+/// `rounds_charged` bills the *incremental* distributed cost: only the
+/// Euler-tour segments whose pointer structure actually changed are
+/// re-ranked, so the pointer-doubling charge scales with the wound, not
+/// with n.
+struct WftRepairResult {
+  WellFormedTree tree;
+  /// Nodes whose (parent, left, right) triple survived the churn unchanged
+  /// (mapped through the re-indexing) — the repair leaves them untouched.
+  std::size_t carried = 0;
+  /// Nodes the repair re-wired (num_nodes() - carried).
+  std::size_t changed = 0;
+};
+
+/// Repairs a well-formed tree after churn instead of re-contracting from
+/// scratch. `new_bfs` is the repaired BFS tree over the surviving component
+/// and `new_to_old[i]` maps its node i to the id `old_wft` was built over
+/// (ChurnResult::component_global). The result tree is bit-identical to a
+/// full ContractToWellFormedTree(new_bfs) — the balanced-preorder shape is
+/// a pure function of the BFS tree, so the repair can afford exactness —
+/// while `carried`/`changed` report how much of the old tree survived and
+/// `rounds_charged` = 2·⌈log₂(2·(changed+1))⌉ + 4 bills re-ranking only the
+/// changed tour segments (constant-round detection handshake + pointer
+/// doubling over the wound). The diff pass runs sharded on `exec` and is
+/// randomness-free, so every field is shard-count-invariant.
+WftRepairResult RepairWellFormedTree(const BfsTreeResult& new_bfs,
+                                     const WellFormedTree& old_wft,
+                                     std::span<const NodeId> new_to_old,
+                                     const ExecPolicy& exec = {});
 
 }  // namespace overlay

@@ -8,6 +8,7 @@
 // with OVERLAY_FUZZ_SEED=<seed> (runs only that seed).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -148,6 +149,101 @@ TEST(AdversaryFuzz, RandomScenarioBookkeepingChains) {
       ASSERT_EQ(res.overlay.num_nodes(), expect_nodes);
       ASSERT_TRUE(ValidateBfsTree(res.overlay, res.tree));
     }
+  }
+}
+
+/// One adaptive/Byzantine fuzz case: a multi-phase plan (or lying nodes)
+/// against a random overlay under repair. Invariants: no Byzantine lie is
+/// ever accepted, quarantine is sound (bounded by the liar count — liars
+/// are the only nodes that can be quarantined), every surviving epoch's
+/// tree validates, and the whole scenario replays bit-identically.
+void RunAdaptiveCase(std::uint64_t seed) {
+  SCOPED_TRACE("reproducing seed " + std::to_string(seed) +
+               " (rerun with OVERLAY_FUZZ_SEED=" + std::to_string(seed) + ")");
+  Rng r(seed);
+  const Graph start = RandomOverlay(r);
+  ScenarioOptions opts;
+  opts.strike = r.NextBool(0.5) ? StrikeKind::kRepairFrontier
+                                : StrikeKind::kByzantine;
+  opts.budget_fraction = 0.01 + r.NextDouble() * 0.05;
+  opts.strike_opts.exec.num_shards = 1 + r.NextBelow(4);
+  opts.epochs = 2 + r.NextBelow(3);
+  opts.recovery = RecoveryMode::kRepair;
+  opts.seed = seed;
+  const std::size_t phases = 1 + r.NextBelow(3);
+  for (std::size_t p = 0; p < phases; ++p) {
+    opts.plan.phases.push_back(
+        {.budget_share = 0.5 + r.NextDouble(),
+         .after_waves = static_cast<std::uint32_t>(p)});
+  }
+  const ScenarioResult res = RunAdversaryScenario(start, opts);
+  const ScenarioResult replay = RunAdversaryScenario(start, opts);
+  ASSERT_EQ(res.epochs.size(), replay.epochs.size()) << "replay diverged";
+  ASSERT_GE(res.epochs.size(), 1u);
+  for (std::size_t i = 0; i < res.epochs.size(); ++i) {
+    const EpochStats& e = res.epochs[i];
+    const EpochStats& f = replay.epochs[i];
+    ASSERT_EQ(e.killed, f.killed) << "replay diverged at epoch " << i;
+    ASSERT_EQ(e.liars, f.liars) << "epoch " << i;
+    ASSERT_EQ(e.quarantined, f.quarantined) << "epoch " << i;
+    ASSERT_EQ(e.recovery_rounds, f.recovery_rounds) << "epoch " << i;
+    ASSERT_EQ(e.recovery_messages, f.recovery_messages) << "epoch " << i;
+    ASSERT_EQ(e.liars_accepted, 0u)
+        << "a Byzantine lie was accepted at epoch " << i;
+    ASSERT_LE(e.quarantined, e.liars)
+        << "more quarantined than liars at epoch " << i;
+    if (!(res.collapsed && i + 1 == res.epochs.size())) {
+      ASSERT_TRUE(e.tree_valid) << "epoch " << i;
+    }
+  }
+}
+
+TEST(AdversaryFuzz, AdaptiveAndByzantineScenariosStaySound) {
+  if (const char* env = std::getenv("OVERLAY_FUZZ_SEED")) {
+    RunAdaptiveCase(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  std::uint64_t state = kBaseSeed ^ 0xadab7171ull;
+  for (std::size_t i = 0; i < 14; ++i) {
+    RunAdaptiveCase(SplitMix64(state));
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// Direct repair-level soundness: random liar subsets of random components
+/// may only ever quarantine actual liars — an honest node is never
+/// quarantined, and no lie survives into the accepted tree.
+TEST(AdversaryFuzz, ByzantineQuarantineNeverHitsHonestNodes) {
+  std::uint64_t state = kBaseSeed ^ 0xb1a5ull;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::uint64_t seed = SplitMix64(state);
+    SCOPED_TRACE("reproducing seed " + std::to_string(seed));
+    Rng r(seed);
+    const Graph g = RandomOverlay(r);
+    const std::size_t shards = 1 + r.NextBelow(4);
+    const BfsTreeResult tree = BuildBfsTree(
+        g, EngineConfig{.seed = seed, .exec = {.num_shards = shards}});
+    const std::size_t budget = 1 + r.NextBelow(g.num_nodes() / 6 + 1);
+    const auto strat = MakeStrikeStrategy(StrikeKind::kOblivious);
+    const StrikeResult strike = strat->SelectVictims(
+        g, {.budget = budget, .exec = {.num_shards = shards}}, r);
+    const ChurnResult churn =
+        ApplyStrike(g, strike.victims, {.num_shards = shards});
+    if (churn.component_global.size() < 3) continue;
+    std::vector<NodeId> liars;  // ascending; never the local-0 anchor
+    for (std::size_t v = 1; v < churn.component_global.size(); ++v) {
+      if (r.NextBool(0.2)) liars.push_back(static_cast<NodeId>(v));
+    }
+    const RepairResult rep = RepairBfsTree(
+        churn.largest_component, tree, churn.component_global,
+        {.exec = {.num_shards = shards}, .liars = liars, .lie_seed = seed});
+    if (!rep.repaired) continue;
+    ASSERT_EQ(rep.liars_accepted, 0u);
+    for (const NodeId q : rep.quarantined) {
+      ASSERT_TRUE(std::binary_search(liars.begin(), liars.end(), q))
+          << "honest node " << q << " quarantined";
+    }
+    ASSERT_TRUE(ValidateBfsTree(churn.largest_component, rep.tree));
   }
 }
 

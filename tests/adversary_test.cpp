@@ -195,7 +195,10 @@ TEST(Adversary, RepairIsShardCountInvariant) {
   }
 }
 
-TEST(Adversary, RepairRefusesWhenRootDies) {
+TEST(Adversary, RepairReelectsWhenRootDies) {
+  // Root death no longer forces the rebuild flood: the repair re-elects the
+  // minimum-id survivor deterministically and re-layers the component, and
+  // the result must still beat a rebuild on both rounds and messages.
   const Graph g = gen::ConnectedGnp(120, 0.06, 41);
   const BfsTreeResult tree = BuildBfsTree(g, 0, 1);
   const std::vector<NodeId> victims{0};  // kill exactly the root
@@ -203,7 +206,55 @@ TEST(Adversary, RepairRefusesWhenRootDies) {
   ASSERT_GE(churn.component_global.size(), 2u);
   const RepairResult rep =
       RepairBfsTree(churn.largest_component, tree, churn.component_global, {});
-  EXPECT_FALSE(rep.repaired);
+  ASSERT_TRUE(rep.repaired);
+  EXPECT_TRUE(rep.reelected);
+  EXPECT_TRUE(ValidateBfsTree(churn.largest_component, rep.tree));
+  EXPECT_EQ(rep.tree.root, 0u);
+  // Everyone except the new root is an orphan (depths were anchored at the
+  // dead root) and every orphan re-attaches.
+  EXPECT_EQ(rep.orphans, churn.largest_component.num_nodes() - 1);
+  EXPECT_EQ(rep.reattached, rep.orphans);
+
+  const BfsTreeResult rebuilt =
+      BuildBfsTree(churn.largest_component, 0, 7);
+  EXPECT_EQ(rep.tree.depth, rebuilt.depth);
+  EXPECT_LT(rep.tree.stats.rounds, rebuilt.stats.rounds);
+  EXPECT_LT(rep.tree.stats.messages_sent, rebuilt.stats.messages_sent);
+}
+
+TEST(Adversary, RepairWinsUnderRepeatedRootKilling) {
+  // A root-killing strike every epoch: repair must stay usable (never fall
+  // back to rebuild) and win rounds against the rebuild baseline per epoch.
+  const Graph g = gen::ConnectedRandomRegular(400, 5, 11);
+  ScenarioOptions opts;
+  opts.strike = StrikeKind::kOblivious;  // ignored; explicit victims below
+  opts.epochs = 4;
+  opts.seed = 3;
+  struct RootKiller final : StrikeStrategy {
+    StrikeResult SelectVictims(const Graph& g, const StrikeOptions&,
+                               Rng&) const override {
+      StrikeResult r;
+      r.victims = {0};
+      (void)g;
+      return r;
+    }
+    const char* name() const override { return "root-killer"; }
+  } killer;
+
+  opts.recovery = RecoveryMode::kRepair;
+  const ScenarioResult repair = RunAdversaryScenario(g, killer, opts);
+  opts.recovery = RecoveryMode::kRebuild;
+  const ScenarioResult rebuild = RunAdversaryScenario(g, killer, opts);
+  ASSERT_EQ(repair.epochs.size(), rebuild.epochs.size());
+  for (std::size_t i = 0; i < repair.epochs.size(); ++i) {
+    const EpochStats& a = repair.epochs[i];
+    const EpochStats& b = rebuild.epochs[i];
+    EXPECT_TRUE(a.repair_used) << "epoch " << i;
+    EXPECT_TRUE(a.root_reelected) << "epoch " << i;
+    EXPECT_TRUE(a.tree_valid) << "epoch " << i;
+    EXPECT_LE(a.recovery_rounds, b.recovery_rounds) << "epoch " << i;
+    EXPECT_LE(a.recovery_messages, b.recovery_messages) << "epoch " << i;
+  }
 }
 
 TEST(Adversary, ScenarioDeterministicAndStrikeInvariantAcrossRecoveryModes) {
@@ -276,6 +327,192 @@ TEST(Adversary, DripSpreadsKillsAcrossTicks) {
   const auto oblivious = Victims(StrikeKind::kOblivious, g, 20, 2, 6);
   EXPECT_EQ(drip.size(), 20u);
   EXPECT_NE(drip, oblivious);
+}
+
+TEST(Adversary, FractionalBudgetNeverStalls) {
+  // A non-zero budget fraction that rounds to 0 victims must strike exactly
+  // one node — the old rounding stalled tiny overlays in no-op epochs
+  // forever instead of driving them to collapse.
+  const Graph start = gen::Cycle(12);
+  ScenarioOptions opts;
+  opts.strike = StrikeKind::kOblivious;
+  opts.budget_fraction = 0.01;  // 0.01 * 12 rounds to 0
+  opts.epochs = 50;
+  opts.seed = 5;
+  const ScenarioResult r = RunAdversaryScenario(start, opts);
+  ASSERT_GE(r.epochs.size(), 1u);
+  for (const EpochStats& e : r.epochs) {
+    EXPECT_GE(e.killed, 1u) << "epoch " << e.epoch << " stalled";
+  }
+  // 50 epochs of >= 1 kill on 12 nodes must end in collapse (a cycle with
+  // nodes removed keeps shedding to its largest path segment).
+  EXPECT_TRUE(r.collapsed);
+  EXPECT_LT(r.epochs.size(), 13u);
+}
+
+TEST(Adversary, AdaptivePlanSplitsBudgetExactly) {
+  // Cumulative rounding must hand the phases exactly the epoch budget, for
+  // shares that do not divide it evenly.
+  const Graph start = gen::Complete(64);
+  ScenarioOptions opts;
+  opts.strike = StrikeKind::kOblivious;
+  opts.strike_opts.budget = 10;
+  opts.plan.phases = {{0.3, 0}, {0.3, 1}, {0.4, 2}};
+  opts.epochs = 2;
+  opts.seed = 9;
+  opts.recovery = RecoveryMode::kRepair;
+  const ScenarioResult r = RunAdversaryScenario(start, opts);
+  ASSERT_EQ(r.epochs.size(), 2u);
+  for (const EpochStats& e : r.epochs) {
+    EXPECT_EQ(e.killed, 10u) << "epoch " << e.epoch;
+    EXPECT_EQ(e.phases, 3u);
+    EXPECT_TRUE(e.tree_valid);
+  }
+}
+
+TEST(Adversary, FrontierStrikeScenarioIsShardCountInvariant) {
+  // The repair-frontier strike and every pass downstream of it draw no
+  // randomness, so the whole adaptive multi-phase scenario must be
+  // bit-identical across shard counts — not just replayable per S.
+  const Graph start = gen::ConnectedGnp(160, 0.05, 31);
+  ScenarioOptions opts;
+  opts.strike = StrikeKind::kRepairFrontier;
+  opts.strike_opts.budget = 12;
+  opts.plan.phases = {{0.5, 0}, {0.5, 1}};
+  opts.epochs = 3;
+  opts.seed = 77;
+  opts.recovery = RecoveryMode::kRepair;
+  opts.strike_opts.exec.num_shards = 1;
+  const ScenarioResult want = RunAdversaryScenario(start, opts);
+  ASSERT_FALSE(want.collapsed);
+  for (const std::size_t shards : {2ul, 4ul, 8ul}) {
+    opts.strike_opts.exec.num_shards = shards;
+    const ScenarioResult got = RunAdversaryScenario(start, opts);
+    ASSERT_EQ(got.epochs.size(), want.epochs.size()) << "S " << shards;
+    for (std::size_t i = 0; i < want.epochs.size(); ++i) {
+      const EpochStats& a = want.epochs[i];
+      const EpochStats& b = got.epochs[i];
+      EXPECT_EQ(b.killed, a.killed) << "S " << shards << " epoch " << i;
+      EXPECT_EQ(b.survivors, a.survivors) << "S " << shards << " epoch " << i;
+      EXPECT_EQ(b.orphans, a.orphans) << "S " << shards << " epoch " << i;
+      EXPECT_EQ(b.reattached, a.reattached) << "S " << shards;
+      EXPECT_EQ(b.recovery_rounds, a.recovery_rounds) << "S " << shards;
+      EXPECT_EQ(b.recovery_messages, a.recovery_messages) << "S " << shards;
+      EXPECT_EQ(b.tree_height, a.tree_height) << "S " << shards;
+      EXPECT_TRUE(b.tree_valid) << "S " << shards << " epoch " << i;
+    }
+    EXPECT_EQ(got.tree.depth, want.tree.depth) << "S " << shards;
+  }
+}
+
+TEST(Adversary, FrontierStrikeAimsAtLatestReattachments) {
+  // With telemetry present, the frontier strike must prefer the nodes the
+  // last repair re-attached (tier 0) over untouched bystanders (tier 2).
+  const Graph g = gen::ConnectedGnp(100, 0.06, 13);
+  RecoveryState recovery;
+  recovery.reattach_wave.assign(100, 0);
+  for (NodeId v = 40; v < 50; ++v) recovery.reattach_wave[v] = 2;
+  recovery.waves = 2;
+  Rng rng(3);
+  const auto strat = MakeStrikeStrategy(StrikeKind::kRepairFrontier);
+  const StrikeResult r = strat->SelectVictims(
+      g, {.budget = 10, .exec = {.num_shards = 1}}, recovery, rng);
+  ASSERT_EQ(r.victims.size(), 10u);
+  for (const NodeId v : r.victims) {
+    EXPECT_GE(v, 40u);
+    EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Adversary, ByzantineDefenseQuarantinesSoundly) {
+  // Unit-level soundness: quarantine must be a subset of the liar set (no
+  // honest node quarantined), no lie may be accepted, and the defended
+  // repair must still end validator-clean — across lie seeds, which rotate
+  // the lie variants.
+  const Graph g = gen::ConnectedGnp(140, 0.06, 23);
+  const BfsTreeResult tree = BuildBfsTree(g, 0, 1);
+  const std::vector<NodeId> victims = Victims(StrikeKind::kOblivious, g, 14,
+                                              1, 99);
+  const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 1});
+  ASSERT_GE(churn.component_global.size(), 40u);
+  const std::size_t n = churn.largest_component.num_nodes();
+  std::vector<NodeId> liars;
+  for (NodeId v = 3; v < n; v += 9) liars.push_back(v);  // never local 0
+  for (const std::uint64_t lie_seed : {0ull, 1ull, 2ull, 1234567ull}) {
+    const RepairResult rep = RepairBfsTree(
+        churn.largest_component, tree, churn.component_global,
+        {.exec = {.num_shards = 1}, .liars = liars, .lie_seed = lie_seed});
+    ASSERT_TRUE(rep.repaired) << "lie_seed " << lie_seed;
+    EXPECT_EQ(rep.liars_accepted, 0u) << "lie_seed " << lie_seed;
+    EXPECT_TRUE(ValidateBfsTree(churn.largest_component, rep.tree))
+        << "lie_seed " << lie_seed;
+    // Soundness: every quarantined id is a liar.
+    for (const NodeId q : rep.quarantined) {
+      EXPECT_TRUE(std::binary_search(liars.begin(), liars.end(), q))
+          << "honest node " << q << " quarantined (lie_seed " << lie_seed
+          << ")";
+    }
+    EXPECT_LE(rep.quarantined.size(), liars.size());
+  }
+}
+
+TEST(Adversary, ByzantineDefenseIsShardCountInvariant) {
+  // Detection, quarantine, and the patched tree are randomness-free, so a
+  // fixed (liar set, lie_seed) must produce bit-identical results at every
+  // shard count.
+  const Graph g = gen::ConnectedGnp(150, 0.05, 37);
+  const BfsTreeResult tree = BuildBfsTree(g, 0, 1);
+  const std::vector<NodeId> victims = Victims(StrikeKind::kOblivious, g, 12,
+                                              1, 4);
+  const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 1});
+  ASSERT_GE(churn.component_global.size(), 40u);
+  std::vector<NodeId> liars;
+  for (NodeId v = 5; v < churn.largest_component.num_nodes(); v += 11) {
+    liars.push_back(v);
+  }
+  const RepairResult want = RepairBfsTree(
+      churn.largest_component, tree, churn.component_global,
+      {.exec = {.num_shards = 1}, .liars = liars, .lie_seed = 42});
+  ASSERT_TRUE(want.repaired);
+  ASSERT_FALSE(want.quarantined.empty());
+  for (const std::size_t shards : {2ul, 4ul, 8ul}) {
+    const RepairResult got = RepairBfsTree(
+        churn.largest_component, tree, churn.component_global,
+        {.exec = {.num_shards = shards}, .liars = liars, .lie_seed = 42});
+    ASSERT_TRUE(got.repaired) << "S " << shards;
+    EXPECT_EQ(got.quarantined, want.quarantined) << "S " << shards;
+    EXPECT_EQ(got.liars_accepted, want.liars_accepted) << "S " << shards;
+    EXPECT_EQ(got.tree.parent, want.tree.parent) << "S " << shards;
+    EXPECT_EQ(got.tree.depth, want.tree.depth) << "S " << shards;
+    EXPECT_EQ(got.tree.stats.rounds, want.tree.stats.rounds) << "S " << shards;
+    EXPECT_EQ(got.tree.stats.messages_sent, want.tree.stats.messages_sent)
+        << "S " << shards;
+    EXPECT_EQ(got.reattach_wave, want.reattach_wave) << "S " << shards;
+  }
+}
+
+TEST(Adversary, ByzantineScenarioAcceptsNoLies) {
+  // End-to-end: a Byzantine strike campaign over several epochs of repair
+  // must inject liars, quarantine only provable ones, accept zero lies, and
+  // keep every epoch's tree validator-clean.
+  const Graph start = gen::ConnectedGnp(200, 0.04, 53);
+  ScenarioOptions opts;
+  opts.strike = StrikeKind::kByzantine;
+  opts.strike_opts.budget = 16;
+  opts.strike_opts.byzantine_liar_share = 0.5;
+  opts.epochs = 4;
+  opts.seed = 11;
+  opts.recovery = RecoveryMode::kRepair;
+  const ScenarioResult r = RunAdversaryScenario(start, opts);
+  ASSERT_FALSE(r.collapsed);
+  std::size_t total_liars = 0;
+  for (const EpochStats& e : r.epochs) {
+    EXPECT_TRUE(e.tree_valid) << "epoch " << e.epoch;
+    EXPECT_EQ(e.liars_accepted, 0u) << "epoch " << e.epoch;
+    EXPECT_LE(e.quarantined, e.liars) << "epoch " << e.epoch;
+    total_liars += e.liars;
+  }
+  EXPECT_GT(total_liars, 0u);
 }
 
 }  // namespace

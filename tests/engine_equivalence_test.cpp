@@ -31,6 +31,7 @@
 #include "overlay/construct.hpp"
 #include "overlay/evolution_mp.hpp"
 #include "overlay/monitoring.hpp"
+#include "overlay/service.hpp"
 #include "sim/async_network.hpp"
 #include "sim/inbox_checksum.hpp"
 #include "sim/network.hpp"
@@ -500,6 +501,11 @@ std::uint64_t ChecksumEpoch(std::uint64_t h, const EpochStats& e) {
   h = Fnv1a(h, e.recovery_rounds);
   h = Fnv1a(h, e.recovery_messages);
   h = Fnv1a(h, e.tree_height);
+  h = Fnv1a(h, e.phases);
+  h = Fnv1a(h, e.liars);
+  h = Fnv1a(h, e.quarantined);
+  h = Fnv1a(h, e.liars_accepted);
+  h = Fnv1a(h, e.root_reelected ? 1u : 0u);
   return Fnv1a(h, e.tree_valid ? 1u : 0u);
 }
 
@@ -552,6 +558,72 @@ TEST(EngineEquivalence, AdversaryScenarioEngineInvariantAcrossShardCounts) {
         ASSERT_FALSE(sync.collapsed);
         for (const EpochStats& e : sync.epochs) EXPECT_TRUE(e.tree_valid);
       }
+    }
+  }
+}
+
+/// Everything a service epoch computed except wall-clock times: the epoch
+/// stats plus the well-formed-tree repair and incremental-monitoring
+/// telemetry, and the run totals.
+std::uint64_t ChecksumService(const ServiceResult& r) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const ServiceEpochStats& s : r.epochs) {
+    h = ChecksumEpoch(h, s.epoch);
+    h = Fnv1a(h, s.byzantine ? 1u : 0u);
+    h = Fnv1a(h, s.wft_carried);
+    h = Fnv1a(h, s.wft_changed);
+    h = Fnv1a(h, s.wft_rounds);
+    h = Fnv1a(h, s.wft_valid ? 1u : 0u);
+    h = Fnv1a(h, s.monitor_nodes);
+    h = Fnv1a(h, s.monitor_edges);
+    h = Fnv1a(h, s.monitor_max_degree);
+    h = Fnv1a(h, s.monitor_rounds);
+    h = Fnv1a(h, s.monitor_dirty);
+    h = Fnv1a(h, s.monitor_exact ? 1u : 0u);
+  }
+  h = Fnv1a(h, r.byzantine_epochs);
+  h = Fnv1a(h, r.total_liars);
+  h = Fnv1a(h, r.total_quarantined);
+  h = Fnv1a(h, r.total_liars_accepted);
+  h = Fnv1a(h, r.final_rebuild_rounds);
+  return Fnv1a(h, r.final_rebuild_messages);
+}
+
+TEST(EngineEquivalence, ServiceScenarioMatchesAcrossEngines) {
+  // The full service stack — drip churn with a Byzantine cadence, BFS
+  // repair with liar quarantine, well-formed-tree repair, incremental
+  // monitoring — joins the gate: for each fixed (seed, S) the entire
+  // multi-epoch run must be bit-identical between a SyncNetwork-recovered
+  // and a ShardedNetwork-recovered service, and must replay itself. (Drip
+  // draws per-chunk RNG streams, so cross-S invariance is out of scope by
+  // the ExecPolicy contract; the randomness-free repair/monitoring layers
+  // are separately pinned S-invariant in their own suites.)
+  const Graph start = gen::ConnectedGnp(150, 0.05, 33);
+  ServiceOptions opts;
+  opts.scenario.strike = StrikeKind::kDrip;
+  opts.scenario.budget_fraction = 0.03;
+  opts.scenario.recovery = RecoveryMode::kRepair;
+  opts.scenario.seed = 77;
+  opts.epochs = 4;
+  opts.byzantine_every = 2;
+  for (const std::size_t shards : kShardSweep) {
+    opts.scenario.strike_opts.exec.num_shards = shards;
+    opts.scenario.engine = EngineKind::kSync;
+    const ServiceResult sync = RunServiceScenario(start, opts);
+    opts.scenario.engine = EngineKind::kSharded;
+    const ServiceResult sharded = RunServiceScenario(start, opts);
+    const ServiceResult replay = RunServiceScenario(start, opts);
+    const std::uint64_t want = ChecksumService(sync);
+    EXPECT_EQ(ChecksumService(sharded), want) << "S " << shards;
+    EXPECT_EQ(ChecksumService(replay), want)
+        << "S " << shards << " not deterministic";
+    ASSERT_FALSE(sync.collapsed);
+    ASSERT_EQ(sync.total_liars_accepted, 0u);
+    EXPECT_GT(sync.byzantine_epochs, 0u);
+    for (const ServiceEpochStats& s : sync.epochs) {
+      EXPECT_TRUE(s.epoch.tree_valid);
+      EXPECT_TRUE(s.wft_valid);
+      EXPECT_TRUE(s.monitor_exact);
     }
   }
 }

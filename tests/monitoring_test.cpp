@@ -6,8 +6,11 @@
 
 #include "graph/generators.hpp"
 #include "hybrid/spanning_tree.hpp"
+#include "overlay/bfs_tree.hpp"
+#include "overlay/churn.hpp"
 #include "overlay/construct.hpp"
 #include "overlay/monitoring.hpp"
+#include "overlay/well_formed_tree.hpp"
 
 namespace overlay {
 namespace {
@@ -148,6 +151,118 @@ TEST(Monitoring, ShardedPrimitivesMatchSerial) {
     EXPECT_EQ(bip.violating_edges, bip1.violating_edges);
     EXPECT_EQ(bip.rounds, bip1.rounds);
   }
+}
+
+TEST(Incremental, MatchesFullAcrossChurnAndShardCounts) {
+  // One epoch of churn carried through the cache: the incremental answer
+  // must equal full re-aggregation for every shard count, and the paths are
+  // randomness-free so the telemetry is shard-count-invariant too.
+  const Graph g0 = gen::ConnectedGnp(240, 0.04, 7);
+  const BfsTreeResult bfs0 = BuildBfsTree(g0);
+  const WellFormedTree wft0 = ContractToWellFormedTree(bfs0);
+  std::vector<NodeId> victims;
+  for (NodeId v = 5; v < 240; v += 23) victims.push_back(v);
+  const ChurnResult churn = ApplyStrike(g0, victims, {.num_shards = 2});
+  ASSERT_GE(churn.component_global.size(), 2u);
+  const RepairResult rep = RepairBfsTree(churn.largest_component, bfs0,
+                                         churn.component_global, {});
+  ASSERT_TRUE(rep.repaired);
+  const WellFormedTree wft1 = ContractToWellFormedTree(rep.tree);
+  const Graph& g1 = churn.largest_component;
+
+  std::size_t want_dirty = 0;
+  bool first = true;
+  for (const std::size_t shards : {1ul, 2ul, 4ul, 8ul}) {
+    const ExecPolicy exec{.num_shards = shards};
+    MonitorCache nodes_c, edges_c, deg_c;
+    (void)MonitorNodeCountIncremental(wft0, nodes_c, exec);
+    (void)MonitorEdgeCountIncremental(wft0, g0, edges_c, exec);
+    (void)MonitorMaxDegreeIncremental(wft0, g0, deg_c, exec);
+    nodes_c.Remap(churn.component_global);
+    edges_c.Remap(churn.component_global);
+    deg_c.Remap(churn.component_global);
+    const auto in = MonitorNodeCountIncremental(wft1, nodes_c, exec);
+    const auto ie = MonitorEdgeCountIncremental(wft1, g1, edges_c, exec);
+    const auto id = MonitorMaxDegreeIncremental(wft1, g1, deg_c, exec);
+    EXPECT_EQ(in.value, MonitorNodeCount(wft1, exec).value) << "S " << shards;
+    EXPECT_EQ(ie.value, MonitorEdgeCount(wft1, g1, exec).value)
+        << "S " << shards;
+    EXPECT_EQ(id.value, MonitorMaxDegree(wft1, g1, exec).value)
+        << "S " << shards;
+    EXPECT_EQ(in.value, g1.num_nodes());
+    EXPECT_EQ(ie.value, g1.num_edges());
+    if (first) {
+      want_dirty = nodes_c.last_dirty;
+      first = false;
+    } else {
+      EXPECT_EQ(nodes_c.last_dirty, want_dirty) << "S " << shards;
+    }
+  }
+}
+
+TEST(Incremental, SecondCallOnUnchangedTreeIsFree) {
+  const auto f = Make(gen::ConnectedGnp(200, 0.04, 11));
+  MonitorCache cache;
+  const auto seeded = MonitorNodeCountIncremental(f.tree, cache);
+  EXPECT_EQ(seeded.value, 200u);
+  const auto again = MonitorNodeCountIncremental(f.tree, cache);
+  EXPECT_EQ(again.value, 200u);
+  EXPECT_EQ(again.rounds, 0u);
+  EXPECT_EQ(cache.last_dirty, 0u);
+}
+
+TEST(Incremental, RemapInvalidatesEntriesWithDeadPointers) {
+  // Regression: old node 1's left child (old node 2) dies, and the new tree
+  // also has no child in that slot — the remapped triple must NOT look
+  // clean, or the stale accumulator (still folding the dead subtree) leaks
+  // into the answer.
+  WellFormedTree old_t;
+  old_t.root = 0;
+  old_t.parent = {kInvalidNode, 0, 1};
+  old_t.left_child = {1, 2, kInvalidNode};
+  old_t.right_child = {kInvalidNode, kInvalidNode, kInvalidNode};
+  MonitorCache cache;
+  EXPECT_EQ(MonitorNodeCountIncremental(old_t, cache).value, 3u);
+
+  WellFormedTree new_t;
+  new_t.root = 0;
+  new_t.parent = {kInvalidNode, 0};
+  new_t.left_child = {1, kInvalidNode};
+  new_t.right_child = {kInvalidNode, kInvalidNode};
+  const std::vector<NodeId> new_to_old = {0, 1};
+  cache.Remap(new_to_old);
+  EXPECT_FALSE(cache.valid[1]);  // its child pointer died with node 2
+  const auto r = MonitorNodeCountIncremental(new_t, cache);
+  EXPECT_EQ(r.value, 2u);
+  EXPECT_GT(cache.last_dirty, 0u);
+}
+
+TEST(Incremental, InputChangeDirtiesOnlyTheAffectedPath) {
+  // Flipping one leaf-ish input must re-fold only its root path; the bill
+  // reflects the deepest stale level, not the whole tree.
+  const auto f = Make(gen::Line(257));
+  std::vector<std::uint64_t> values(257, 1);
+  const auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  MonitorCache cache;
+  (void)AggregateOverTreeIncremental(f.tree, values, sum, cache);
+  // Find a deepest node and bump its value.
+  NodeId deep = f.tree.root;
+  std::size_t guard = 0;
+  for (bool moved = true; moved && guard < 300; ++guard) {
+    moved = false;
+    for (const NodeId c : {f.tree.left_child[deep], f.tree.right_child[deep]}) {
+      if (c != kInvalidNode) {
+        deep = c;
+        moved = true;
+        break;
+      }
+    }
+  }
+  values[deep] += 5;
+  const auto r = AggregateOverTreeIncremental(f.tree, values, sum, cache);
+  EXPECT_EQ(r.value, 257u + 5u);
+  EXPECT_LE(cache.last_dirty, f.tree.Depth() + 1);
+  EXPECT_GT(r.rounds, 0u);
 }
 
 TEST(Monitoring, RoundBillLogarithmic) {

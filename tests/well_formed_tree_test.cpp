@@ -4,6 +4,7 @@
 #include "common/math_util.hpp"
 #include "graph/generators.hpp"
 #include "overlay/bfs_tree.hpp"
+#include "overlay/churn.hpp"
 #include "overlay/well_formed_tree.hpp"
 
 namespace overlay {
@@ -98,6 +99,71 @@ TEST(Depth, BalancedTreeDepth) {
   const WellFormedTree t = ContractToWellFormedTree(BuildBfsTree(g));
   EXPECT_LE(t.Depth(), 3u);
   EXPECT_GE(t.Depth(), 2u);
+}
+
+TEST(Repair, BitIdenticalToRecontractionAfterChurn) {
+  // The repair's contract: the repaired tree IS the re-contraction, field
+  // for field, while the bill scales with the changed tour segments.
+  const Graph g = gen::ConnectedGnp(300, 0.03, 19);
+  const BfsTreeResult bfs = BuildBfsTree(g);
+  const WellFormedTree before = ContractToWellFormedTree(bfs);
+  std::vector<NodeId> victims;
+  for (NodeId v = 7; v < 300; v += 31) victims.push_back(v);
+  const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 2});
+  ASSERT_GE(churn.component_global.size(), 2u);
+  const RepairResult rep = RepairBfsTree(churn.largest_component, bfs,
+                                         churn.component_global, {});
+  ASSERT_TRUE(rep.repaired);
+
+  const WftRepairResult wr = RepairWellFormedTree(
+      rep.tree, before, churn.component_global, {.num_shards = 2});
+  const WellFormedTree full = ContractToWellFormedTree(rep.tree);
+  EXPECT_EQ(wr.tree.root, full.root);
+  EXPECT_EQ(wr.tree.parent, full.parent);
+  EXPECT_EQ(wr.tree.left_child, full.left_child);
+  EXPECT_EQ(wr.tree.right_child, full.right_child);
+  EXPECT_TRUE(ValidateWellFormedTree(
+      wr.tree, CeilLog2(wr.tree.num_nodes()) + 1));
+  EXPECT_EQ(wr.carried + wr.changed, wr.tree.num_nodes());
+  // The incremental bill never exceeds the full contraction's.
+  EXPECT_LE(wr.tree.rounds_charged, full.rounds_charged);
+}
+
+TEST(Repair, CarriedCountIsShardCountInvariant) {
+  const Graph g = gen::ConnectedGnp(260, 0.035, 3);
+  const BfsTreeResult bfs = BuildBfsTree(g);
+  const WellFormedTree before = ContractToWellFormedTree(bfs);
+  std::vector<NodeId> victims{11, 42, 97, 130};
+  const ChurnResult churn = ApplyStrike(g, victims, {.num_shards = 1});
+  ASSERT_GE(churn.component_global.size(), 2u);
+  const RepairResult rep = RepairBfsTree(churn.largest_component, bfs,
+                                         churn.component_global, {});
+  ASSERT_TRUE(rep.repaired);
+  const WftRepairResult want = RepairWellFormedTree(
+      rep.tree, before, churn.component_global, {.num_shards = 1});
+  for (const std::size_t shards : {2ul, 4ul, 8ul}) {
+    const WftRepairResult got = RepairWellFormedTree(
+        rep.tree, before, churn.component_global, {.num_shards = shards});
+    EXPECT_EQ(got.carried, want.carried) << "S " << shards;
+    EXPECT_EQ(got.changed, want.changed) << "S " << shards;
+    EXPECT_EQ(got.tree.rounds_charged, want.tree.rounds_charged)
+        << "S " << shards;
+    EXPECT_EQ(got.tree.parent, want.tree.parent) << "S " << shards;
+  }
+}
+
+TEST(Repair, NoChurnCarriesEverything) {
+  // Identity mapping, unchanged BFS tree: nothing changed, minimal bill.
+  const Graph g = gen::ConnectedGnp(128, 0.06, 5);
+  const BfsTreeResult bfs = BuildBfsTree(g);
+  const WellFormedTree before = ContractToWellFormedTree(bfs);
+  std::vector<NodeId> identity(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) identity[v] = v;
+  const WftRepairResult wr =
+      RepairWellFormedTree(bfs, before, identity, {.num_shards = 4});
+  EXPECT_EQ(wr.changed, 0u);
+  EXPECT_EQ(wr.carried, g.num_nodes());
+  EXPECT_LT(wr.tree.rounds_charged, before.rounds_charged);
 }
 
 }  // namespace
