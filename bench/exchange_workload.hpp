@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <concepts>
 #include <type_traits>
 
 #include "graph/graph.hpp"
@@ -16,6 +17,29 @@
 #include "sim/sharded_network.hpp"
 
 namespace overlay::bench {
+
+/// Shape probe for ShardDriven (a lambda would make the concept ill-formed
+/// to spell twice — a named functor keeps the requires-expression stable).
+struct NodeNoop {
+  void operator()(NodeId) const {}
+};
+
+/// Engines that drive per-node work on their own shard workers
+/// (ShardedNetwork, RankNetwork, …) versus serially-driven ones
+/// (SyncNetwork). Structural, not nominal: any future engine exposing
+/// ForEachNode gets the parallel drive for free.
+template <typename Net>
+concept ShardDriven = requires(Net& n) { n.ForEachNode(NodeNoop{}); };
+
+/// Engines exposing the two-phase exchange telemetry the benches report.
+template <typename Net>
+concept PhaseTimed = requires(const Net& n) {
+  { n.exchange_seconds() } -> std::convertible_to<double>;
+  { n.exchange_flush_seconds() } -> std::convertible_to<double>;
+  { n.exchange_deliver_seconds() } -> std::convertible_to<double>;
+  { n.exchange_barrier_seconds() } -> std::convertible_to<double>;
+  { n.hidden_flush_seconds() } -> std::convertible_to<double>;
+};
 
 /// Destination hash: a pure function of (node, round, send index), so every
 /// engine sees the identical send sequence.
@@ -63,7 +87,7 @@ RunResult RunHashedWorkload(Net& net, std::size_t rounds, std::size_t sends) {
       }
     };
     const auto start = std::chrono::steady_clock::now();
-    if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+    if constexpr (ShardDriven<Net>) {
       net.ForEachNode(drive);
     } else {
       for (NodeId v = 0; v < n; ++v) drive(v);
@@ -75,7 +99,7 @@ RunResult RunHashedWorkload(Net& net, std::size_t rounds, std::size_t sends) {
   }
   r.checksum = checksum;
   r.stats = net.stats();
-  if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+  if constexpr (PhaseTimed<Net>) {
     r.flush_sec = net.exchange_flush_seconds();
     r.exchange_sec = net.exchange_seconds();
     r.deliver_sec = net.exchange_deliver_seconds();
@@ -101,7 +125,7 @@ RunResult RunGraphFanoutWorkload(Net& net, const Graph& g,
       net.SendFanout(v, g.Neighbors(v), /*kind=*/1, DestHash(v, round, 0));
     };
     const auto start = std::chrono::steady_clock::now();
-    if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+    if constexpr (ShardDriven<Net>) {
       net.ForEachNode(drive);
     } else {
       for (NodeId v = 0; v < g.num_nodes(); ++v) drive(v);
@@ -113,7 +137,7 @@ RunResult RunGraphFanoutWorkload(Net& net, const Graph& g,
   }
   r.checksum = checksum;
   r.stats = net.stats();
-  if constexpr (std::is_same_v<Net, ShardedNetwork>) {
+  if constexpr (PhaseTimed<Net>) {
     r.flush_sec = net.exchange_flush_seconds();
     r.exchange_sec = net.exchange_seconds();
     r.deliver_sec = net.exchange_deliver_seconds();

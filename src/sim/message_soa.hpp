@@ -57,6 +57,9 @@ static_assert(sizeof(NodeId) == 4, "NodeId column must be 4 bytes");
 static_assert(sizeof(ExtWords) == 8 * (kMessageWords - 1),
               "spill entries must pack the extra words with no padding");
 static_assert(alignof(ExtWords) == 8, "spill arena is 8-byte aligned");
+static_assert(std::is_trivially_copyable_v<ExtWords>,
+              "spill runs must be bulk-copyable (they ship inside the rank "
+              "exchange frames of sim/transport.hpp)");
 static_assert(kSoaRowBytes == 20, "SoA row is 20 bytes (62.5% of the AoS row)");
 static_assert(kAosRowBytes == 32, "Message is 32 bytes");
 
@@ -76,9 +79,10 @@ static_assert(sizeof(Envelope) == 16, "Envelope packs to two words");
 /// (the staging scatter/gather hop) want AoS — one store moves the whole
 /// row and touches one cache line — while arena scans stay SoA; PackedRow is
 /// the AoS side of that split. `ext` indexes the side spill buffer the row
-/// was packed against (kNoExt = one-word message). This layout is also the
-/// natural wire format for a future rank-partitioned (MPI/socket) exchange:
-/// a staging run per destination is already one contiguous send buffer.
+/// was packed against (kNoExt = one-word message). This layout IS the wire
+/// format of the rank-partitioned exchange: a staging run per destination is
+/// one contiguous send buffer, shipped verbatim (rows + its spill buffer)
+/// behind the run frame header of sim/transport.hpp.
 struct PackedRow {
   NodeId to = kInvalidNode;
   NodeId src = kInvalidNode;

@@ -1,0 +1,126 @@
+#include "sim/rank_network.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace overlay {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+}  // namespace
+
+EngineConfig RankNetwork::InnerConfig(const Config& config) {
+  OVERLAY_CHECK(config.num_ranks >= 1, "need at least one rank");
+  OVERLAY_CHECK(config.exec.num_shards >= 1, "need at least one shard/rank");
+  Config inner = config;
+  // R ranks × S shards each = the total shard count of the inner engine;
+  // ShardedNetwork clamps it to num_nodes exactly like every ExecPolicy
+  // consumer, so tiny networks degrade gracefully.
+  inner.exec.num_shards = config.num_ranks * config.exec.num_shards;
+  return inner;
+}
+
+RankNetwork::RankNetwork(const Config& config)
+    : inner_(InnerConfig(config)),
+      num_ranks_(std::min(config.num_ranks, inner_.num_shards())),
+      transport_(config.transport) {
+  rank_base_ = inner_.num_shards() / num_ranks_;
+  rank_rem_ = inner_.num_shards() % num_ranks_;
+  if (transport_ == nullptr) {
+    owned_ = std::make_unique<LoopbackTransport>(num_ranks_,
+                                                 &config.exec.Pool());
+    transport_ = owned_.get();
+  }
+  OVERLAY_CHECK(transport_->num_ranks() >= num_ranks_,
+                "transport built for fewer ranks than the engine uses");
+  // Matrices sized to the transport (an injected backend may span more
+  // ranks than this engine's clamp uses; the extra cells just stay empty).
+  const std::size_t m = transport_->num_ranks();
+  outgoing_.assign(m, std::vector<WireBytes>(m));
+  incoming_.assign(m, std::vector<WireBytes>(m));
+}
+
+void RankNetwork::EndRound() {
+  inner_.BeginExchange();
+  if (num_ranks_ > 1) {
+    const auto t0 = Clock::now();
+    ExchangeRuns();
+    wire_seconds_ += Seconds(t0, Clock::now());
+  }
+  inner_.FinishExchange();
+}
+
+void RankNetwork::ExchangeRuns() {
+  const std::size_t total = inner_.num_shards();
+  const std::uint64_t round = inner_.round();
+
+  // Serialize every cross-rank run into its (source rank → destination
+  // rank) cell, in fixed (source shard, destination shard) order, and
+  // poison the staged original — from here on, only bytes that actually
+  // cross the transport can deliver correctly.
+  for (auto& row : outgoing_) {
+    for (WireBytes& cell : row) cell.clear();
+  }
+  for (std::size_t s = 0; s < total; ++s) {
+    const std::size_t sr = RankOfShard(s);
+    for (std::size_t d = 0; d < total; ++d) {
+      const std::size_t dr = RankOfShard(d);
+      if (dr == sr) continue;  // same-rank runs stay in-process
+      row_scratch_.clear();
+      const std::size_t rows = inner_.CopyStagedRun(s, d, row_scratch_);
+      const std::span<const ExtWords> spill = inner_.StagedSpill(s, d);
+      if (rows == 0 && spill.empty()) continue;  // nothing staged: no frame
+      WireBytes& cell = outgoing_[sr][dr];
+      const std::size_t before = cell.size();
+      EncodeFrame(static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(d),
+                  static_cast<std::uint32_t>(dr), round, row_scratch_, spill,
+                  cell);
+      inner_.PoisonStagedRun(s, d);
+      ++frames_sent_;
+      frame_bytes_sent_ += cell.size() - before;
+      wire_rows_sent_ += rows;
+      wire_spill_sent_ += spill.size();
+    }
+  }
+
+  transport_->AllToAllv(outgoing_, incoming_);
+
+  // Decode + verify + load. Frame order within a cell is the sender's
+  // (source shard, destination shard) order; every frame is independent
+  // (self-contained run), so only per-frame integrity matters — and that is
+  // checksum-verified. A frame for the wrong round, rank, or a corrupted
+  // payload throws out of EndRound.
+  for (std::size_t dr = 0; dr < incoming_.size(); ++dr) {
+    for (std::size_t sr = 0; sr < incoming_[dr].size(); ++sr) {
+      const WireBytes& cell = incoming_[dr][sr];
+      std::size_t offset = 0;
+      while (offset < cell.size()) {
+        FrameHeader header;
+        row_scratch_.clear();
+        spill_scratch_.clear();
+        offset = DecodeFrame(cell, offset, header, row_scratch_,
+                             spill_scratch_);
+        OVERLAY_CHECK(header.round == round,
+                      "frame from a different round reached the exchange");
+        OVERLAY_CHECK(header.dst_rank == dr,
+                      "frame delivered to the wrong rank");
+        OVERLAY_CHECK(header.src_shard < total && header.dst_shard < total,
+                      "frame names an out-of-range shard");
+        OVERLAY_CHECK(RankOfShard(header.src_shard) == sr,
+                      "frame arrived from the wrong source rank");
+        OVERLAY_CHECK(RankOfShard(header.dst_shard) == dr,
+                      "frame's destination shard is not owned by this rank");
+        inner_.LoadStagedRun(header.src_shard, header.dst_shard, row_scratch_,
+                             spill_scratch_);
+      }
+    }
+  }
+}
+
+}  // namespace overlay

@@ -35,6 +35,7 @@
 #include "sim/async_network.hpp"
 #include "sim/inbox_checksum.hpp"
 #include "sim/network.hpp"
+#include "sim/rank_network.hpp"
 #include "sim/sharded_network.hpp"
 #include "sim/token_engine.hpp"
 
@@ -682,6 +683,201 @@ TEST(EngineEquivalence, ScenarioCatalogueShardCountInvariantAndEnginesAgree) {
             << entry.name << " seed " << seed << " S " << shards;
       }
     }
+  }
+}
+
+// ---- rank-backed exchange (alltoallv over PackedRow runs) ------------------
+
+/// Deterministic token-relay workload over the NetworkEngine API: `walkers`
+/// tokens hash-walk the id space, each forwarded as a one-word message from
+/// wherever it sits to its next hash destination. Drop-free (capacity must be
+/// >= walkers) and randomness-free, so every engine must produce
+/// bit-identical inboxes — the "token walks over RankNetwork" harness row.
+template <typename Net>
+std::uint64_t DriveTokenRelay(Net& net, std::size_t rounds,
+                              std::size_t walkers, std::uint64_t salt) {
+  const std::size_t n = net.num_nodes();
+  std::vector<NodeId> at(walkers);  // walker w sits on node at[w]
+  for (std::size_t w = 0; w < walkers; ++w) {
+    at[w] = static_cast<NodeId>((w * 0x9e3779b97f4a7c15ULL ^ salt) % n);
+  }
+  std::uint64_t h = kFnvOffsetBasis;
+  std::vector<std::size_t> order(walkers);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Send source-node-major: the engines guarantee bit-identical inboxes
+    // for a fixed logical send order, and that order is per-source-node —
+    // interleaving senders across shards would permute inboxes between the
+    // sync and sharded engines without being a correctness difference.
+    for (std::size_t w = 0; w < walkers; ++w) order[w] = w;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return at[a] != at[b] ? at[a] < at[b] : a < b;
+    });
+    for (const std::size_t w : order) {
+      const std::uint64_t x = (w * 0x94d049bb133111ebULL) ^
+                              (round * 0xbf58476d1ce4e5b9ULL) ^ salt;
+      const NodeId next = static_cast<NodeId>(x % n);
+      Message m;
+      m.kind = 3;
+      m.words[0] = static_cast<std::uint64_t>(w) << 32 | next;
+      if (w % 5 == 0) m.words[1] = x;  // some walkers carry spill payloads
+      net.Send(at[w], next, m);
+      at[w] = next;
+    }
+    net.EndRound();
+    h = ChecksumInboxes(net, h);
+  }
+  return h;
+}
+
+TEST(EngineEquivalence, RankBackedExchangeMatchesShardedBitForBit) {
+  // The tentpole acceptance gate: RankNetwork over LoopbackTransport at
+  // every (R, S) grid point must reproduce ShardedNetwork at S_total = R*S
+  // bit for bit (same inbox checksums, same drops), match SyncNetwork's
+  // stats, and replay itself on a fixed seed — with the wire actually
+  // carrying traffic (frames > 0 whenever R > 1).
+  const std::size_t n = 48;
+  const std::size_t cap = 3;
+  for (const std::uint64_t seed : {11ull, 907ull}) {
+    SyncNetwork sync({.num_nodes = n, .capacity = cap, .seed = seed});
+    const std::uint64_t sync_sum = DriveRawWorkload(sync, 12, cap, seed);
+    for (const std::size_t ranks : {1, 2, 4}) {
+      for (const std::size_t shards : {1, 2}) {
+        const EngineConfig cfg{.num_nodes = n, .capacity = cap, .seed = seed,
+                               .exec = {.num_shards = shards},
+                               .num_ranks = ranks};
+        ShardedNetwork sharded({.num_nodes = n, .capacity = cap, .seed = seed,
+                                .exec = {.num_shards = ranks * shards}});
+        const std::uint64_t want = DriveRawWorkload(sharded, 12, cap, seed);
+        RankNetwork net(cfg);
+        EXPECT_EQ(net.num_ranks(), ranks);
+        EXPECT_EQ(net.num_shards(), ranks * shards);
+        const std::uint64_t got = DriveRawWorkload(net, 12, cap, seed);
+        EXPECT_EQ(got, want) << "seed " << seed << " R " << ranks << " S "
+                             << shards << " diverged from ShardedNetwork";
+        if (ranks * shards == 1) {
+          EXPECT_EQ(got, sync_sum) << "R=S=1 must replay SyncNetwork";
+        }
+        EXPECT_EQ(net.stats(), sync.stats())
+            << "seed " << seed << " R " << ranks << " S " << shards;
+        EXPECT_EQ(net.MaxTotalSentPerNode(), sync.MaxTotalSentPerNode());
+        if (ranks > 1) {
+          EXPECT_GT(net.frames_sent(), 0u) << "wire must carry traffic";
+          EXPECT_GT(net.wire_rows_sent(), 0u);
+          EXPECT_GE(net.frame_bytes_sent(),
+                    net.frames_sent() * kFrameHeaderBytes +
+                        net.wire_rows_sent() * kPackedRowBytes);
+          EXPECT_EQ(net.transport().bytes_shipped(), net.frame_bytes_sent());
+        } else {
+          EXPECT_EQ(net.frames_sent(), 0u) << "one rank: nothing ships";
+        }
+        RankNetwork replay(cfg);
+        EXPECT_EQ(DriveRawWorkload(replay, 12, cap, seed), got)
+            << "seed " << seed << " R " << ranks << " S " << shards
+            << " not deterministic";
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, RankBackedBfsChurnAndTokenWalksRows) {
+  // Protocol rows over the rank engine at R ∈ {2, 4}: the BFS flood, the
+  // token-relay walk, and the adversarial churn scenario are drop-free or
+  // engine-randomness-free workloads, so the rank-backed runs must be
+  // bit-identical to SyncNetwork — not merely stats-equal.
+  const std::uint64_t seed = 57;
+  const Graph g = gen::ConnectedGnp(120, 0.06, seed);
+  const BfsTreeResult want_tree =
+      BuildBfsTree<SyncNetwork>(g, EngineConfig{.seed = seed});
+  ASSERT_TRUE(ValidateBfsTree(g, want_tree));
+
+  SyncNetwork sync({.num_nodes = 120, .capacity = 16, .seed = seed});
+  const std::uint64_t want_relay = DriveTokenRelay(sync, 10, 16, seed);
+  ASSERT_EQ(sync.stats().messages_dropped, 0u) << "relay must be drop-free";
+
+  ScenarioOptions sc;
+  sc.strike = StrikeKind::kDegreeTargeted;
+  sc.strike_opts.budget = 10;
+  sc.epochs = 2;
+  sc.seed = 1234;
+  sc.engine = EngineKind::kSync;
+  const ScenarioResult want_scenario = RunAdversaryScenario(g, sc);
+  ASSERT_FALSE(want_scenario.collapsed);
+
+  for (const std::size_t ranks : {2, 4}) {
+    for (const std::size_t shards : {1, 2}) {
+      EngineConfig cfg{.seed = seed, .exec = {.num_shards = shards},
+                       .num_ranks = ranks};
+      cfg.outbox_segment_rows = 64;  // multi-segment runs through the wire
+      const BfsTreeResult got_tree = BuildBfsTree<RankNetwork>(g, cfg);
+      EXPECT_EQ(ChecksumBfs(got_tree), ChecksumBfs(want_tree))
+          << "R " << ranks << " S " << shards;
+      EXPECT_EQ(got_tree.stats, want_tree.stats)
+          << "R " << ranks << " S " << shards;
+
+      EngineConfig relay_cfg{.num_nodes = 120, .capacity = 16, .seed = seed,
+                             .exec = {.num_shards = shards},
+                             .num_ranks = ranks};
+      RankNetwork relay(relay_cfg);
+      EXPECT_EQ(DriveTokenRelay(relay, 10, 16, seed), want_relay)
+          << "R " << ranks << " S " << shards;
+      EXPECT_EQ(relay.stats(), sync.stats())
+          << "R " << ranks << " S " << shards;
+
+      sc.engine = EngineKind::kRank;
+      sc.num_ranks = ranks;
+      sc.strike_opts.exec.num_shards = shards;
+      const ScenarioResult got_scenario = RunAdversaryScenario(g, sc);
+      EXPECT_EQ(ChecksumScenario(got_scenario), ChecksumScenario(want_scenario))
+          << "churn over RankNetwork diverged, R " << ranks << " S " << shards;
+    }
+  }
+}
+
+// ---- merged all-to-all runs (S >= merge_runs_min_shards) -------------------
+
+TEST(EngineEquivalence, MergedRunsChecksumIdenticalToUnmergedAtS32) {
+  // ROADMAP item (b)'s gate: at S = 32 with multi-segment rounds, the
+  // merged single-buffer all-to-all (one run per destination + shared
+  // offset matrix) must be checksum- and stats-identical to the unmerged
+  // per-(segment, destination) path — it is a repack, not a semantic
+  // change — and the staged byte accounting must not double-count.
+  const std::size_t n = 256;
+  const std::size_t cap = 3;
+  for (const std::uint64_t seed : {19ull, 404ull}) {
+    EngineConfig merged_cfg{.num_nodes = n, .capacity = cap, .seed = seed,
+                            .exec = {.num_shards = 32}};
+    merged_cfg.outbox_segment_rows = 8;  // force several segments per round
+    merged_cfg.merge_runs_min_shards = 32;
+    EngineConfig plain_cfg = merged_cfg;
+    plain_cfg.merge_runs_min_shards = 0;  // merging disabled
+
+    ShardedNetwork merged(merged_cfg);
+    ShardedNetwork plain(plain_cfg);
+    const std::uint64_t got = DriveRawWorkload(merged, 10, cap, seed);
+    const std::uint64_t want = DriveRawWorkload(plain, 10, cap, seed);
+    EXPECT_EQ(got, want) << "seed " << seed << ": merge changed delivery";
+    EXPECT_EQ(merged.stats(), plain.stats()) << "seed " << seed;
+    EXPECT_GT(merged.merged_runs(), 0u) << "merge pass never fired";
+    EXPECT_GT(merged.offset_matrix_bytes(), 0u);
+    EXPECT_EQ(plain.merged_runs(), 0u);
+    // The double-count regression: merging repacks rows already counted at
+    // their single staging hop, so both modes account identical bytes.
+    EXPECT_EQ(merged.staged_rows(), plain.staged_rows());
+    EXPECT_EQ(merged.staged_bytes(), plain.staged_bytes());
+
+    // The rank engine shares the same packing path: merged and unmerged
+    // rank-backed runs agree with each other and with the sharded engine.
+    EngineConfig rank_cfg = merged_cfg;
+    rank_cfg.exec.num_shards = 8;
+    rank_cfg.num_ranks = 4;  // 4 × 8 = 32 total shards, merge threshold hit
+    RankNetwork rank_merged(rank_cfg);
+    EXPECT_EQ(DriveRawWorkload(rank_merged, 10, cap, seed), want)
+        << "seed " << seed << ": merged rank run diverged";
+    EXPECT_GT(rank_merged.merged_runs(), 0u);
+    rank_cfg.merge_runs_min_shards = 0;
+    RankNetwork rank_plain(rank_cfg);
+    EXPECT_EQ(DriveRawWorkload(rank_plain, 10, cap, seed), want)
+        << "seed " << seed << ": unmerged rank run diverged";
   }
 }
 

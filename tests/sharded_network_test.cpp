@@ -380,6 +380,43 @@ TEST(ShardedNetwork, StagedBytesAccountTheHopAtPackedRowSize) {
   EXPECT_EQ(s4.staged_bytes() / s4.staged_rows(), kPackedRowBytes);
 }
 
+TEST(ShardedNetwork, MergedRunsDoNotDoubleCountStagedBytes) {
+  // Regression: merging the per-(segment, destination) runs into one
+  // all-to-all buffer per source shard repacks rows that were already
+  // counted at their single staging hop — the merge pass must not touch
+  // staged_rows()/staged_bytes(), so staged bytes per row stay pinned at
+  // kPackedRowBytes (24) with merging on, off, and forced at tiny scale.
+  EngineConfig merged_cfg{.num_nodes = 64, .capacity = 4, .seed = 9,
+                          .exec = {.num_shards = 4}};
+  merged_cfg.outbox_segment_rows = 8;   // several segments per round
+  merged_cfg.merge_runs_min_shards = 4; // forced on at S = 4
+  EngineConfig plain_cfg = merged_cfg;
+  plain_cfg.merge_runs_min_shards = 0;  // merging disabled
+
+  ShardedNetwork merged(merged_cfg);
+  ShardedNetwork plain(plain_cfg);
+  for (std::size_t round = 0; round < 6; ++round) {
+    DriveRound(merged, round, 4);
+    DriveRound(plain, round, 4);
+  }
+  ASSERT_GT(merged.merged_runs(), 0u) << "merge pass never fired";
+  EXPECT_GT(merged.offset_matrix_bytes(), 0u);
+  EXPECT_EQ(plain.merged_runs(), 0u);
+  // Same workload, same accounting: merging is a repack, not a second hop.
+  EXPECT_EQ(merged.staged_rows(), plain.staged_rows());
+  EXPECT_EQ(merged.staged_bytes(), plain.staged_bytes());
+  ASSERT_GT(merged.staged_rows(), 0u);
+  // One-word workload: exactly kPackedRowBytes per staged row — and the
+  // frame-level invariant the bench gates on, <= 24 bytes/row, holds in
+  // both modes by construction.
+  EXPECT_EQ(merged.staged_bytes() / merged.staged_rows(), kPackedRowBytes);
+  EXPECT_LE(merged.staged_bytes(), merged.staged_rows() * kPackedRowBytes);
+  EXPECT_LE(plain.staged_bytes(), plain.staged_rows() * kPackedRowBytes);
+  // Delivery itself is unchanged by the repack.
+  EXPECT_EQ(Snapshot(merged), Snapshot(plain));
+  EXPECT_EQ(merged.stats(), plain.stats());
+}
+
 TEST(ShardedNetwork, PhaseTimersSplitBarrierFromPackAndDeliver) {
   // exchange_flush_seconds() measures phase-1 pack work only and
   // exchange_deliver_seconds() phase-2 work only; whatever remains of the
